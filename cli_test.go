@@ -1,0 +1,200 @@
+package paramra_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// End-to-end tests of the command-line tools: build each binary once, then
+// exercise the documented flag combinations and exit codes.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "paramra-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, tool := range []string{"raverify", "raexplore", "radatalog", "ratqbf", "rabench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+// runTool executes a built binary and returns combined output + exit code.
+func runTool(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	dir := buildTools(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	return string(out), code
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliProdCons = `
+system prodcons { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }
+`
+
+const cliSafe = `
+system mp { vars x y; domain 2; env p; dis c }
+thread p { store x 1; store y 1 }
+thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; assert false }
+`
+
+func TestCLIRaverify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	path := writeTemp(t, "pc.ra", cliProdCons)
+	out, code := runTool(t, "raverify", path)
+	if code != 1 || !strings.Contains(out, "UNSAFE") {
+		t.Errorf("unsafe system: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raverify", "-graph", path)
+	if !strings.Contains(out, "dependency graph") {
+		t.Errorf("-graph output missing: %s", out)
+	}
+	safePath := writeTemp(t, "mp.ra", cliSafe)
+	out, code = runTool(t, "raverify", safePath)
+	if code != 0 || !strings.Contains(out, "SAFE") {
+		t.Errorf("safe system: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raverify", "-datalog", path)
+	if code != 1 {
+		t.Errorf("datalog backend: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raverify", "-class", path)
+	if code != 0 || !strings.Contains(out, "env(nocas") {
+		t.Errorf("-class: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raverify", "-goal-var", "x", "-goal-val", "2", path)
+	if code != 1 {
+		t.Errorf("goal mode: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raverify", "-json", path)
+	if code != 1 {
+		t.Errorf("-json exit code = %d", code)
+	}
+	var rep struct {
+		Verdict        string `json:"verdict"`
+		EnvThreadBound int64  `json:"envThreadBound"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Errorf("-json output not valid JSON: %v\n%s", err, out)
+	} else if rep.Verdict != "UNSAFE" || rep.EnvThreadBound != 1 {
+		t.Errorf("-json content wrong: %+v", rep)
+	}
+	_, code = runTool(t, "raverify", filepath.Join(t.TempDir(), "missing.ra"))
+	if code != 2 {
+		t.Errorf("missing file: code=%d", code)
+	}
+	_, code = runTool(t, "raverify")
+	if code != 2 {
+		t.Errorf("no args: code=%d", code)
+	}
+}
+
+func TestCLIRaexplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	path := writeTemp(t, "pc.ra", cliProdCons)
+	out, code := runTool(t, "raexplore", "-env", "1", path)
+	if code != 1 || !strings.Contains(out, "witness") {
+		t.Errorf("explore: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "raexplore", "-env", "0", path)
+	if code != 0 {
+		t.Errorf("0-env explore: code=%d out=%s", code, out)
+	}
+	out, _ = runTool(t, "raexplore", "-sweep", "2", path)
+	if !strings.Contains(out, "env=0") || !strings.Contains(out, "env=2") {
+		t.Errorf("sweep output: %s", out)
+	}
+}
+
+func TestCLIRadatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	path := writeTemp(t, "pc.ra", cliProdCons)
+	out, code := runTool(t, "radatalog", path)
+	if code != 1 || !strings.Contains(out, "UNSAFE") {
+		t.Errorf("radatalog: code=%d out=%s", code, out)
+	}
+	dl := writeTemp(t, "tc.dl", "edge(a,b). edge(b,c).\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n?- path(a,c).")
+	out, code = runTool(t, "radatalog", dl)
+	if code != 0 || !strings.Contains(out, "true") {
+		t.Errorf("dl eval: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "radatalog", "-cache", "2", dl)
+	if code != 1 || !strings.Contains(out, "false") {
+		t.Errorf("cache-bounded dl eval: code=%d out=%s", code, out)
+	}
+}
+
+func TestCLIRatqbf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	out, code := runTool(t, "ratqbf", "forall u : (u | ~u)")
+	if code != 0 || !strings.Contains(out, "agreement") {
+		t.Errorf("ratqbf true formula: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "ratqbf", "-random", "-n", "1", "-seed", "3")
+	if code != 0 || !strings.Contains(out, "agreement") {
+		t.Errorf("ratqbf random: code=%d out=%s", code, out)
+	}
+}
+
+func TestCLIRabench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	out, code := runTool(t, "rabench", "fig5")
+	if code != 0 || !strings.Contains(out, "cost(msg#)") {
+		t.Errorf("rabench fig5: code=%d out=%s", code, out)
+	}
+	_, code = runTool(t, "rabench", "nonsense")
+	if code != 2 {
+		t.Errorf("bad subcommand: code=%d", code)
+	}
+}

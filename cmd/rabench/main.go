@@ -1,0 +1,163 @@
+// Command rabench regenerates the paper's tables and figures and the
+// repository's experiment suite (see EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|all]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"paramra/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	what := "all"
+	if len(os.Args) > 1 {
+		what = os.Args[1]
+	}
+	run := map[string]func() error{
+		"table1":    table1,
+		"corpus":    corpus,
+		"fig3":      fig3,
+		"fig4":      fig4,
+		"fig5":      fig5,
+		"cache":     cache,
+		"threads":   threads,
+		"ablations": ablations,
+		"robust":    robust,
+		"scaling":   scaling,
+		"gap":       gap,
+		"budget":    budget,
+	}
+	if what == "all" {
+		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget"} {
+			if err := run[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
+				return 1
+			}
+			fmt.Println()
+		}
+		return 0
+	}
+	f, ok := run[what]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "usage: rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|all]\n")
+		return 2
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "rabench %s: %v\n", what, err)
+		return 1
+	}
+	return 0
+}
+
+func table1() error {
+	fmt.Print(bench.Table1().String())
+	return nil
+}
+
+func corpus() error {
+	reps, err := bench.RunCorpus()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.CorpusTable(reps).String())
+	return nil
+}
+
+func fig3() error {
+	rows, err := bench.Fig3(6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Fig3Table(rows).String())
+	return nil
+}
+
+func fig4() error {
+	s, err := bench.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func fig5() error {
+	rows, err := bench.Fig5(6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Fig5Table(rows).String())
+	return nil
+}
+
+func cache() error {
+	rows, err := bench.CacheExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.CacheTable(rows).String())
+	return nil
+}
+
+func threads() error {
+	rows, err := bench.ThreadBoundExperiment(6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.ThreadTable(rows).String())
+	return nil
+}
+
+func ablations() error {
+	rows, err := bench.Ablations()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.AblationTable(rows).String())
+	return nil
+}
+
+func robust() error {
+	rows, err := bench.RobustnessExperiment(2_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RobustTable(rows).String())
+	return nil
+}
+
+func scaling() error {
+	rows, err := bench.ScalingExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.ScalingTable(rows).String())
+	return nil
+}
+
+func gap() error {
+	rows, err := bench.GapExperiment(5, 2_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.GapTable(rows).String())
+	return nil
+}
+
+func budget() error {
+	rows, err := bench.BudgetAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.BudgetTable(rows).String())
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command raverify decides parameterized safety under release-acquire for a
+// system description file.
+//
+// Usage:
+//
+//	raverify [flags] system.ra
+//
+// The input syntax is documented in the paramra package. The exit code is 0
+// for SAFE, 1 for UNSAFE, and 2 on errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paramra"
+)
+
+// jsonReport is the machine-readable output shape (-json).
+type jsonReport struct {
+	System         string   `json:"system"`
+	Class          string   `json:"class"`
+	Verdict        string   `json:"verdict"`
+	Complete       bool     `json:"complete"`
+	Underapprox    bool     `json:"underapprox,omitempty"`
+	MacroStates    int      `json:"macroStates"`
+	DisTransitions int      `json:"disTransitions"`
+	EnvConfigs     int      `json:"envConfigs"`
+	EnvMsgs        int      `json:"envMsgs"`
+	EnvThreadBound int64    `json:"envThreadBound"`
+	Witness        []string `json:"witness,omitempty"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		datalogBackend = flag.Bool("datalog", false, "use the makeP→Datalog backend (Theorem 4.1) instead of the fixpoint engine")
+		unroll         = flag.Int("unroll", 0, "unroll looping dis threads k times (bounded under-approximation)")
+		maxStates      = flag.Int("max-states", 0, "cap on macro states (0 = unlimited)")
+		goalVar        = flag.String("goal-var", "", "Message Generation mode: goal variable")
+		goalVal        = flag.Int("goal-val", 0, "Message Generation mode: goal value")
+		showGraph      = flag.Bool("graph", false, "print the dependency graph of the violation")
+		showClass      = flag.Bool("class", false, "print the system class and exit")
+		jsonOut        = flag.Bool("json", false, "emit a machine-readable JSON report")
+		confirm        = flag.Bool("confirm", false, "on UNSAFE, confirm with a concrete instance and print its interleaving")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: raverify [flags] system.ra")
+		flag.PrintDefaults()
+		return 2
+	}
+	sys, err := paramra.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raverify:", err)
+		return 2
+	}
+	if *showClass {
+		fmt.Println(paramra.Classify(sys))
+		return 0
+	}
+	opts := paramra.Options{
+		MaxMacroStates: *maxStates,
+		UnrollDis:      *unroll,
+		Datalog:        *datalogBackend,
+	}
+	if *goalVar != "" {
+		opts.Goal = &paramra.Goal{Var: *goalVar, Val: *goalVal}
+	}
+	res, err := paramra.Verify(sys, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raverify:", err)
+		return 2
+	}
+	verdict := "SAFE"
+	if res.Unsafe {
+		verdict = "UNSAFE"
+	}
+	if !res.Unsafe && !res.Complete {
+		verdict = "UNKNOWN (limit reached)"
+	}
+	if res.Underapprox && !res.Unsafe {
+		verdict += " (up to the unrolling bound)"
+	}
+	if *jsonOut {
+		rep := jsonReport{
+			System: sys.Name, Class: res.Class.String(), Verdict: verdict,
+			Complete: res.Complete, Underapprox: res.Underapprox,
+			MacroStates: res.Stats.MacroStates, DisTransitions: res.Stats.DisTransitions,
+			EnvConfigs: res.Stats.EnvConfigs, EnvMsgs: res.Stats.EnvMsgs,
+			EnvThreadBound: res.EnvThreadBound, Witness: res.Witness,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "raverify:", err)
+			return 2
+		}
+		if res.Unsafe {
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("system:   %s\n", sys.Name)
+	fmt.Printf("class:    %s\n", res.Class)
+	fmt.Printf("verdict:  %s\n", verdict)
+	if !*datalogBackend {
+		fmt.Printf("stats:    macro-states=%d dis-transitions=%d env-configs=%d env-msgs=%d\n",
+			res.Stats.MacroStates, res.Stats.DisTransitions, res.Stats.EnvConfigs, res.Stats.EnvMsgs)
+	}
+	if res.Unsafe && res.EnvThreadBound >= 0 {
+		fmt.Printf("bound:    %d env thread(s) suffice (§4.3 cost bound)\n", res.EnvThreadBound)
+	}
+	if res.Unsafe && len(res.Witness) > 0 {
+		fmt.Println("violating thread read, in order:")
+		for _, w := range res.Witness {
+			fmt.Println("  ", w)
+		}
+	}
+	if *showGraph && res.Graph != nil {
+		fmt.Println("\ndependency graph:")
+		fmt.Print(res.Graph.String())
+	}
+	if *confirm && res.Unsafe {
+		n, witness, err := paramra.ConfirmViolation(sys, res, 8, 2_000_000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "raverify: confirmation failed:", err)
+		} else {
+			fmt.Printf("\nconfirmed with %d env thread(s); interleaving:\n%s", n, witness)
+		}
+	}
+	if res.Unsafe {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+// Package paramra is a from-scratch implementation of
+//
+//	Krishna, Godbole, Meyer, Chakraborty:
+//	"Parameterized Verification under Release Acquire is PSPACE-complete",
+//	PODC 2022.
+//
+// It decides safety for parameterized concurrent programs under the C11
+// release-acquire (RA) memory model: systems with an unbounded number of
+// identical, CAS-free environment threads plus finitely many loop-free
+// distinguished threads — the class env(nocas) ∥ dis_1(acyc) ∥ … ∥
+// dis_n(acyc) for which the paper proves the problem PSPACE-complete.
+//
+// The facade in this package wraps the building blocks in internal/:
+//
+//	internal/lang        the Com while-language (parser, CFGs, classification)
+//	internal/ra          the concrete RA operational semantics for fixed instances
+//	internal/simplified  the paper's simplified semantics and the verifier
+//	internal/datalog     a Datalog engine with Cache Datalog and linear translation
+//	internal/encode      the makeP encoding into (Cache) Datalog
+//	internal/depgraph    dependency graphs, compaction, env-thread-count bounds
+//	internal/tqbf        TQBF and the PSPACE-hardness reduction (Figure 6)
+//	internal/cm          counter machines and the Theorem 1.1 construction
+//	internal/bench       the benchmark corpus and experiment harness
+//
+// # Quick start
+//
+//	sys, err := paramra.Parse(src)          // concrete syntax, see below
+//	res, err := paramra.Verify(sys, paramra.Options{})
+//	if res.Unsafe { ... }
+//
+// Systems are written in a small concrete syntax:
+//
+//	system prodcons {
+//	  vars x y
+//	  domain 4
+//	  env producer
+//	  dis consumer
+//	}
+//
+//	thread producer {
+//	  regs r
+//	  r = load y; assume r == 1
+//	  store x 2
+//	}
+//
+//	thread consumer {
+//	  regs s
+//	  store y 1
+//	  s = load x; assume s == 2
+//	  assert false
+//	}
+//
+// `env` names the program run by unboundedly many environment threads; each
+// `dis` clause adds one distinguished thread. Verification asks whether any
+// instance (any number of env threads) can execute `assert false`.
+package paramra

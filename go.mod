@@ -1,0 +1,3 @@
+module paramra
+
+go 1.22

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBudgetAblation(t *testing.T) {
+	rows, err := BudgetAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verdicts must be stable per benchmark across budgets; states must not
+	// shrink as the budget widens.
+	byName := map[string][]BudgetRow{}
+	for _, r := range rows {
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	for name, rs := range byName {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Unsafe != rs[0].Unsafe {
+				t.Errorf("%s: verdict changed at extra=%d", name, rs[i].Extra)
+			}
+			if !rs[i].Unsafe && rs[i].Macro < rs[i-1].Macro {
+				t.Errorf("%s: macro states shrank with a wider budget: %d -> %d",
+					name, rs[i-1].Macro, rs[i].Macro)
+			}
+		}
+	}
+	if s := BudgetTable(rows).String(); !strings.Contains(s, "extra slots") {
+		t.Error("table broken")
+	}
+}

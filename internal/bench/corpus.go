@@ -1,0 +1,597 @@
+// Package bench hosts the benchmark corpus modelled on the programs the
+// paper's introduction classifies (Peterson, Dekker, Lamport, barrier,
+// Chase-Lev deque, RCU, Phoenix-style data-parallel kernels, plus the
+// standard weak-memory litmus tests), and the experiment harness that
+// regenerates the paper's tables and figures.
+package bench
+
+import (
+	"paramra/internal/lang"
+)
+
+// Verdict is the expected outcome of parameterized safety verification.
+type Verdict int
+
+// Verdicts.
+const (
+	// Safe: no assert violation in any instance.
+	Safe Verdict = iota + 1
+	// Unsafe: some instance reaches an assert violation.
+	Unsafe
+)
+
+func (v Verdict) String() string {
+	if v == Unsafe {
+		return "UNSAFE"
+	}
+	return "SAFE"
+}
+
+// Entry is one corpus benchmark.
+type Entry struct {
+	Name string
+	// Origin cites where the benchmark family comes from.
+	Origin string
+	// Class is the paper-notation system class the entry belongs to.
+	Class string
+	// Want is the expected parameterized verdict (violations are often the
+	// *intended* observable behaviour, e.g. litmus weak outcomes).
+	Want Verdict
+	// MinEnv is the smallest number of env threads exhibiting the
+	// violation (0 when none are needed, -1 for safe entries).
+	MinEnv int
+	// Src is the system in concrete syntax.
+	Src string
+}
+
+// System parses the entry.
+func (e Entry) System() *lang.System { return lang.MustParseSystem(e.Src) }
+
+// Corpus returns the full benchmark corpus.
+func Corpus() []Entry {
+	return []Entry{
+		{
+			Name:   "prodcons-fig1",
+			Origin: "paper Figure 1",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Unsafe,
+			MinEnv: 1,
+			Src: `
+system prodcons { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }
+`,
+		},
+		{
+			Name:   "mp-litmus",
+			Origin: "classic message-passing litmus",
+			Class:  "env(nocas, acyc) || dis_1(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system mp { vars x y; domain 2; env p; dis c }
+thread p { store x 1; store y 1 }
+thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; assert false }
+`,
+		},
+		{
+			Name:   "sb-litmus",
+			Origin: "store-buffering litmus (weak outcome allowed under RA)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 0,
+			Src: `
+system sb { vars x y a; domain 2; env idle; dis t1; dis t2 }
+thread idle { skip }
+thread t1 { regs r1; store x 1; r1 = load y; assume r1 == 0; store a 1 }
+thread t2 { regs r2 r3; store y 1; r2 = load x; assume r2 == 0; r3 = load a; assume r3 == 1; assert false }
+`,
+		},
+		{
+			Name:   "lb-litmus",
+			Origin: "load-buffering litmus (cycle forbidden under RA)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system lb { vars x y; domain 2; env idle; dis t1; dis t2 }
+thread idle { skip }
+thread t1 { regs r1; r1 = load y; assume r1 == 1; store x 1; assert false }
+thread t2 { regs r2; r2 = load x; assume r2 == 1; store y 1 }
+`,
+		},
+		{
+			Name:   "corr2-coherence",
+			Origin: "per-location coherence litmus",
+			Class:  "env(nocas, acyc) || dis_1..4(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system corr2 { vars x f; domain 3; env idle; dis w1; dis w2; dis t3; dis t4 }
+thread idle { skip }
+thread w1 { store x 1 }
+thread w2 { store x 2 }
+thread t3 { regs a b; a = load x; assume a == 1; b = load x; assume b == 2; store f 1 }
+thread t4 { regs c d r; c = load x; assume c == 2; d = load x; assume d == 1; r = load f; assume r == 1; assert false }
+`,
+		},
+		{
+			Name:   "peterson-ra",
+			Origin: "Lahav & Margalit [34]: Peterson without fences (broken under RA)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 0,
+			Src: `
+system peterson { vars f0 f1 turn cs0; domain 2; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs a b
+  store f0 1
+  store turn 1
+  a = load f1
+  b = load turn
+  assume a == 0 || b == 0
+  store cs0 1           # critical section
+}
+thread t1 {
+  regs a b c
+  store f1 1
+  store turn 0
+  a = load f0
+  b = load turn
+  assume a == 0 || b == 1
+  c = load cs0          # in critical section: check overlap
+  assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "peterson-ra-rmwfence",
+			Origin: "Peterson with pseudo-fences (RMW on a dummy variable) — still broken: the turn store can be placed modification-order-early, a known gap between RMW fences and SC accesses",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 0,
+			Src: `
+system petersonf { vars f0 f1 turn cs0 fence; domain 2; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs a b
+  store f0 1
+  store turn 1
+  cas fence 0 0         # SC fence: RMW on a dedicated variable
+  a = load f1
+  b = load turn
+  assume a == 0 || b == 0
+  store cs0 1
+}
+thread t1 {
+  regs a b c
+  store f1 1
+  store turn 0
+  cas fence 0 0
+  a = load f0
+  b = load turn
+  assume a == 0 || b == 1
+  c = load cs0
+  assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "dekker-ra",
+			Origin: "Norris model-checker benchmarks [37]: Dekker core (broken under RA)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 0,
+			Src: `
+system dekker { vars f0 f1 cs0; domain 2; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs a
+  store f0 1
+  a = load f1; assume a == 0
+  store cs0 1
+}
+thread t1 {
+  regs a c
+  store f1 1
+  a = load f0; assume a == 0
+  c = load cs0; assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "dekker-fences",
+			Origin: "Norris model-checker benchmarks [37]: Dekker with fences",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system dekkerf { vars f0 f1 cs0 fence; domain 2; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs a
+  store f0 1
+  cas fence 0 0
+  a = load f1; assume a == 0
+  store cs0 1
+}
+thread t1 {
+  regs a c
+  store f1 1
+  cas fence 0 0
+  a = load f0; assume a == 0
+  c = load cs0; assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "lamport-2-ra",
+			Origin: "Lahav & Margalit [34]: Lamport's fast mutex, 2 threads, no fences",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 0,
+			Src: `
+system lamport { vars x y cs0; domain 3; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs b
+  store x 1
+  b = load y; assume b == 0
+  store y 1
+  b = load x; assume b == 1
+  store cs0 1
+}
+thread t1 {
+  regs b c
+  store x 2
+  b = load y; assume b == 0
+  store y 2
+  b = load x; assume b == 2
+  c = load cs0; assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "spinlock-cas",
+			Origin: "CAS spinlock (one acquisition each, mutual exclusion)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system spin { vars l cs0; domain 2; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 { cas l 0 1; store cs0 1 }
+thread t1 {
+  regs c
+  cas l 0 1
+  c = load cs0; assume c == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "barrier",
+			Origin: "Norris model-checker benchmarks [37]: barrier with wait loop",
+			Class:  "env(nocas) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# A worker that passed the barrier must have synchronized with the release:
+# after observing done=1, the stale go=0 is unreadable.
+system barrier { vars arrived go done; domain 2; env worker; dis releaser; dis checker }
+thread worker {
+  regs g
+  store arrived 1
+  g = load go; assume g == 1   # wait loop remodelled as load+assume
+  store done 1
+}
+thread releaser {
+  regs a
+  a = load arrived; assume a == 1
+  store go 1
+}
+thread checker {
+  regs d g
+  d = load done; assume d == 1
+  g = load go; assume g == 0
+  assert false
+}
+`,
+		},
+		{
+			Name:   "barrier-release",
+			Origin: "barrier: workers do pass once released (sanity companion)",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Unsafe,
+			MinEnv: 1,
+			Src: `
+system barrier2 { vars arrived go done; domain 2; env worker; dis coordinator }
+thread worker {
+  regs g
+  store arrived 1
+  g = load go; assume g == 1
+  store done 1
+}
+thread coordinator {
+  regs a d
+  a = load arrived; assume a == 1
+  store go 1
+  d = load done; assume d == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "chase-lev-steal",
+			Origin: "Norris model-checker benchmarks [37]: Chase-Lev deque, single steal",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# Owner pushes one item and takes it unless a thief stole it first; the
+# take/steal conflict is resolved by CAS on top. Double consumption of the
+# item is the safety violation.
+system chaselev { vars top item taken; domain 3; env observer; dis owner; dis thief }
+thread observer {
+  regs t
+  t = load taken
+  assume t == 2          # item consumed twice?
+  assert false
+}
+thread owner {
+  regs t k
+  store item 1
+  cas top 0 1            # take: claim the slot
+  t = load taken
+  store taken (t + 1)
+}
+thread thief {
+  regs t k
+  k = load item; assume k == 1
+  cas top 0 1            # steal: claim the same slot
+  t = load taken
+  store taken (t + 1)
+}
+`,
+		},
+		{
+			Name:   "rcu",
+			Origin: "Lahav & Margalit [34]: RCU-style publish/reclaim",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# The writer publishes data then flips the pointer; a reader that sees the
+# new pointer must see initialized data.
+system rcu { vars data ptr; domain 2; env reader; dis writer }
+thread reader {
+  regs p d
+  p = load ptr; assume p == 1
+  d = load data; assume d == 0   # uninitialized read after publish
+  assert false
+}
+thread writer {
+  store data 1
+  store ptr 1
+}
+`,
+		},
+		{
+			Name:   "seqlock",
+			Origin: "seqlock reader consistency under RA",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# Writer: seq 0→1 (odd: writing), update data, seq→2. A reader that saw an
+# even seq, read data, and re-read the same seq must have a consistent view.
+system seqlock { vars seq d1 d2; domain 3; env reader; dis writer }
+thread reader {
+  regs s1 a b s2
+  s1 = load seq; assume s1 == 2
+  a = load d1
+  b = load d2
+  s2 = load seq; assume s2 == 2
+  assume a != b                 # torn read
+  assert false
+}
+thread writer {
+  store seq 1
+  store d1 1
+  store d2 1
+  store seq 2
+}
+`,
+		},
+		{
+			Name:   "phoenix-histogram",
+			Origin: "Phoenix 2.0 benchmarks [29]: data-parallel histogram skeleton",
+			Class:  "env(nocas, acyc) || dis_1(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# Workers read a shared input cell and mark the corresponding bucket; a
+# bucket can only be marked if the matching input was present.
+system histogram { vars input b0 b1; domain 2; env worker; dis checker }
+thread worker {
+  regs v
+  v = load input
+  if v == 0 { store b0 1 } else { store b1 1 }
+}
+thread checker {
+  regs m
+  m = load b1; assume m == 1    # bucket 1 marked, but input was never 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "env-chain-escalation",
+			Origin: "paper Figure 3: unboundedly many producers chaining values",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Unsafe,
+			MinEnv: 4,
+			Src: `
+system chain { vars x; domain 6; env inc; dis watcher }
+thread inc { regs r; r = load x; store x (r + 1) }
+thread watcher { regs s; s = load x; assume s == 4; assert false }
+`,
+		},
+		{
+			Name:   "wrc-causality",
+			Origin: "write-to-read causality litmus (forbidden under RA)",
+			Class:  "env(nocas, acyc) || dis_1..2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+system wrc { vars x y; domain 2; env t1; dis t2; dis t3 }
+thread t1 { store x 1 }
+thread t2 { regs a; a = load x; assume a == 1; store y 1 }
+thread t3 {
+  regs b c
+  b = load y; assume b == 1
+  c = load x; assume c == 0
+  assert false
+}
+`,
+		},
+		{
+			Name:   "iriw",
+			Origin: "independent reads of independent writes (allowed under RA)",
+			Class:  "env(nocas, acyc) || dis_1..3(acyc)",
+			Want:   Unsafe,
+			MinEnv: 1, // the x-writer is the env thread
+
+			Src: `
+system iriw { vars x y f; domain 2; env w1; dis w2; dis r1; dis r2 }
+thread w1 { store x 1 }
+thread w2 { store y 1 }
+thread r1 {
+  regs a b
+  a = load x; assume a == 1
+  b = load y; assume b == 0
+  store f 1
+}
+thread r2 {
+  regs c d g
+  c = load y; assume c == 1
+  d = load x; assume d == 0
+  g = load f; assume g == 1
+  assert false
+}
+`,
+		},
+		{
+			Name:   "ticketlock",
+			Origin: "ticket lock via CAS (two acquisitions, mutual exclusion)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# Each thread takes a ticket by CAS on next; thread with ticket 0 enters
+# immediately, the other waits for serving == 1 which is published on exit.
+system ticket { vars next serving cs0; domain 3; env idle; dis t0; dis t1 }
+thread idle { skip }
+thread t0 {
+  regs s
+  choice {
+    cas next 0 1                 # got ticket 0: enter
+    store cs0 1
+    store serving 1              # exit: serve ticket 1
+  } or {
+    cas next 1 2                 # got ticket 1: wait for serving == 1
+    s = load serving; assume s == 1
+    store cs0 1
+  }
+}
+thread t1 {
+  regs s c
+  choice {
+    cas next 0 1
+    c = load cs0; assume c == 1  # in CS: t0 already was? violation
+    assert false
+  } or {
+    cas next 1 2
+    s = load serving; assume s == 1
+    c = load cs0; assume c == 0  # t0 exited without marking? impossible
+    assert false
+  }
+}
+`,
+		},
+		{
+			Name:   "treiber-push",
+			Origin: "Treiber-stack push/pop pair (one shot, CAS on top)",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Safe,
+			MinEnv: -1,
+			Src: `
+# Pusher writes the cell then swings top with CAS; popper swings top back
+# and must observe the initialized cell (publication safety).
+system treiber { vars top cell; domain 2; env idle; dis pusher; dis popper }
+thread idle { skip }
+thread pusher {
+  store cell 1
+  cas top 0 1
+}
+thread popper {
+  regs v
+  cas top 1 0
+  v = load cell; assume v == 0   # uninitialized cell after successful pop
+  assert false
+}
+`,
+		},
+		{
+			Name:   "phoenix-wordcount",
+			Origin: "Phoenix 2.0 benchmarks [29]: word-count combine skeleton",
+			Class:  "env(nocas) || dis_1(acyc)",
+			Want:   Unsafe,
+			MinEnv: 2,
+			Src: `
+# Mappers emit counts by chaining increments on a shared tally; the reducer
+# observing tally == 2 requires two mapper contributions (intended result).
+system wordcount { vars tally done; domain 4; env mapper; dis reducer }
+thread mapper {
+  regs t
+  t = load tally
+  store tally (t + 1)
+}
+thread reducer {
+  regs r
+  r = load tally; assume r == 2
+  assert false
+}
+`,
+		},
+		{
+			Name:   "cas-env-supply",
+			Origin: "infinite-supply behaviour: two CAS consume 'the same' env value",
+			Class:  "env(nocas, acyc) || dis_1(acyc) || dis_2(acyc)",
+			Want:   Unsafe,
+			MinEnv: 2,
+			Src: `
+system cassupply { vars x a; domain 2; env w; dis t1; dis t2 }
+thread w { store x 1 }
+thread t1 { cas x 1 0; store a 1 }
+thread t2 { regs r; cas x 1 0; r = load a; assume r == 1; assert false }
+`,
+		},
+	}
+}
+
+// ByName returns the corpus entry with the given name.
+func ByName(name string) (Entry, bool) {
+	for _, e := range Corpus() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

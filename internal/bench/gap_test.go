@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGapExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instance sweeps skipped in -short mode")
+	}
+	rows, err := GapExperiment(5, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		e, ok := ByName(r.Name)
+		if !ok {
+			t.Fatalf("unknown entry %s", r.Name)
+		}
+		if r.Threshold != e.MinEnv {
+			t.Errorf("%s: threshold %d, corpus MinEnv %d", r.Name, r.Threshold, e.MinEnv)
+		}
+		// Monotone: once unsafe, more env threads stay unsafe.
+		seen := false
+		for n, v := range r.Verdicts {
+			if seen && !v {
+				t.Errorf("%s: verdict flipped back to safe at n=%d", r.Name, n)
+			}
+			if v {
+				seen = true
+			}
+		}
+	}
+	if s := GapTable(rows).String(); !strings.Contains(s, "threshold") {
+		t.Error("table broken")
+	}
+}

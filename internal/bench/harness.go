@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"paramra/internal/lang"
+	"paramra/internal/ra"
+	"paramra/internal/simplified"
+)
+
+// CorpusReport is the result of running one corpus entry through the
+// parameterized verifier.
+type CorpusReport struct {
+	Entry    Entry
+	Verdict  Verdict
+	Complete bool
+	Stats    simplified.Stats
+	Elapsed  time.Duration
+}
+
+// RunEntry verifies a single corpus entry.
+func RunEntry(e Entry) (CorpusReport, error) {
+	v, err := simplified.New(e.System(), simplified.Options{})
+	if err != nil {
+		return CorpusReport{}, fmt.Errorf("%s: %w", e.Name, err)
+	}
+	start := time.Now()
+	res := v.Verify()
+	rep := CorpusReport{
+		Entry:    e,
+		Complete: res.Unsafe || res.Complete,
+		Stats:    res.Stats,
+		Elapsed:  time.Since(start),
+		Verdict:  Safe,
+	}
+	if res.Unsafe {
+		rep.Verdict = Unsafe
+	}
+	return rep, nil
+}
+
+// RunCorpus verifies every corpus entry (E11, the §1 classification table).
+func RunCorpus() ([]CorpusReport, error) {
+	var out []CorpusReport
+	for _, e := range Corpus() {
+		rep, err := RunEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// CorpusTable formats corpus reports as the benchmark table.
+func CorpusTable(reps []CorpusReport) *Table {
+	t := &Table{
+		Title:   "Benchmark corpus (classification of §1 + litmus tests)",
+		Columns: []string{"benchmark", "class", "verdict", "expected", "macro-states", "env-cfgs", "env-msgs", "time"},
+	}
+	for _, r := range reps {
+		t.AddRow(r.Entry.Name, r.Entry.Class, r.Verdict, r.Entry.Want,
+			r.Stats.MacroStates, r.Stats.EnvConfigs, r.Stats.EnvMsgs,
+			r.Elapsed.Round(time.Microsecond))
+	}
+	return t
+}
+
+// MinEnvConcrete searches for the smallest number of env threads whose
+// concrete instance is unsafe, up to maxN (E9 helper). Returns -1 when none
+// is found.
+func MinEnvConcrete(sys *lang.System, maxN, maxStates int) (int, error) {
+	for n := 0; n <= maxN; n++ {
+		inst, err := ra.NewInstance(sys, n)
+		if err != nil {
+			return -1, err
+		}
+		res := inst.Explore(ra.Limits{MaxStates: maxStates, Symmetry: true})
+		if res.Unsafe {
+			return n, nil
+		}
+		if !res.Complete {
+			return -1, fmt.Errorf("exploration incomplete at n=%d", n)
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instance sweeps skipped in -short mode")
+	}
+	rows, err := RobustnessExperiment(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RobustRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.Complete {
+			t.Errorf("%s: incomplete comparison", r.Name)
+		}
+		// SC ⊆ RA: SC-unsafe must imply RA-unsafe.
+		if r.SCUnsafe && !r.RAUnsafe {
+			t.Errorf("%s: SC violation invisible under RA", r.Name)
+		}
+	}
+	// The §1 robustness benchmarks are exactly the RA-only violations.
+	for _, weak := range []string{"sb-litmus", "peterson-ra", "dekker-ra", "lamport-2-ra", "iriw"} {
+		if !byName[weak].Weak() {
+			t.Errorf("%s should be non-robust (RA-only violation): %+v", weak, byName[weak])
+		}
+	}
+	for _, robust := range []string{"mp-litmus", "dekker-fences", "spinlock-cas", "ticketlock", "treiber-push", "wrc-causality"} {
+		if byName[robust].Weak() {
+			t.Errorf("%s should not exhibit weak behaviour: %+v", robust, byName[robust])
+		}
+	}
+	s := RobustTable(rows).String()
+	if !strings.Contains(s, "WEAK") || !strings.Contains(s, "robust here") {
+		t.Errorf("table rendering broken:\n%s", s)
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweeps skipped in -short mode")
+	}
+	rows, err := ScalingExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]ScalingRow{}
+	for _, r := range rows {
+		if !r.Unsafe {
+			t.Errorf("%s(%d): expected unsafe", r.Family, r.Param)
+		}
+		series[r.Family] = append(series[r.Family], r)
+	}
+	// Domain family: env configs grow linearly (2+2·d shape) — check
+	// strictly monotone and sub-quadratic.
+	dom := series["domain"]
+	if len(dom) < 3 {
+		t.Fatal("domain series too short")
+	}
+	for i := 1; i < len(dom); i++ {
+		if dom[i].EnvCfgs <= dom[i-1].EnvCfgs {
+			t.Errorf("domain env-cfgs not growing: %v", dom)
+		}
+	}
+	first, last := dom[0], dom[len(dom)-1]
+	ratioParam := float64(last.Param) / float64(first.Param)
+	ratioCfgs := float64(last.EnvCfgs) / float64(first.EnvCfgs)
+	if ratioCfgs > 2*ratioParam {
+		t.Errorf("domain growth super-linear: params ×%.1f but cfgs ×%.1f", ratioParam, ratioCfgs)
+	}
+	// TQBF family: growth must be visible (hardness).
+	tq := series["tqbf-depth"]
+	if tq[len(tq)-1].EnvCfgs <= tq[0].EnvCfgs {
+		t.Errorf("tqbf series not growing: %v", tq)
+	}
+	// Dis-count family: macro states grow with interleavings.
+	dc := series["dis-count"]
+	for i := 1; i < len(dc); i++ {
+		if dc[i].Macro <= dc[i-1].Macro {
+			t.Errorf("dis-count macro states not growing: %v", dc)
+		}
+	}
+	if s := ScalingTable(rows).String(); !strings.Contains(s, "tqbf-depth") {
+		t.Error("scaling table broken")
+	}
+}

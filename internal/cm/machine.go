@@ -1,0 +1,158 @@
+// Package cm implements Minsky two-counter machines and the construction
+// behind Theorem 1.1: with compare-and-swap available to the environment
+// threads, parameterized safety verification under RA is undecidable, via
+// simulation of counter machines.
+//
+// The mechanism is a CAS chain: the entire machine configuration (control
+// state and both counters) is encoded as a single value of one shared
+// variable, and every env thread performs one machine step as a single
+// cas(conf, enc(cf), enc(cf')). The CAS adjacency requirement linearizes
+// the chain — each configuration message is consumed by exactly one
+// successor — so arbitrarily many identical *loop-free* threads drive an
+// unboundedly long sequential computation. Undecidability needs unbounded
+// counters; a finite data domain caps them, so the generated system is
+// parameterized by a counter bound C and is unsafe iff the machine halts
+// without either counter reaching C. Exactness in the limit C → ∞ is the
+// content of Theorem 1.1; every fixed C is validated against the simulator.
+package cm
+
+import (
+	"fmt"
+)
+
+// OpKind enumerates counter machine instructions.
+type OpKind int
+
+// Instruction kinds.
+const (
+	// OpInc increments a counter and jumps.
+	OpInc OpKind = iota + 1
+	// OpDecJZ jumps to Zero if the counter is zero, otherwise decrements
+	// and jumps to Next.
+	OpDecJZ
+	// OpHalt stops the machine.
+	OpHalt
+)
+
+// Instr is a single instruction.
+type Instr struct {
+	Kind OpKind
+	// Counter is 0 or 1 for OpInc/OpDecJZ.
+	Counter int
+	// Next is the successor state (OpInc; OpDecJZ non-zero branch).
+	Next int
+	// Zero is the OpDecJZ zero-branch successor.
+	Zero int
+}
+
+// Machine is a two-counter Minsky machine; state 0 is initial.
+type Machine struct {
+	States []Instr
+}
+
+// Validate checks state indices and counter selectors.
+func (m *Machine) Validate() error {
+	if len(m.States) == 0 {
+		return fmt.Errorf("cm: machine has no states")
+	}
+	for i, in := range m.States {
+		switch in.Kind {
+		case OpInc:
+			if in.Counter < 0 || in.Counter > 1 {
+				return fmt.Errorf("cm: state %d: bad counter %d", i, in.Counter)
+			}
+			if in.Next < 0 || in.Next >= len(m.States) {
+				return fmt.Errorf("cm: state %d: bad successor %d", i, in.Next)
+			}
+		case OpDecJZ:
+			if in.Counter < 0 || in.Counter > 1 {
+				return fmt.Errorf("cm: state %d: bad counter %d", i, in.Counter)
+			}
+			if in.Next < 0 || in.Next >= len(m.States) {
+				return fmt.Errorf("cm: state %d: bad successor %d", i, in.Next)
+			}
+			if in.Zero < 0 || in.Zero >= len(m.States) {
+				return fmt.Errorf("cm: state %d: bad zero-successor %d", i, in.Zero)
+			}
+		case OpHalt:
+			// no operands
+		default:
+			return fmt.Errorf("cm: state %d: unknown kind %d", i, in.Kind)
+		}
+	}
+	return nil
+}
+
+// Config is a machine configuration.
+type Config struct {
+	State  int
+	C0, C1 int
+}
+
+// Step executes one instruction; ok is false when the machine has halted.
+func (m *Machine) Step(cf Config) (Config, bool) {
+	in := m.States[cf.State]
+	switch in.Kind {
+	case OpInc:
+		if in.Counter == 0 {
+			return Config{State: in.Next, C0: cf.C0 + 1, C1: cf.C1}, true
+		}
+		return Config{State: in.Next, C0: cf.C0, C1: cf.C1 + 1}, true
+	case OpDecJZ:
+		c := cf.C0
+		if in.Counter == 1 {
+			c = cf.C1
+		}
+		if c == 0 {
+			return Config{State: in.Zero, C0: cf.C0, C1: cf.C1}, true
+		}
+		if in.Counter == 0 {
+			return Config{State: in.Next, C0: cf.C0 - 1, C1: cf.C1}, true
+		}
+		return Config{State: in.Next, C0: cf.C0, C1: cf.C1 - 1}, true
+	default:
+		return cf, false
+	}
+}
+
+// RunResult reports a bounded simulation.
+type RunResult struct {
+	// Halted is true when an OpHalt state was reached within MaxSteps.
+	Halted bool
+	// Steps is the number of instructions executed.
+	Steps int
+	// MaxCounter is the largest counter value observed.
+	MaxCounter int
+	// Final is the last configuration.
+	Final Config
+}
+
+// Run simulates the (deterministic) machine for at most maxSteps steps.
+func (m *Machine) Run(maxSteps int) RunResult {
+	cf := Config{}
+	res := RunResult{}
+	for res.Steps < maxSteps {
+		if m.States[cf.State].Kind == OpHalt {
+			res.Halted = true
+			break
+		}
+		next, ok := m.Step(cf)
+		if !ok {
+			res.Halted = true
+			break
+		}
+		cf = next
+		res.Steps++
+		if cf.C0 > res.MaxCounter {
+			res.MaxCounter = cf.C0
+		}
+		if cf.C1 > res.MaxCounter {
+			res.MaxCounter = cf.C1
+		}
+	}
+	if m.States[cf.State].Kind == OpHalt {
+		res.Halted = true
+	}
+	res.Final = cf
+	return res
+}

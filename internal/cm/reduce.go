@@ -1,0 +1,100 @@
+package cm
+
+import (
+	"fmt"
+
+	"paramra/internal/lang"
+)
+
+// Reduce builds the Theorem 1.1 system for machine m with counter bound c:
+// an env(acyc)-with-CAS parameterized system that is unsafe iff m halts from
+// (state 0, counters 0) without either counter reaching c. Each env thread
+// executes exactly one machine step as a CAS on the single shared variable
+// `conf`, or plays the observer that asserts when a halting configuration
+// becomes visible.
+func Reduce(m *Machine, c int) (*lang.System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("cm: counter bound %d must be positive", c)
+	}
+	nq := len(m.States)
+	enc := func(cf Config) lang.Val {
+		return lang.Val(cf.State + nq*(cf.C0+c*cf.C1))
+	}
+	dom := nq * c * c
+
+	sb := lang.NewSystemBuilder("cm", dom)
+	conf := sb.Var("conf")
+	pb := lang.NewProgramBuilder("step")
+	r := pb.Reg("r")
+
+	var branches []lang.Stmt
+	// One branch per (configuration, transition) pair.
+	for q := 0; q < nq; q++ {
+		for a := 0; a < c; a++ {
+			for b := 0; b < c; b++ {
+				cf := Config{State: q, C0: a, C1: b}
+				next, ok := m.Step(cf)
+				if !ok {
+					continue // halt state: no step
+				}
+				if next.C0 >= c || next.C1 >= c {
+					continue // counter bound exceeded: step unavailable
+				}
+				branches = append(branches, lang.CAS{
+					Var:    conf,
+					Expect: lang.Num(enc(cf)),
+					New:    lang.Num(enc(next)),
+				})
+			}
+		}
+	}
+	// Observer branches: assert on any visible halting configuration.
+	for q := 0; q < nq; q++ {
+		if m.States[q].Kind != OpHalt {
+			continue
+		}
+		for a := 0; a < c; a++ {
+			for b := 0; b < c; b++ {
+				branches = append(branches, lang.SeqOf(
+					lang.Load{Reg: r, Var: conf},
+					lang.Assume{Cond: lang.Eq(lang.Reg(r), lang.Num(enc(Config{State: q, C0: a, C1: b})))},
+					lang.AssertFail{},
+				))
+			}
+		}
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("cm: machine yields no transitions under bound %d", c)
+	}
+	env := pb.Build(lang.ChoiceOf(branches...))
+	sys := sb.Env(env).Build()
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("cm: generated system invalid: %w", err)
+	}
+	return sys, nil
+}
+
+// StepsToHalt returns the number of machine steps before halting under the
+// counter bound (counters must stay < c), or -1 if the machine does not
+// halt within maxSteps or exceeds the bound. One env thread is needed per
+// step, plus one observer.
+func StepsToHalt(m *Machine, c, maxSteps int) int {
+	cf := Config{}
+	for s := 0; s <= maxSteps; s++ {
+		if m.States[cf.State].Kind == OpHalt {
+			return s
+		}
+		next, ok := m.Step(cf)
+		if !ok {
+			return s
+		}
+		if next.C0 >= c || next.C1 >= c {
+			return -1
+		}
+		cf = next
+	}
+	return -1
+}

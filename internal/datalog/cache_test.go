@@ -1,0 +1,197 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainProgram derives s0 → s1 → … → sn linearly: reaching sn requires only
+// 2 cached atoms at a time (the paper's Drop rule at work).
+func chainProgram(n int) (*Program, GroundAtom) {
+	p := NewProgram()
+	s := p.MustPred("s", 1)
+	for i := 0; i <= n; i++ {
+		p.Intern(constName(i))
+	}
+	if err := p.Fact(s, p.Intern(constName(0))); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		p.MustRule(Rule{
+			Head: Atom{Pred: s, Terms: []Term{C(p.Intern(constName(i + 1)))}},
+			Body: []Atom{{Pred: s, Terms: []Term{C(p.Intern(constName(i)))}}},
+		})
+	}
+	return p, GroundAtom{Pred: s, Args: []Const{p.Intern(constName(n))}}
+}
+
+func constName(i int) string { return string(rune('0' + i)) }
+
+// diamondProgram needs both left(i) and right(i) simultaneously to advance,
+// forcing a cache of ≥ 4: deriving l(i+1) and r(i+1) each needs both
+// premises resident plus a free slot, so all four atoms of two consecutive
+// levels coexist at some point.
+func diamondProgram(n int) (*Program, GroundAtom) {
+	p := NewProgram()
+	l := p.MustPred("l", 1)
+	r := p.MustPred("r", 1)
+	top := p.MustPred("t", 1)
+	for i := 0; i <= n; i++ {
+		p.Intern(constName(i))
+	}
+	if err := p.Fact(l, p.Intern(constName(0))); err != nil {
+		panic(err)
+	}
+	if err := p.Fact(r, p.Intern(constName(0))); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		ci, cn := C(p.Intern(constName(i))), C(p.Intern(constName(i+1)))
+		body := []Atom{{Pred: l, Terms: []Term{ci}}, {Pred: r, Terms: []Term{ci}}}
+		p.MustRule(Rule{Head: Atom{Pred: l, Terms: []Term{cn}}, Body: body})
+		p.MustRule(Rule{Head: Atom{Pred: r, Terms: []Term{cn}}, Body: body})
+	}
+	p.MustRule(Rule{
+		Head: Atom{Pred: top, Terms: []Term{C(p.Intern(constName(n)))}},
+		Body: []Atom{
+			{Pred: l, Terms: []Term{C(p.Intern(constName(n)))}},
+			{Pred: r, Terms: []Term{C(p.Intern(constName(n)))}},
+		},
+	})
+	return p, GroundAtom{Pred: top, Args: []Const{p.Intern(constName(n))}}
+}
+
+func TestCacheChainNeedsTwo(t *testing.T) {
+	p, g := chainProgram(5)
+	if QueryCache(p, g, 1) {
+		t.Error("chain derivable with cache 1: the premise and conclusion must coexist")
+	}
+	if !QueryCache(p, g, 2) {
+		t.Error("chain should be derivable with cache 2 (derive, drop, repeat)")
+	}
+	if got := MinCacheSize(p, g, 10); got != 2 {
+		t.Errorf("MinCacheSize = %d, want 2", got)
+	}
+}
+
+func TestCacheDiamondNeedsFour(t *testing.T) {
+	p, g := diamondProgram(3)
+	if QueryCache(p, g, 3) {
+		t.Error("diamond derivable with cache 3")
+	}
+	if !QueryCache(p, g, 4) {
+		t.Error("diamond should be derivable with cache 4")
+	}
+	if got := MinCacheSize(p, g, 10); got != 4 {
+		t.Errorf("MinCacheSize = %d, want 4", got)
+	}
+}
+
+func TestCacheUnboundedAgreesWithStandard(t *testing.T) {
+	p, g := diamondProgram(2)
+	if !Query(p, g) {
+		t.Fatal("goal should be standardly derivable")
+	}
+	// With a cache as large as the full atom universe, cache semantics is
+	// standard semantics.
+	if !QueryCache(p, g, EvalSemiNaive(p).Size()) {
+		t.Error("large-cache inference disagrees with standard Datalog")
+	}
+}
+
+func TestCacheUnderivable(t *testing.T) {
+	p, _ := chainProgram(3)
+	s := Pred(0)
+	bogus := GroundAtom{Pred: s, Args: []Const{p.Intern("9")}}
+	if QueryCache(p, bogus, 5) {
+		t.Error("underivable atom inferred")
+	}
+	if MinCacheSize(p, bogus, 5) != -1 {
+		t.Error("MinCacheSize of underivable atom should be -1")
+	}
+	if QueryCache(p, bogus, 0) {
+		t.Error("k=0 must infer nothing")
+	}
+}
+
+func TestTranslateChainEquivalence(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		p, g := chainProgram(4)
+		lp, lg, err := TranslateCache(p, g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lp.IsLinear() {
+			t.Fatalf("k=%d: translation is not linear Datalog", k)
+		}
+		want := QueryCache(p, g, k)
+		got := Query(lp, lg)
+		if got != want {
+			t.Errorf("k=%d: cache says %v, translation says %v", k, want, got)
+		}
+	}
+}
+
+func TestTranslateDiamondEquivalence(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		p, g := diamondProgram(2)
+		lp, lg, err := TranslateCache(p, g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := QueryCache(p, g, k)
+		got := Query(lp, lg)
+		if got != want {
+			t.Errorf("k=%d: cache says %v, translation says %v", k, want, got)
+		}
+	}
+}
+
+func TestTranslateRejectsBadBound(t *testing.T) {
+	p, g := chainProgram(1)
+	if _, _, err := TranslateCache(p, g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestTranslateRandomEquivalence fuzzes Lemma 4.2: for random programs and
+// random goals, Prog ⊢_k g iff Prog' ⊢ g'.
+func TestTranslateRandomEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing skipped in -short mode")
+	}
+	r := rand.New(rand.NewSource(42))
+	cases := 0
+	for cases < 25 {
+		p := randDatalog(r)
+		full := EvalSemiNaive(p)
+		all := full.All()
+		if len(all) == 0 {
+			continue
+		}
+		cases++
+		g := all[r.Intn(len(all))]
+		// Also test an underivable goal by inventing a fresh constant.
+		for _, goal := range []GroundAtom{g, underivableGoal(p, g)} {
+			for _, k := range []int{1, 2, 3} {
+				lp, lg, err := TranslateCache(p, goal, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := QueryCache(p, goal, k)
+				got := Query(lp, lg)
+				if got != want {
+					t.Fatalf("case %d k=%d goal=%s: cache %v, translation %v\n%s",
+						cases, k, p.GroundString(goal), want, got, p)
+				}
+			}
+		}
+	}
+}
+
+func underivableGoal(p *Program, base GroundAtom) GroundAtom {
+	fresh := p.Intern("zz-fresh")
+	args := append([]Const(nil), base.Args...)
+	args[0] = fresh
+	return GroundAtom{Pred: base.Pred, Args: args}
+}

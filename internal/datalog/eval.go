@@ -1,0 +1,207 @@
+package datalog
+
+// Bottom-up evaluation. EvalNaive recomputes all rules until fixpoint;
+// EvalSemiNaive only joins against atoms derived in the previous round.
+// Both return the set of derivable ground atoms; Query answers Prog ⊢ g.
+
+// DB is a set of derived ground atoms, keyed canonically and indexed by
+// predicate for rule joins.
+type DB struct {
+	set    map[string]GroundAtom
+	byPred [][]GroundAtom
+}
+
+// NewDB returns an empty database over the program's predicates.
+func NewDB(p *Program) *DB {
+	return &DB{set: map[string]GroundAtom{}, byPred: make([][]GroundAtom, len(p.Preds))}
+}
+
+// Has reports membership.
+func (db *DB) Has(g GroundAtom) bool {
+	_, ok := db.set[g.Key()]
+	return ok
+}
+
+// Add inserts g, reporting whether it was new.
+func (db *DB) Add(g GroundAtom) bool {
+	k := g.Key()
+	if _, ok := db.set[k]; ok {
+		return false
+	}
+	db.set[k] = g
+	db.byPred[g.Pred] = append(db.byPred[g.Pred], g)
+	return true
+}
+
+// Size returns the number of atoms.
+func (db *DB) Size() int { return len(db.set) }
+
+// All returns every derived atom (shared backing; callers must not mutate).
+func (db *DB) All() []GroundAtom {
+	out := make([]GroundAtom, 0, len(db.set))
+	for _, g := range db.set {
+		out = append(out, g)
+	}
+	return out
+}
+
+// ByPred returns the derived atoms with the given predicate.
+func (db *DB) ByPred(pr Pred) []GroundAtom { return db.byPred[pr] }
+
+// binding is a partial assignment of rule variables to constants.
+type binding []Const
+
+const unbound = Const(-1)
+
+// match attempts to unify atom a (under binding b) with ground atom g,
+// extending b in place. It returns false (possibly with b partially
+// modified) on mismatch; callers must treat b as scratch and copy on
+// success, or use the undo list.
+func match(a Atom, g GroundAtom, b binding, undo *[]Var) bool {
+	if a.Pred != g.Pred {
+		return false
+	}
+	for i, t := range a.Terms {
+		c := g.Args[i]
+		if t.IsVar {
+			switch b[t.Var] {
+			case unbound:
+				b[t.Var] = c
+				*undo = append(*undo, t.Var)
+			case c:
+				// consistent
+			default:
+				return false
+			}
+		} else if t.Const != c {
+			return false
+		}
+	}
+	return true
+}
+
+// instantiate grounds atom a under a complete-enough binding. Panics on an
+// unbound head variable, which AddRule's range restriction rules out.
+func instantiate(a Atom, b binding) GroundAtom {
+	args := make([]Const, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar {
+			if b[t.Var] == unbound {
+				panic("datalog: unbound head variable")
+			}
+			args[i] = b[t.Var]
+		} else {
+			args[i] = t.Const
+		}
+	}
+	return GroundAtom{Pred: a.Pred, Args: args}
+}
+
+// joinRule finds all instantiations of rule r whose body atoms are in db,
+// requiring (when deltaAt ≥ 0) that body atom deltaAt matches within delta,
+// and calls yield for each derived head.
+func joinRule(r Rule, db *DB, delta *DB, deltaAt int, b binding, pos int, yield func(GroundAtom)) {
+	if pos == len(r.Body) {
+		yield(instantiate(r.Head, b))
+		return
+	}
+	src := db
+	if pos == deltaAt {
+		src = delta
+	}
+	var undo []Var
+	for _, g := range src.ByPred(r.Body[pos].Pred) {
+		undo = undo[:0]
+		if match(r.Body[pos], g, b, &undo) {
+			joinRule(r, db, delta, deltaAt, b, pos+1, yield)
+		}
+		for _, v := range undo {
+			b[v] = unbound
+		}
+	}
+}
+
+func newBinding(n int) binding {
+	b := make(binding, n)
+	for i := range b {
+		b[i] = unbound
+	}
+	return b
+}
+
+// EvalNaive computes the least fixpoint by re-running every rule until no
+// new atom appears.
+func EvalNaive(p *Program) *DB {
+	db := NewDB(p)
+	for {
+		changed := false
+		for _, r := range p.Rules {
+			b := newBinding(r.NumVars)
+			joinRule(r, db, nil, -1, b, 0, func(g GroundAtom) {
+				if db.Add(g) {
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			return db
+		}
+	}
+}
+
+// EvalSemiNaive computes the same fixpoint, joining each round only against
+// atoms derived in the previous round (each body position takes a turn as
+// the delta position).
+func EvalSemiNaive(p *Program) *DB {
+	return evalSemiNaiveFrom(p, nil)
+}
+
+// evalSemiNaiveFrom seeds the evaluation with extra ground atoms (used for
+// EDB facts kept outside the program).
+func evalSemiNaiveFrom(p *Program, seed *DB) *DB {
+	db := NewDB(p)
+	delta := NewDB(p)
+	if seed != nil {
+		for _, g := range seed.All() {
+			if db.Add(g) {
+				delta.Add(g)
+			}
+		}
+	}
+	// Round 0: facts.
+	for _, r := range p.Rules {
+		if !r.IsFact() {
+			continue
+		}
+		g := instantiate(r.Head, newBinding(r.NumVars))
+		if db.Add(g) {
+			delta.Add(g)
+		}
+	}
+	for delta.Size() > 0 {
+		next := NewDB(p)
+		for _, r := range p.Rules {
+			if r.IsFact() {
+				continue
+			}
+			for dAt := 0; dAt < len(r.Body); dAt++ {
+				b := newBinding(r.NumVars)
+				joinRule(r, db, delta, dAt, b, 0, func(g GroundAtom) {
+					if !db.Has(g) && next.Add(g) {
+						// added to next; commit below
+					}
+				})
+			}
+		}
+		for _, g := range next.All() {
+			db.Add(g)
+		}
+		delta = next
+	}
+	return db
+}
+
+// Query reports whether Prog ⊢ g, using semi-naive evaluation.
+func Query(p *Program, g GroundAtom) bool {
+	return EvalSemiNaive(p).Has(g)
+}

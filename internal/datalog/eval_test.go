@@ -1,0 +1,233 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tc builds the transitive-closure program over the given edges.
+func tc(t *testing.T, nodes []string, edges [][2]string) (*Program, Pred) {
+	t.Helper()
+	p := NewProgram()
+	edge := p.MustPred("edge", 2)
+	path := p.MustPred("path", 2)
+	for _, n := range nodes {
+		p.Intern(n)
+	}
+	for _, e := range edges {
+		if err := p.Fact(edge, p.Intern(e[0]), p.Intern(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// path(X,Y) :- edge(X,Y).
+	p.MustRule(Rule{
+		Head:    Atom{Pred: path, Terms: []Term{V(0), V(1)}},
+		Body:    []Atom{{Pred: edge, Terms: []Term{V(0), V(1)}}},
+		NumVars: 2,
+	})
+	// path(X,Z) :- path(X,Y), edge(Y,Z).   (linear in the IDB sense but has
+	// two body atoms, so it is not linear in the paper's strict syntax)
+	p.MustRule(Rule{
+		Head:    Atom{Pred: path, Terms: []Term{V(0), V(2)}},
+		Body:    []Atom{{Pred: path, Terms: []Term{V(0), V(1)}}, {Pred: edge, Terms: []Term{V(1), V(2)}}},
+		NumVars: 3,
+	})
+	return p, path
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	p, path := tc(t, []string{"a", "b", "c", "d"},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}})
+	db := EvalSemiNaive(p)
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}, {"c", "d"}}
+	for _, w := range want {
+		g := GroundAtom{Pred: path, Args: []Const{p.Intern(w[0]), p.Intern(w[1])}}
+		if !db.Has(g) {
+			t.Errorf("missing path(%s,%s)", w[0], w[1])
+		}
+	}
+	notWant := [][2]string{{"b", "a"}, {"d", "a"}, {"a", "a"}}
+	for _, w := range notWant {
+		g := GroundAtom{Pred: path, Args: []Const{p.Intern(w[0]), p.Intern(w[1])}}
+		if db.Has(g) {
+			t.Errorf("spurious path(%s,%s)", w[0], w[1])
+		}
+	}
+	if db.Size() != 3+6 { // 3 edge facts + 6 paths
+		t.Errorf("db size = %d, want 9", db.Size())
+	}
+}
+
+func TestNaiveEqualsSemiNaive(t *testing.T) {
+	p, _ := tc(t, []string{"a", "b", "c", "d", "e"},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"c", "d"}, {"e", "a"}})
+	n, s := EvalNaive(p), EvalSemiNaive(p)
+	if n.Size() != s.Size() {
+		t.Fatalf("naive %d atoms, semi-naive %d", n.Size(), s.Size())
+	}
+	for _, g := range n.All() {
+		if !s.Has(g) {
+			t.Errorf("semi-naive missing %s", p.GroundString(g))
+		}
+	}
+}
+
+// randDatalog builds a random program over unary/binary predicates.
+func randDatalog(r *rand.Rand) *Program {
+	p := NewProgram()
+	nConsts := 2 + r.Intn(3)
+	for i := 0; i < nConsts; i++ {
+		p.Intern(string(rune('a' + i)))
+	}
+	nPreds := 2 + r.Intn(3)
+	preds := make([]Pred, nPreds)
+	for i := range preds {
+		preds[i] = p.MustPred(string(rune('p'+i)), 1+r.Intn(2))
+	}
+	randTerm := func(nv int) Term {
+		if nv > 0 && r.Intn(2) == 0 {
+			return V(Var(r.Intn(nv)))
+		}
+		return C(Const(r.Intn(nConsts)))
+	}
+	atom := func(nv int) Atom {
+		pr := preds[r.Intn(nPreds)]
+		ts := make([]Term, p.Preds[pr].Arity)
+		for i := range ts {
+			ts[i] = randTerm(nv)
+		}
+		return Atom{Pred: pr, Terms: ts}
+	}
+	// A few facts.
+	for i := 0; i < 2+r.Intn(4); i++ {
+		pr := preds[r.Intn(nPreds)]
+		args := make([]Const, p.Preds[pr].Arity)
+		for j := range args {
+			args[j] = Const(r.Intn(nConsts))
+		}
+		if err := p.Fact(pr, args...); err != nil {
+			panic(err)
+		}
+	}
+	// A few rules; retry until range-restricted.
+	for i := 0; i < 2+r.Intn(4); i++ {
+		for tries := 0; tries < 20; tries++ {
+			nv := 1 + r.Intn(3)
+			rule := Rule{Head: atom(nv), NumVars: nv}
+			for b := 0; b < 1+r.Intn(2); b++ {
+				rule.Body = append(rule.Body, atom(nv))
+			}
+			if p.AddRule(rule) == nil {
+				break
+			}
+		}
+	}
+	return p
+}
+
+func TestNaiveEqualsSemiNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		p := randDatalog(r)
+		n, s := EvalNaive(p), EvalSemiNaive(p)
+		if n.Size() != s.Size() {
+			t.Fatalf("case %d: naive %d atoms, semi-naive %d\n%s", i, n.Size(), s.Size(), p)
+		}
+		for _, g := range n.All() {
+			if !s.Has(g) {
+				t.Fatalf("case %d: semi-naive missing %s\n%s", i, p.GroundString(g), p)
+			}
+		}
+	}
+}
+
+func TestQueryAndLinear(t *testing.T) {
+	p := NewProgram()
+	a := p.MustPred("a", 1)
+	b := p.MustPred("b", 1)
+	one := p.Intern("1")
+	if err := p.Fact(a, one); err != nil {
+		t.Fatal(err)
+	}
+	p.MustRule(Rule{
+		Head:    Atom{Pred: b, Terms: []Term{V(0)}},
+		Body:    []Atom{{Pred: a, Terms: []Term{V(0)}}},
+		NumVars: 1,
+	})
+	if !p.IsLinear() {
+		t.Error("program with one-atom bodies must be linear")
+	}
+	if !Query(p, GroundAtom{Pred: b, Args: []Const{one}}) {
+		t.Error("b(1) should be derivable")
+	}
+	if Query(p, GroundAtom{Pred: b, Args: []Const{p.Intern("2")}}) {
+		t.Error("b(2) should not be derivable")
+	}
+	// Add a two-atom-body rule: no longer linear.
+	c := p.MustPred("c", 1)
+	p.MustRule(Rule{
+		Head:    Atom{Pred: c, Terms: []Term{V(0)}},
+		Body:    []Atom{{Pred: a, Terms: []Term{V(0)}}, {Pred: b, Terms: []Term{V(0)}}},
+		NumVars: 1,
+	})
+	if p.IsLinear() {
+		t.Error("two-atom body must break linearity")
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	p := NewProgram()
+	a := p.MustPred("a", 1)
+	b := p.MustPred("b", 2)
+	p.Intern("x")
+	// Arity mismatch.
+	if err := p.AddRule(Rule{Head: Atom{Pred: a, Terms: []Term{C(0), C(0)}}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Unbound head variable.
+	if err := p.AddRule(Rule{
+		Head:    Atom{Pred: b, Terms: []Term{V(0), V(1)}},
+		Body:    []Atom{{Pred: a, Terms: []Term{V(0)}}},
+		NumVars: 2,
+	}); err == nil {
+		t.Error("range restriction not enforced")
+	}
+	// Variable out of range.
+	if err := p.AddRule(Rule{
+		Head:    Atom{Pred: a, Terms: []Term{V(3)}},
+		Body:    []Atom{{Pred: a, Terms: []Term{V(3)}}},
+		NumVars: 1,
+	}); err == nil {
+		t.Error("variable out of range accepted")
+	}
+	// Un-interned constant.
+	if err := p.AddRule(Rule{Head: Atom{Pred: a, Terms: []Term{C(99)}}}); err == nil {
+		t.Error("un-interned constant accepted")
+	}
+	// Redeclared arity.
+	if _, err := p.AddPred("a", 2); err == nil {
+		t.Error("arity redeclaration accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, _ := tc(t, []string{"a", "b"}, [][2]string{{"a", "b"}})
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	for _, want := range []string{"edge(a,b).", "path(X0,X1) :- edge(X0,X1)."} {
+		if !contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package datalog
+
+import (
+	"testing"
+)
+
+// FuzzParseProgram checks the Datalog frontend never panics and accepted
+// programs evaluate and re-parse.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"edge(a,b).\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n?- path(a,b).",
+		"p.\nq :- p.",
+		"p(X) :- q(X), r(X, Y).",
+		"% only a comment",
+		"?- p(a).",
+		"p(a,).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, queries, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must evaluate without panicking and agree
+		// between naive and semi-naive evaluation.
+		n := EvalNaive(p)
+		s := EvalSemiNaive(p)
+		if n.Size() != s.Size() {
+			t.Fatalf("naive %d vs semi-naive %d atoms for:\n%s", n.Size(), s.Size(), src)
+		}
+		for _, q := range queries {
+			_ = Query(p, q)
+		}
+		// Re-parse the canonical rendering.
+		if _, _, err := ParseProgram(p.String()); err != nil {
+			t.Fatalf("rendering does not re-parse: %v\n%s", err, p.String())
+		}
+	})
+}

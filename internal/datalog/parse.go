@@ -1,0 +1,184 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseProgram reads a Datalog program in conventional textual syntax:
+//
+//	% transitive closure
+//	edge(a, b).
+//	edge(b, c).
+//	path(X, Y) :- edge(X, Y).
+//	path(X, Z) :- path(X, Y), edge(Y, Z).
+//	?- path(a, c).
+//
+// Identifiers starting with an upper-case letter or '_' are variables
+// (scoped per rule); everything else is a constant. Lines starting with
+// '%' or '#' are comments. `?- atom.` records a ground query. It returns
+// the program and the queries in order.
+func ParseProgram(src string) (*Program, []GroundAtom, error) {
+	p := NewProgram()
+	var queries []GroundAtom
+
+	// Split into clauses terminated by '.', respecting nothing fancy (no
+	// strings or escapes in this syntax).
+	var clauses []string
+	var cur strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "%") || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		cur.WriteString(trimmed)
+		cur.WriteByte(' ')
+		for strings.Contains(cur.String(), ".") {
+			s := cur.String()
+			i := strings.Index(s, ".")
+			clauses = append(clauses, strings.TrimSpace(s[:i]))
+			cur.Reset()
+			cur.WriteString(s[i+1:])
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		return nil, nil, fmt.Errorf("datalog: clause missing terminating '.': %q", strings.TrimSpace(cur.String()))
+	}
+
+	for _, cl := range clauses {
+		if cl == "" {
+			continue
+		}
+		if strings.HasPrefix(cl, "?-") {
+			atomSrc := strings.TrimSpace(strings.TrimPrefix(cl, "?-"))
+			vars := map[string]Var{}
+			a, err := parseAtom(p, atomSrc, vars, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			g := GroundAtom{Pred: a.Pred, Args: make([]Const, len(a.Terms))}
+			for i, t := range a.Terms {
+				if t.IsVar {
+					return nil, nil, fmt.Errorf("datalog: query %q is not ground", atomSrc)
+				}
+				g.Args[i] = t.Const
+			}
+			queries = append(queries, g)
+			continue
+		}
+		headSrc, bodySrc, hasBody := strings.Cut(cl, ":-")
+		vars := map[string]Var{}
+		head, err := parseAtom(p, strings.TrimSpace(headSrc), vars, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		var body []Atom
+		if hasBody {
+			for _, as := range splitAtoms(bodySrc) {
+				a, err := parseAtom(p, strings.TrimSpace(as), vars, true)
+				if err != nil {
+					return nil, nil, err
+				}
+				body = append(body, a)
+			}
+		}
+		if err := p.AddRule(Rule{Head: head, Body: body, NumVars: len(vars)}); err != nil {
+			return nil, nil, fmt.Errorf("datalog: clause %q: %w", cl, err)
+		}
+	}
+	return p, queries, nil
+}
+
+// splitAtoms splits a rule body on commas that are not inside parentheses.
+func splitAtoms(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// parseAtom parses pred(arg, …). Variables are interned into vars when
+// allowVars is set.
+func parseAtom(p *Program, s string, vars map[string]Var, allowVars bool) (Atom, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		// Zero-arity predicate without parentheses.
+		if isIdent(s) {
+			pr, err := p.AddPred(s, 0)
+			if err != nil {
+				return Atom{}, err
+			}
+			return Atom{Pred: pr}, nil
+		}
+		return Atom{}, fmt.Errorf("datalog: malformed atom %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return Atom{}, fmt.Errorf("datalog: bad predicate name %q", name)
+	}
+	argsSrc := s[open+1 : len(s)-1]
+	var terms []Term
+	if strings.TrimSpace(argsSrc) != "" {
+		for _, as := range strings.Split(argsSrc, ",") {
+			tok := strings.TrimSpace(as)
+			if tok == "" {
+				return Atom{}, fmt.Errorf("datalog: empty argument in %q", s)
+			}
+			if isVarName(tok) {
+				if !allowVars {
+					return Atom{}, fmt.Errorf("datalog: variable %q not allowed here", tok)
+				}
+				v, ok := vars[tok]
+				if !ok {
+					v = Var(len(vars))
+					vars[tok] = v
+				}
+				terms = append(terms, V(v))
+			} else {
+				terms = append(terms, C(p.Intern(tok)))
+			}
+		}
+	}
+	pr, err := p.AddPred(name, len(terms))
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: pr, Terms: terms}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || c == '+' || c == '-' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isVarName(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || (c >= 'A' && c <= 'Z')
+}

@@ -1,0 +1,131 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProgramTC(t *testing.T) {
+	src := `
+% transitive closure
+edge(a, b).
+edge(b, c).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+?- path(a, c).
+?- path(c, a).
+`
+	p, queries, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	if !Query(p, queries[0]) {
+		t.Error("path(a,c) should hold")
+	}
+	if Query(p, queries[1]) {
+		t.Error("path(c,a) should not hold")
+	}
+}
+
+func TestParseProgramMultiLineClauses(t *testing.T) {
+	src := "p(X) :-\n  q(X),\n  r(X).\nq(a). r(a). q(b).\n?- p(a). ?- p(b)."
+	p, queries, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 2 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	if !Query(p, queries[0]) {
+		t.Error("p(a) should hold")
+	}
+	if Query(p, queries[1]) {
+		t.Error("p(b) should not hold (no r(b))")
+	}
+}
+
+func TestParseProgramZeroArity(t *testing.T) {
+	src := `
+start.
+goal :- start, flag(on).
+flag(on).
+?- goal.
+`
+	p, queries, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Query(p, queries[0]) {
+		t.Error("goal should hold")
+	}
+}
+
+func TestParseProgramRoundTripString(t *testing.T) {
+	src := `
+edge(a, b).
+path(X, Y) :- edge(X, Y).
+`
+	p, _, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := ParseProgram(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of String output: %v\n%s", err, p.String())
+	}
+	if p.String() != p2.String() {
+		t.Errorf("not a fixpoint:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing dot":     "edge(a, b)",
+		"nonground query": "p(a). ?- p(X).",
+		"unsafe head":     "p(X) :- q(a).\nq(a).",
+		"arity clash":     "p(a). p(a, b).",
+		"bad atom":        "p(a)q.",
+		"empty arg":       "p(a,).",
+	}
+	for name, src := range bad {
+		if _, _, err := ParseProgram(src); err == nil {
+			t.Errorf("%s: %q accepted", name, src)
+		}
+	}
+}
+
+func TestParseProgramVariablesScopedPerRule(t *testing.T) {
+	src := `
+q(a). r(b).
+p(X) :- q(X).
+s(X) :- r(X).
+?- p(a). ?- s(b). ?- p(b).
+`
+	p, queries, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Query(p, queries[0]) || !Query(p, queries[1]) {
+		t.Error("expected derivations missing")
+	}
+	if Query(p, queries[2]) {
+		t.Error("p(b) should not hold")
+	}
+}
+
+func TestParseProgramCommentsAndWhitespace(t *testing.T) {
+	src := "% c1\n# c2\n\n  p(a).  \n?- p(a)."
+	p, queries, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Query(p, queries[0]) {
+		t.Error("p(a) should hold")
+	}
+	if !strings.Contains(p.String(), "p(a).") {
+		t.Error("rendering broken")
+	}
+}

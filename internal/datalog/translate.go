@@ -1,0 +1,198 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// TranslateCache implements Lemma 4.2: given a Cache Datalog program p, a
+// goal atom g, and a cache bound k, it constructs a *linear* Datalog program
+// p' and goal g' such that p ⊢_k g iff p' ⊢ g'.
+//
+// Encoding: a single wide predicate `cache` of arity k·(1+w), where w is the
+// maximum arity in p. Each of the k slots holds one cached atom as
+// (predicate-tag, arg_1, …, arg_w) padded with a distinguished blank
+// constant; an empty slot is all-blank. Rules:
+//
+//   - the all-blank cache is a fact (the empty initial cache);
+//   - for every rule of p and every placement of its body atoms into slots
+//     and its head into a (blank) slot, one linear rule rewrites the cache —
+//     the untouched slots are carried through by shared variables;
+//   - for every slot, a Drop rule blanks it;
+//   - for every slot, a goal rule infers `goal()` when the slot holds g.
+//
+// The blow-up is |p|·k^(t+1) rules for rules with t body atoms; the paper's
+// makeP emits rules with t ≤ 2, giving the polynomial bound of Theorem 4.1.
+func TranslateCache(p *Program, g GroundAtom, k int) (*Program, GroundAtom, error) {
+	if k <= 0 {
+		return nil, GroundAtom{}, fmt.Errorf("cache bound %d must be positive", k)
+	}
+	maxT := 0
+	w := len(g.Args)
+	for _, r := range p.Rules {
+		if len(r.Body) > maxT {
+			maxT = len(r.Body)
+		}
+		if a := len(r.Head.Terms); a > w {
+			w = a
+		}
+		for _, b := range r.Body {
+			if a := len(b.Terms); a > w {
+				w = a
+			}
+		}
+	}
+
+	out := NewProgram()
+	slot := 1 + w // tag + padded args
+	cachePred := out.MustPred("cache", k*slot)
+	goalPred := out.MustPred("goal", 0)
+
+	blank := out.Intern("_")
+	// Predicate tags and constants of the source program, interned afresh.
+	tag := make([]Const, len(p.Preds))
+	for i, pd := range p.Preds {
+		tag[i] = out.Intern("p:" + pd.Name)
+	}
+	cmap := make([]Const, len(p.Consts))
+	for i, c := range p.Consts {
+		cmap[i] = out.Intern(c)
+	}
+
+	// Initial fact: the empty cache.
+	blankTerms := make([]Term, k*slot)
+	for i := range blankTerms {
+		blankTerms[i] = C(blank)
+	}
+	out.MustRule(Rule{Head: Atom{Pred: cachePred, Terms: blankTerms}})
+
+	// frame returns body/head term slices for a carried-through cache, with
+	// one fresh frame variable per cache position, numbered from base.
+	frame := func(base int) ([]Term, []Term) {
+		body := make([]Term, k*slot)
+		head := make([]Term, k*slot)
+		for i := 0; i < k*slot; i++ {
+			body[i] = V(Var(base + i))
+			head[i] = V(Var(base + i))
+		}
+		return body, head
+	}
+
+	// atomTerms renders a source atom into slot terms; source rule variables
+	// are mapped into the target rule's variable space with offset 0.
+	atomTerms := func(a Atom) []Term {
+		ts := make([]Term, slot)
+		ts[0] = C(tag[a.Pred])
+		for i := 0; i < w; i++ {
+			if i < len(a.Terms) {
+				t := a.Terms[i]
+				if t.IsVar {
+					ts[1+i] = V(t.Var)
+				} else {
+					ts[1+i] = C(cmap[t.Const])
+				}
+			} else {
+				ts[1+i] = C(blank)
+			}
+		}
+		return ts
+	}
+	blankSlot := make([]Term, slot)
+	for i := range blankSlot {
+		blankSlot[i] = C(blank)
+	}
+
+	// Add rules: assign each body atom a slot (atoms may share a slot — two
+	// body atoms instantiating to the same ground atom occupy one cache
+	// entry; sharing forces their syntactic unification) and pick a blank
+	// slot, distinct from the body slots, for the head.
+	for _, r := range p.Rules {
+		// Source rule variables occupy 0..r.NumVars-1 in the target rule;
+		// frame variables follow.
+		base := r.NumVars
+		slotOf := make([]int, len(r.Body))
+		var assign func(i int)
+		assign = func(i int) {
+			if i < len(r.Body) {
+				for s := 0; s < k; s++ {
+					slotOf[i] = s
+					assign(i + 1)
+				}
+				return
+			}
+			// Unify atoms sharing a slot.
+			subst := map[Var]Term{}
+			rep := map[int]Atom{} // slot -> representative atom
+			ok := true
+			for bi, b := range r.Body {
+				if prev, shared := rep[slotOf[bi]]; shared {
+					if !unifyAtoms(prev, b, subst) {
+						ok = false
+						break
+					}
+				} else {
+					rep[slotOf[bi]] = b
+				}
+			}
+			if !ok {
+				return
+			}
+			usedSlots := map[int]bool{}
+			for _, s := range slotOf {
+				usedSlots[s] = true
+			}
+			for hs := 0; hs < k; hs++ {
+				if usedSlots[hs] {
+					continue
+				}
+				bodyT, headT := frame(base)
+				for s, b := range rep {
+					ts := atomTerms(applySubst(b, subst))
+					copy(bodyT[s*slot:], ts)
+					// Body slots are carried through unchanged in the head.
+					copy(headT[s*slot:], ts)
+				}
+				copy(bodyT[hs*slot:], blankSlot)
+				copy(headT[hs*slot:], atomTerms(applySubst(r.Head, subst)))
+				out.MustRule(Rule{
+					Head:    Atom{Pred: cachePred, Terms: headT},
+					Body:    []Atom{{Pred: cachePred, Terms: bodyT}},
+					NumVars: base + k*slot,
+				})
+			}
+		}
+		assign(0)
+	}
+
+	// Drop rules: blank out slot s.
+	for s := 0; s < k; s++ {
+		bodyT, headT := frame(0)
+		copy(headT[s*slot:], blankSlot)
+		out.MustRule(Rule{
+			Head:    Atom{Pred: cachePred, Terms: headT},
+			Body:    []Atom{{Pred: cachePred, Terms: bodyT}},
+			NumVars: k * slot,
+		})
+	}
+
+	// Goal rules: goal() when some slot holds g.
+	gTerms := make([]Term, slot)
+	gTerms[0] = C(tag[g.Pred])
+	for i := 0; i < w; i++ {
+		if i < len(g.Args) {
+			gTerms[1+i] = C(cmap[g.Args[i]])
+		} else {
+			gTerms[1+i] = C(blank)
+		}
+	}
+	for s := 0; s < k; s++ {
+		bodyT, _ := frame(0)
+		copy(bodyT[s*slot:], gTerms)
+		out.MustRule(Rule{
+			Head:    Atom{Pred: goalPred},
+			Body:    []Atom{{Pred: cachePred, Terms: bodyT}},
+			NumVars: k * slot,
+		})
+	}
+
+	return out, GroundAtom{Pred: goalPred}, nil
+}

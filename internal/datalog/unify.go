@@ -1,0 +1,54 @@
+package datalog
+
+// Flat-term unification for the Lemma 4.2 translation: atoms have no
+// function symbols, so a substitution maps variables to variables or
+// constants and unification is a walk over paired terms.
+
+// resolve chases variable bindings in subst to a representative term.
+func resolve(t Term, subst map[Var]Term) Term {
+	for t.IsVar {
+		next, ok := subst[t.Var]
+		if !ok {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// unifyAtoms extends subst to a most general unifier of a and b, returning
+// false (with subst possibly partially extended — callers discard it on
+// failure) when the atoms do not unify.
+func unifyAtoms(a, b Atom, subst map[Var]Term) bool {
+	if a.Pred != b.Pred || len(a.Terms) != len(b.Terms) {
+		return false
+	}
+	for i := range a.Terms {
+		x := resolve(a.Terms[i], subst)
+		y := resolve(b.Terms[i], subst)
+		switch {
+		case x.IsVar && y.IsVar:
+			if x.Var != y.Var {
+				subst[x.Var] = y
+			}
+		case x.IsVar:
+			subst[x.Var] = y
+		case y.IsVar:
+			subst[y.Var] = x
+		default:
+			if x.Const != y.Const {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applySubst rewrites an atom through the substitution.
+func applySubst(a Atom, subst map[Var]Term) Atom {
+	ts := make([]Term, len(a.Terms))
+	for i, t := range a.Terms {
+		ts[i] = resolve(t, subst)
+	}
+	return Atom{Pred: a.Pred, Terms: ts}
+}

@@ -1,0 +1,64 @@
+package depgraph
+
+// Compaction (Lemma 4.5): if a vertex depends on more than Q₀ messages, its
+// generating thread could instead have read an earlier message with the same
+// (variable, value) pair; if a dependency sequence exceeds Q₀, it contains
+// two messages with the same (variable, value) and the segment between them
+// can be cut. Both reductions are realized here by rewiring every dependency
+// edge to the minimum-height representative of its (variable, value)
+// signature: afterwards any dependency path visits each signature's unique
+// representative at most once, so fan-ins and heights are bounded by the
+// number of signatures, which is at most Q₀.
+
+// signature identifies interchangeable messages for compaction purposes.
+type signature struct {
+	v    int
+	val  int
+	goal bool
+}
+
+func sigOf(n *Node) signature {
+	return signature{v: int(n.Var), val: int(n.Val), goal: n.Kind == GoalNode}
+}
+
+// Compacted returns a new graph in which every dependency points to the
+// minimum-height representative of its signature. The goal node is
+// preserved. Unreachable nodes (from the goal, backwards) are dropped.
+func (g *Graph) Compacted() *Graph {
+	// Choose representatives: minimum height per signature.
+	rep := map[signature]string{}
+	for k, n := range g.Nodes {
+		s := sigOf(n)
+		cur, ok := rep[s]
+		if !ok || g.HeightOf(k) < g.HeightOf(cur) || (g.HeightOf(k) == g.HeightOf(cur) && k < cur) {
+			rep[s] = k
+		}
+	}
+	redirect := func(k string) string {
+		if k == g.Goal {
+			return k
+		}
+		return rep[sigOf(g.Nodes[k])]
+	}
+
+	out := &Graph{Nodes: map[string]*Node{}, Goal: g.Goal, Q0: g.Q0}
+	var copyNode func(k string)
+	copyNode = func(k string) {
+		if _, ok := out.Nodes[k]; ok {
+			return
+		}
+		src := g.Nodes[k]
+		n := &Node{Key: src.Key, Kind: src.Kind, Var: src.Var, Val: src.Val, TS: src.TS,
+			Deps: map[string]int{}}
+		out.Nodes[k] = n
+		for dep, rc := range src.Deps {
+			r := redirect(dep)
+			n.Deps[r] += rc
+		}
+		for dep := range n.Deps {
+			copyNode(dep)
+		}
+	}
+	copyNode(g.Goal)
+	return out
+}

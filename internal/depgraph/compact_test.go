@@ -1,0 +1,117 @@
+package depgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paramra/internal/lang"
+	"paramra/internal/simplified"
+)
+
+// randGraph builds a random acyclic dependency graph over nSig signatures.
+func randGraph(r *rand.Rand, nodes, nSig int) *Graph {
+	g := &Graph{Nodes: map[string]*Node{}, Q0: nSig}
+	keys := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		k := fmt.Sprintf("n%d", i)
+		keys[i] = k
+		kind := EnvMsg
+		switch {
+		case i == 0:
+			kind = InitMsg
+		case r.Intn(3) == 0:
+			kind = DisMsg
+		}
+		n := &Node{
+			Key:  k,
+			Kind: kind,
+			Var:  lang.VarID(r.Intn(nSig/2 + 1)),
+			Val:  lang.Val(r.Intn(2)),
+			TS:   simplified.Plus(i),
+			Deps: map[string]int{},
+		}
+		// Depend only on earlier nodes: acyclic by construction.
+		for d := 0; d < r.Intn(3) && i > 0; d++ {
+			n.Deps[keys[r.Intn(i)]] = 1 + r.Intn(3)
+		}
+		g.Nodes[k] = n
+	}
+	g.Goal = keys[nodes-1]
+	return g
+}
+
+// TestCompactedProperties: on random graphs, compaction preserves the goal,
+// produces a well-formed graph whose every edge target exists, keeps
+// heights within the signature count, and is idempotent in its bounds.
+func TestCompactedProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		g := randGraph(r, 2+r.Intn(14), 4)
+		c := g.Compacted()
+		if c.Goal != g.Goal {
+			t.Fatal("goal lost")
+		}
+		if _, ok := c.Nodes[c.Goal]; !ok {
+			t.Fatal("goal node missing")
+		}
+		for _, n := range c.Nodes {
+			for dep := range n.Deps {
+				if _, ok := c.Nodes[dep]; !ok {
+					t.Fatalf("dangling dependency %s", dep)
+				}
+			}
+		}
+		// Edges strictly decrease original height, so the compacted height
+		// is bounded by the number of distinct signatures + 1.
+		sigs := map[signature]bool{}
+		for _, n := range g.Nodes {
+			sigs[sigOf(n)] = true
+		}
+		if h := c.Height(); h > len(sigs)+1 {
+			t.Fatalf("compacted height %d exceeds signature bound %d", h, len(sigs)+1)
+		}
+		// Compacting again must not increase the measures.
+		cc := c.Compacted()
+		if cc.Height() > c.Height() || cc.MaxFanIn() > c.MaxFanIn() {
+			t.Fatalf("second compaction grew: h %d→%d, fan %d→%d",
+				c.Height(), cc.Height(), c.MaxFanIn(), cc.MaxFanIn())
+		}
+	}
+}
+
+// TestCompactedCostStillSound: compaction must not lose the violation —
+// costs stay positive for env-goal graphs whose original cost is positive.
+func TestCompactedCostStillSound(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		g := randGraph(r, 3+r.Intn(10), 4)
+		if g.Nodes[g.Goal].Kind != EnvMsg {
+			continue
+		}
+		c := g.Compacted()
+		if g.CostGoal() >= 1 && c.CostGoal() < 1 {
+			t.Fatalf("compaction erased the env cost: %d -> %d", g.CostGoal(), c.CostGoal())
+		}
+	}
+}
+
+func TestCostSaturation(t *testing.T) {
+	// A deep chain of env nodes with high read counts must saturate rather
+	// than overflow.
+	g := &Graph{Nodes: map[string]*Node{}, Q0: 2}
+	prev := ""
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("c%d", i)
+		n := &Node{Key: k, Kind: EnvMsg, Deps: map[string]int{}}
+		if prev != "" {
+			n.Deps[prev] = 1000
+		}
+		g.Nodes[k] = n
+		prev = k
+	}
+	g.Goal = prev
+	if c := g.CostGoal(); c != MaxCost {
+		t.Errorf("cost = %d, want saturation at %d", c, MaxCost)
+	}
+}

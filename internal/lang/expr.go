@@ -1,0 +1,298 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expr is a thread-local expression e(r̄) over registers. The paper only
+// requires an interpretation ⟦e⟧ : Dom^n → Dom respecting the arity; we
+// provide the usual arithmetic/boolean operators over the integer domain.
+// Booleans are encoded as 0 (false) / 1 (true); any non-zero value is truthy.
+type Expr interface {
+	// Eval evaluates the expression under the register valuation rv
+	// (indexed by RegID).
+	Eval(rv []Val) Val
+	// String renders the expression in concrete syntax using numeric
+	// register placeholders; use ExprString for named rendering.
+	String() string
+
+	appendRegs(dst []RegID) []RegID
+	writeTo(b *strings.Builder, regs []string, prec int)
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNot UnOp = iota + 1 // logical negation
+	OpNeg                 // arithmetic negation
+)
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// ConstExpr is an integer literal.
+type ConstExpr struct {
+	V Val
+}
+
+// RegExpr reads a register.
+type RegExpr struct {
+	Reg RegID
+}
+
+// UnExpr applies a unary operator.
+type UnExpr struct {
+	Op UnOp
+	E  Expr
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Constructor helpers.
+
+// Num returns an integer literal expression.
+func Num(v Val) Expr { return ConstExpr{V: v} }
+
+// Reg returns a register-read expression.
+func Reg(r RegID) Expr { return RegExpr{Reg: r} }
+
+// Not returns the logical negation of e.
+func Not(e Expr) Expr { return UnExpr{Op: OpNot, E: e} }
+
+// Bin returns the binary expression l op r.
+func Bin(op BinOp, l, r Expr) Expr { return BinExpr{Op: op, L: l, R: r} }
+
+// Eq returns l == r.
+func Eq(l, r Expr) Expr { return Bin(OpEq, l, r) }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return Bin(OpNe, l, r) }
+
+func boolVal(b bool) Val {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval implements Expr.
+func (e ConstExpr) Eval([]Val) Val { return e.V }
+
+// Eval implements Expr.
+func (e RegExpr) Eval(rv []Val) Val {
+	if int(e.Reg) < 0 || int(e.Reg) >= len(rv) {
+		return 0
+	}
+	return rv[e.Reg]
+}
+
+// Eval implements Expr.
+func (e UnExpr) Eval(rv []Val) Val {
+	v := e.E.Eval(rv)
+	switch e.Op {
+	case OpNot:
+		return boolVal(v == 0)
+	case OpNeg:
+		return -v
+	default:
+		return 0
+	}
+}
+
+// Eval implements Expr.
+func (e BinExpr) Eval(rv []Val) Val {
+	l := e.L.Eval(rv)
+	// Short-circuit the boolean connectives.
+	switch e.Op {
+	case OpAnd:
+		if l == 0 {
+			return 0
+		}
+		return boolVal(e.R.Eval(rv) != 0)
+	case OpOr:
+		if l != 0 {
+			return 1
+		}
+		return boolVal(e.R.Eval(rv) != 0)
+	}
+	r := e.R.Eval(rv)
+	switch e.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpEq:
+		return boolVal(l == r)
+	case OpNe:
+		return boolVal(l != r)
+	case OpLt:
+		return boolVal(l < r)
+	case OpLe:
+		return boolVal(l <= r)
+	case OpGt:
+		return boolVal(l > r)
+	case OpGe:
+		return boolVal(l >= r)
+	default:
+		return 0
+	}
+}
+
+func (e ConstExpr) appendRegs(dst []RegID) []RegID { return dst }
+func (e RegExpr) appendRegs(dst []RegID) []RegID   { return append(dst, e.Reg) }
+func (e UnExpr) appendRegs(dst []RegID) []RegID    { return e.E.appendRegs(dst) }
+func (e BinExpr) appendRegs(dst []RegID) []RegID {
+	return e.R.appendRegs(e.L.appendRegs(dst))
+}
+
+// ExprRegs returns the sorted, de-duplicated registers read by e.
+func ExprRegs(e Expr) []RegID { return exprRegs(e) }
+
+// exprRegs returns the sorted, de-duplicated registers read by e.
+func exprRegs(e Expr) []RegID {
+	rs := e.appendRegs(nil)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || rs[i-1] != r {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Operator metadata for printing: symbol and precedence (higher binds
+// tighter).
+func (op BinOp) symbol() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+func (op BinOp) prec() int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul:
+		return 5
+	default:
+		return 0
+	}
+}
+
+const unaryPrec = 6
+
+func (e ConstExpr) writeTo(b *strings.Builder, _ []string, _ int) {
+	b.WriteString(strconv.Itoa(int(e.V)))
+}
+
+func (e RegExpr) writeTo(b *strings.Builder, regs []string, _ int) {
+	if int(e.Reg) >= 0 && int(e.Reg) < len(regs) {
+		b.WriteString(regs[e.Reg])
+		return
+	}
+	fmt.Fprintf(b, "r#%d", int(e.Reg))
+}
+
+func (e UnExpr) writeTo(b *strings.Builder, regs []string, prec int) {
+	paren := prec > unaryPrec
+	if paren {
+		b.WriteByte('(')
+	}
+	switch e.Op {
+	case OpNot:
+		b.WriteByte('!')
+	case OpNeg:
+		b.WriteByte('-')
+	default:
+		b.WriteByte('?')
+	}
+	e.E.writeTo(b, regs, unaryPrec)
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+func (e BinExpr) writeTo(b *strings.Builder, regs []string, prec int) {
+	p := e.Op.prec()
+	paren := prec > p
+	if paren {
+		b.WriteByte('(')
+	}
+	e.L.writeTo(b, regs, p)
+	b.WriteByte(' ')
+	b.WriteString(e.Op.symbol())
+	b.WriteByte(' ')
+	// Right operand printed at p+1 so the output re-parses left-associated.
+	e.R.writeTo(b, regs, p+1)
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+// ExprString renders e with register names drawn from regs.
+func ExprString(e Expr, regs []string) string {
+	var b strings.Builder
+	e.writeTo(&b, regs, 0)
+	return b.String()
+}
+
+func (e ConstExpr) String() string { return ExprString(e, nil) }
+func (e RegExpr) String() string   { return ExprString(e, nil) }
+func (e UnExpr) String() string    { return ExprString(e, nil) }
+func (e BinExpr) String() string   { return ExprString(e, nil) }

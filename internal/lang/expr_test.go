@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprEvalArith(t *testing.T) {
+	rv := []Val{3, 5}
+	tests := []struct {
+		name string
+		e    Expr
+		want Val
+	}{
+		{"const", Num(7), 7},
+		{"reg0", Reg(0), 3},
+		{"reg1", Reg(1), 5},
+		{"add", Bin(OpAdd, Reg(0), Reg(1)), 8},
+		{"sub", Bin(OpSub, Reg(1), Reg(0)), 2},
+		{"mul", Bin(OpMul, Reg(0), Num(2)), 6},
+		{"eq_true", Eq(Num(4), Num(4)), 1},
+		{"eq_false", Eq(Num(4), Num(5)), 0},
+		{"ne", Ne(Reg(0), Reg(1)), 1},
+		{"lt", Bin(OpLt, Reg(0), Reg(1)), 1},
+		{"le", Bin(OpLe, Num(5), Reg(1)), 1},
+		{"gt", Bin(OpGt, Reg(0), Reg(1)), 0},
+		{"ge", Bin(OpGe, Reg(1), Reg(1)), 1},
+		{"neg", UnExpr{Op: OpNeg, E: Num(4)}, -4},
+		{"not_zero", Not(Num(0)), 1},
+		{"not_nonzero", Not(Num(9)), 0},
+		{"and_tt", Bin(OpAnd, Num(1), Num(2)), 1},
+		{"and_tf", Bin(OpAnd, Num(1), Num(0)), 0},
+		{"and_ft", Bin(OpAnd, Num(0), Num(1)), 0},
+		{"or_ff", Bin(OpOr, Num(0), Num(0)), 0},
+		{"or_ft", Bin(OpOr, Num(0), Num(3)), 1},
+		{"or_tf", Bin(OpOr, Num(2), Num(0)), 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.e.Eval(rv); got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.e, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExprEvalShortCircuit(t *testing.T) {
+	// The right operand of && / || must not matter when short-circuited;
+	// out-of-range register reads evaluate to 0 rather than panicking, so we
+	// verify the left side decides the result.
+	e := Bin(OpAnd, Num(0), Reg(99))
+	if got := e.Eval(nil); got != 0 {
+		t.Errorf("0 && _ = %d, want 0", got)
+	}
+	e = Bin(OpOr, Num(1), Reg(99))
+	if got := e.Eval(nil); got != 1 {
+		t.Errorf("1 || _ = %d, want 1", got)
+	}
+}
+
+func TestExprRegsDedup(t *testing.T) {
+	e := Bin(OpAdd, Bin(OpMul, Reg(2), Reg(0)), Bin(OpSub, Reg(2), Reg(1)))
+	got := exprRegs(e)
+	want := []RegID{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("exprRegs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exprRegs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{Bin(OpAdd, Num(1), Bin(OpMul, Num(2), Num(3))), "1 + 2 * 3"},
+		{Bin(OpMul, Bin(OpAdd, Num(1), Num(2)), Num(3)), "(1 + 2) * 3"},
+		{Bin(OpSub, Bin(OpSub, Num(7), Num(2)), Num(1)), "7 - 2 - 1"},
+		{Bin(OpSub, Num(7), Bin(OpSub, Num(2), Num(1))), "7 - (2 - 1)"},
+		{Not(Eq(Num(1), Num(2))), "!(1 == 2)"},
+		{Bin(OpAnd, Eq(Num(1), Num(1)), Ne(Num(2), Num(3))), "1 == 1 && 2 != 3"},
+		{Bin(OpOr, Bin(OpAnd, Num(1), Num(0)), Num(1)), "1 && 0 || 1"},
+	}
+	for _, tc := range tests {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// randExpr generates a random expression over nRegs registers with the
+// given depth budget.
+func randExpr(r *rand.Rand, nRegs, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if nRegs > 0 && r.Intn(2) == 0 {
+			return Reg(RegID(r.Intn(nRegs)))
+		}
+		return Num(Val(r.Intn(7) - 2))
+	}
+	switch r.Intn(13) {
+	case 0:
+		return UnExpr{Op: OpNot, E: randExpr(r, nRegs, depth-1)}
+	case 1:
+		return UnExpr{Op: OpNeg, E: randExpr(r, nRegs, depth-1)}
+	default:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr}
+		op := ops[r.Intn(len(ops))]
+		return Bin(op, randExpr(r, nRegs, depth-1), randExpr(r, nRegs, depth-1))
+	}
+}
+
+// TestExprPrintParseEval checks that printing an expression and re-parsing
+// it yields a semantically identical expression (property-based).
+func TestExprPrintParseEval(t *testing.T) {
+	regs := []string{"r0", "r1", "r2"}
+	f := func(seed int64, a, b, c int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, len(regs), 4)
+		src := "thread t {\nregs r0 r1 r2\nout = " + ExprString(e, regs) + "\n}\n"
+		prog, err := ParseProgram(src, nil)
+		if err != nil {
+			t.Logf("parse error for %q: %v", ExprString(e, regs), err)
+			return false
+		}
+		body, ok := prog.Body.(Assign)
+		if !ok {
+			t.Logf("body is %T, want Assign", prog.Body)
+			return false
+		}
+		rv := []Val{Val(a), Val(b), Val(c)}
+		return e.Eval(rv) == body.E.Eval(rv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSystem checks the frontend never panics and that accepted
+// systems survive the print/parse round trip.
+func FuzzParseSystem(f *testing.F) {
+	seeds := []string{
+		prodConsSrc,
+		"system s { vars x; domain 2; env t }\nthread t { skip }",
+		"system s { vars x y z; domain 7; init 3; env a; dis b }\nthread a { loop { choice { store x 1 } or { cas y 0 1 } } }\nthread b { regs r; while r != 2 { r = load z } }",
+		"system s { }",
+		"thread t {",
+		"system s { vars x; domain 2; env t }\nthread t { assume ((1)) && !0 || 2 < 3 }",
+		"system s{vars x;domain 2;env t}thread t{r=load x;store x (r*r-1)}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := ParseSystem(src)
+		if err != nil {
+			return
+		}
+		printed := Print(sys)
+		sys2, err := ParseSystem(printed)
+		if err != nil {
+			t.Fatalf("accepted system does not re-parse: %v\noriginal:\n%s\nprinted:\n%s", err, src, printed)
+		}
+		if p2 := Print(sys2); p2 != printed {
+			t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", printed, p2)
+		}
+		// Compilation must succeed for every accepted program.
+		for _, p := range sys.Threads() {
+			g := Compile(p)
+			if g.NumNodes < 1 {
+				t.Fatal("empty CFG")
+			}
+			g.Acyclic()
+			g.CASFree()
+		}
+	})
+}
+
+// FuzzAssertsToGoal checks the §4.1 transformation on arbitrary accepted
+// systems: result validates, has one extra variable, and no asserts remain.
+func FuzzAssertsToGoal(f *testing.F) {
+	f.Add(prodConsSrc)
+	f.Add("system s { vars goal; domain 2; env t }\nthread t { assert false }")
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := ParseSystem(src)
+		if err != nil {
+			return
+		}
+		out, goalVar, goalVal := AssertsToGoal(sys)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("transformed system invalid: %v", err)
+		}
+		if len(out.Vars) != len(sys.Vars)+1 {
+			t.Fatalf("expected one fresh variable, got %v -> %v", sys.Vars, out.Vars)
+		}
+		if int(goalVar) != len(out.Vars)-1 || goalVal != 1 {
+			t.Fatalf("unexpected goal (%d, %d)", goalVar, goalVal)
+		}
+		for _, p := range out.Threads() {
+			if Compile(p).HasAssert() {
+				t.Fatal("assert survived the transformation")
+			}
+		}
+	})
+}
+
+func TestAssertsToGoalFreshNameAvoidsClash(t *testing.T) {
+	sys := MustParseSystem("system s { vars goal goal_; domain 2; env t }\nthread t { assert false }")
+	out, v, _ := AssertsToGoal(sys)
+	if out.Vars[v] != "goal__" {
+		t.Errorf("fresh name = %q", out.Vars[v])
+	}
+}
+
+func TestAssertsToGoalReplacesNested(t *testing.T) {
+	sys := MustParseSystem(`
+system s { vars x; domain 2; env t }
+thread t {
+  loop {
+    choice { assert false } or { store x 1; assert false }
+  }
+}
+`)
+	out, v, d := AssertsToGoal(sys)
+	g := Compile(out.Env)
+	if g.HasAssert() {
+		t.Fatal("nested asserts survived")
+	}
+	// The transformation must produce stores of (v, d).
+	found := false
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == OpStore && e.Op.Var == v {
+				if c, ok := e.Op.E.(ConstExpr); ok && c.V == d {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("goal store missing")
+	}
+	if !strings.Contains(Print(out), "store goal 1") {
+		t.Errorf("printed form missing goal store:\n%s", Print(out))
+	}
+}

@@ -1,0 +1,92 @@
+package lang
+
+// AssertsToGoal implements the §4.1 reduction from safety verification to
+// Message Generation: it returns a copy of the system in which every
+// `assert false` is replaced by the store `x* := d*` of a fresh shared
+// variable x* and an otherwise-unused value d*. The system is unsafe iff
+// the transformed system can generate the message (x*, d*).
+//
+// The fresh variable is appended to the variable table; d* is 1 in a domain
+// widened to at least 2 if necessary (value 1 on x* is unused elsewhere by
+// construction since x* is fresh).
+func AssertsToGoal(s *System) (*System, VarID, Val) {
+	out := &System{
+		Name: s.Name,
+		Vars: append(append([]string(nil), s.Vars...), freshVarName(s)),
+		Dom:  s.Dom,
+		Init: s.Init,
+	}
+	if out.Dom < 2 {
+		out.Dom = 2
+	}
+	goalVar := VarID(len(out.Vars) - 1)
+	const goalVal = Val(1)
+	// A program may be shared between clauses; transform each once so the
+	// sharing (and name uniqueness) is preserved.
+	memo := map[*Program]*Program{}
+	transform := func(p *Program) *Program {
+		if t, ok := memo[p]; ok {
+			return t
+		}
+		t := replaceAsserts(p, goalVar, goalVal)
+		memo[p] = t
+		return t
+	}
+	if s.Env != nil {
+		out.Env = transform(s.Env)
+	}
+	for _, d := range s.Dis {
+		out.Dis = append(out.Dis, transform(d))
+	}
+	return out, goalVar, goalVal
+}
+
+func freshVarName(s *System) string {
+	name := "goal"
+	for {
+		clash := false
+		for _, v := range s.Vars {
+			if v == name {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return name
+		}
+		name += "_"
+	}
+}
+
+func replaceAsserts(p *Program, x VarID, d Val) *Program {
+	return &Program{
+		Name: p.Name,
+		Regs: append([]string(nil), p.Regs...),
+		Body: replaceAssertsStmt(p.Body, x, d),
+	}
+}
+
+func replaceAssertsStmt(st Stmt, x VarID, d Val) Stmt {
+	switch st := st.(type) {
+	case AssertFail:
+		return Store{Var: x, E: Num(d)}
+	case Seq:
+		out := make([]Stmt, len(st.Stmts))
+		for i, s := range st.Stmts {
+			out[i] = replaceAssertsStmt(s, x, d)
+		}
+		return Seq{Stmts: out}
+	case Choice:
+		out := make([]Stmt, len(st.Branches))
+		for i, s := range st.Branches {
+			out[i] = replaceAssertsStmt(s, x, d)
+		}
+		return Choice{Branches: out}
+	case Star:
+		return Star{Body: replaceAssertsStmt(st.Body, x, d)}
+	case While:
+		return While{Cond: st.Cond, Body: replaceAssertsStmt(st.Body, x, d)}
+	default:
+		return st
+	}
+}

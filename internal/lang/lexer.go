@@ -1,0 +1,219 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind enumerates lexical token kinds of the concrete syntax.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokNewline
+	tokIdent
+	tokInt
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokAssign // =
+	tokEq     // ==
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokBang   // !
+	tokAnd    // &&
+	tokOr     // ||
+	tokComma  // ,
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "newline"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAssign:
+		return "'='"
+	case tokEq:
+		return "'=='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokBang:
+		return "'!'"
+	case tokAnd:
+		return "'&&'"
+	case tokOr:
+		return "'||'"
+	case tokComma:
+		return "','"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is a lexical token with its source line for diagnostics.
+type token struct {
+	kind tokKind
+	text string
+	val  int
+	line int
+}
+
+// lex tokenizes src. Line comments start with // or #; semicolons are
+// treated as newlines (statement separators).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	emit := func(k tokKind, text string) {
+		toks = append(toks, token{kind: k, text: text, line: line})
+	}
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(tokNewline, "\\n")
+			line++
+			i++
+		case c == ';':
+			emit(tokNewline, ";")
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.Atoi(src[i:j])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad integer %q", line, src[i:j])
+			}
+			toks = append(toks, token{kind: tokInt, text: src[i:j], val: v, line: line})
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==":
+				emit(tokEq, two)
+				i += 2
+				continue
+			case "!=":
+				emit(tokNe, two)
+				i += 2
+				continue
+			case "<=":
+				emit(tokLe, two)
+				i += 2
+				continue
+			case ">=":
+				emit(tokGe, two)
+				i += 2
+				continue
+			case "&&":
+				emit(tokAnd, two)
+				i += 2
+				continue
+			case "||":
+				emit(tokOr, two)
+				i += 2
+				continue
+			case ":=":
+				emit(tokAssign, two)
+				i += 2
+				continue
+			}
+			switch c {
+			case '{':
+				emit(tokLBrace, "{")
+			case '}':
+				emit(tokRBrace, "}")
+			case '(':
+				emit(tokLParen, "(")
+			case ')':
+				emit(tokRParen, ")")
+			case '=':
+				emit(tokAssign, "=")
+			case '<':
+				emit(tokLt, "<")
+			case '>':
+				emit(tokGt, ">")
+			case '+':
+				emit(tokPlus, "+")
+			case '-':
+				emit(tokMinus, "-")
+			case '*':
+				emit(tokStar, "*")
+			case '!':
+				emit(tokBang, "!")
+			case ',':
+				emit(tokComma, ",")
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+			}
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,711 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSystem parses a full system description in concrete syntax:
+//
+//	system prodcons {
+//	  vars x y
+//	  domain 5
+//	  env producer
+//	  dis consumer
+//	}
+//
+//	thread producer {
+//	  regs r
+//	  r = load y
+//	  assume r == 1
+//	  store x r
+//	}
+//
+// Statements are separated by newlines or semicolons. If/while/choice/loop
+// blocks use braces; `choice { … } or { … }` expresses ⊕. Registers are
+// declared with `regs` lines or implicitly by being assigned or loaded into.
+// Identifiers in expressions must be registers (shared variables are read
+// only through `load`).
+func ParseSystem(src string) (*System, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+// ParseProgram parses a single `thread … { … }` block against the given
+// shared-variable table.
+func ParseProgram(src string, vars []string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, vars: vars}
+	p.skipNewlines()
+	prog, err := p.parseThread()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input after thread block")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	vars []string
+
+	// Current thread context during statement parsing.
+	prog *Program
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) unread()     { p.pos-- }
+func (p *parser) line() int   { return p.peek().line }
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.line(), fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("line %d: expected %v, found %v %q", t.line, k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != kw {
+		return fmt.Errorf("line %d: expected %q, found %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+// parseFile parses the top level: one system block and thread blocks in any
+// order, then resolves thread references.
+func (p *parser) parseFile() (*System, error) {
+	type header struct {
+		name    string
+		vars    []string
+		dom     int
+		init    int
+		envName string
+		disName []string
+		line    int
+	}
+	var hdr *header
+	threadSrcs := make(map[string]int) // name -> token position of its block
+	threadOrder := []string{}
+
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf("expected 'system' or 'thread', found %q", t.text)
+		}
+		switch t.text {
+		case "system":
+			if hdr != nil {
+				return nil, p.errf("duplicate system block")
+			}
+			h, err := p.parseSystemHeader()
+			if err != nil {
+				return nil, err
+			}
+			hdr = &header{
+				name: h.name, vars: h.vars, dom: h.dom, init: h.init,
+				envName: h.envName, disName: h.disName, line: t.line,
+			}
+		case "thread":
+			// Record position, skip the block; parse after vars are known.
+			p.next() // 'thread'
+			nameTok, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := threadSrcs[nameTok.text]; dup {
+				return nil, fmt.Errorf("line %d: duplicate thread %q", nameTok.line, nameTok.text)
+			}
+			start := p.pos
+			if err := p.skipBlock(); err != nil {
+				return nil, err
+			}
+			threadSrcs[nameTok.text] = start
+			threadOrder = append(threadOrder, nameTok.text)
+		default:
+			return nil, p.errf("expected 'system' or 'thread', found %q", t.text)
+		}
+	}
+	if hdr == nil {
+		return nil, fmt.Errorf("missing system block")
+	}
+
+	sys := &System{Name: hdr.name, Vars: hdr.vars, Dom: hdr.dom, Init: Val(hdr.init)}
+	p.vars = sys.Vars
+
+	parsed := make(map[string]*Program, len(threadOrder))
+	for _, name := range threadOrder {
+		p.pos = threadSrcs[name]
+		prog, err := p.parseThreadBody(name)
+		if err != nil {
+			return nil, err
+		}
+		parsed[name] = prog
+	}
+
+	if hdr.envName != "" {
+		env, ok := parsed[hdr.envName]
+		if !ok {
+			return nil, fmt.Errorf("line %d: env thread %q not defined", hdr.line, hdr.envName)
+		}
+		sys.Env = env
+	}
+	for _, dn := range hdr.disName {
+		dis, ok := parsed[dn]
+		if !ok {
+			return nil, fmt.Errorf("line %d: dis thread %q not defined", hdr.line, dn)
+		}
+		sys.Dis = append(sys.Dis, dis)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+type sysHeader struct {
+	name    string
+	vars    []string
+	dom     int
+	init    int
+	envName string
+	disName []string
+}
+
+func (p *parser) parseSystemHeader() (*sysHeader, error) {
+	if err := p.expectKeyword("system"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	h := &sysHeader{name: nameTok.text, dom: 2}
+	for {
+		p.skipNewlines()
+		t := p.next()
+		if t.kind == tokRBrace {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected system clause, found %q", t.line, t.text)
+		}
+		switch t.text {
+		case "vars":
+			for p.peek().kind == tokIdent || p.peek().kind == tokComma {
+				vt := p.next()
+				if vt.kind == tokComma {
+					continue
+				}
+				h.vars = append(h.vars, vt.text)
+			}
+		case "domain":
+			it, err := p.expect(tokInt)
+			if err != nil {
+				return nil, err
+			}
+			h.dom = it.val
+		case "init":
+			it, err := p.expect(tokInt)
+			if err != nil {
+				return nil, err
+			}
+			h.init = it.val
+		case "env":
+			nt, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if h.envName != "" {
+				return nil, fmt.Errorf("line %d: duplicate env clause", t.line)
+			}
+			h.envName = nt.text
+		case "dis":
+			nt, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			h.disName = append(h.disName, nt.text)
+		default:
+			return nil, fmt.Errorf("line %d: unknown system clause %q", t.line, t.text)
+		}
+	}
+	return h, nil
+}
+
+// skipBlock consumes a balanced `{ … }` block starting at the next LBrace.
+func (p *parser) skipBlock() error {
+	p.skipNewlines()
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t.kind {
+		case tokLBrace:
+			depth++
+		case tokRBrace:
+			depth--
+		case tokEOF:
+			return fmt.Errorf("line %d: unterminated block", t.line)
+		}
+	}
+	return nil
+}
+
+// parseThread parses `thread name { … }` from the current position.
+func (p *parser) parseThread() (*Program, error) {
+	if err := p.expectKeyword("thread"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseThreadBody(nameTok.text)
+}
+
+// parseThreadBody parses `{ … }` for the named thread (the `thread name`
+// prefix has been consumed).
+func (p *parser) parseThreadBody(name string) (*Program, error) {
+	p.skipNewlines()
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	p.prog = &Program{Name: name}
+	defer func() { p.prog = nil }()
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	prog := p.prog
+	prog.Body = body
+	return prog, nil
+}
+
+// regRef resolves an identifier to a register, declaring it if allowed.
+func (p *parser) regRef(name string, declare bool, line int) (RegID, error) {
+	for _, v := range p.vars {
+		if v == name {
+			return 0, fmt.Errorf("line %d: %q is a shared variable; use 'load'/'store' to access it", line, name)
+		}
+	}
+	for i, r := range p.prog.Regs {
+		if r == name {
+			return RegID(i), nil
+		}
+	}
+	if !declare {
+		return 0, fmt.Errorf("line %d: unknown register %q", line, name)
+	}
+	p.prog.Regs = append(p.prog.Regs, name)
+	return RegID(len(p.prog.Regs) - 1), nil
+}
+
+func (p *parser) varRef(name string, line int) (VarID, error) {
+	for i, v := range p.vars {
+		if v == name {
+			return VarID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("line %d: unknown shared variable %q", line, name)
+}
+
+// parseStmts parses a newline-separated statement list until '}' or EOF.
+func (p *parser) parseStmts() (Stmt, error) {
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokRBrace || t.kind == tokEOF {
+			break
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			stmts = append(stmts, st)
+		}
+	}
+	return SeqOf(stmts...), nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected statement, found %v %q", t.line, t.kind, t.text)
+	}
+	switch t.text {
+	case "skip":
+		return Skip{}, nil
+	case "assume":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assume{Cond: e}, nil
+	case "assert":
+		ft := p.next()
+		if ft.kind != tokIdent || ft.text != "false" {
+			return nil, fmt.Errorf("line %d: expected 'assert false'", ft.line)
+		}
+		return AssertFail{}, nil
+	case "store":
+		vt, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.varRef(vt.text, vt.line)
+		if err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Store{Var: v, E: e}, nil
+	case "cas":
+		vt, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.varRef(vt.text, vt.line)
+		if err != nil {
+			return nil, err
+		}
+		e1, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		e2, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return CAS{Var: v, Expect: e1, New: e2}, nil
+	case "if":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		els := Stmt(Skip{})
+		p.skipNewlinesBeforeKeyword("else")
+		if p.peek().kind == tokIdent && p.peek().text == "else" {
+			p.next()
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If(cond, then, els), nil
+	case "while":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+	case "loop":
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Star{Body: body}, nil
+	case "choice":
+		var branches []Stmt
+		br, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, br)
+		for {
+			p.skipNewlinesBeforeKeyword("or")
+			if p.peek().kind == tokIdent && p.peek().text == "or" {
+				p.next()
+				br, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				branches = append(branches, br)
+				continue
+			}
+			break
+		}
+		return ChoiceOf(branches...), nil
+	case "regs":
+		for p.peek().kind == tokIdent || p.peek().kind == tokComma {
+			rt := p.next()
+			if rt.kind == tokComma {
+				continue
+			}
+			if _, err := p.regRef(rt.text, true, rt.line); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	default:
+		// Assignment or load: ident = expr | ident = load var.
+		r, err := p.regRef(t.text, true, t.line)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokIdent && p.peek().text == "load" {
+			p.next()
+			vt, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.varRef(vt.text, vt.line)
+			if err != nil {
+				return nil, err
+			}
+			return Load{Reg: r, Var: v}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Reg: r, E: e}, nil
+	}
+}
+
+// skipNewlinesBeforeKeyword skips newlines only if they are followed by the
+// given keyword (so a trailing `}` newline does not swallow the next
+// statement).
+func (p *parser) skipNewlinesBeforeKeyword(kw string) {
+	save := p.pos
+	p.skipNewlines()
+	t := p.peek()
+	if t.kind == tokIdent && t.text == kw {
+		return
+	}
+	p.pos = save
+}
+
+func (p *parser) parseBlock() (Stmt, error) {
+	p.skipNewlines()
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and ('||' and)*
+//	and  := cmp ('&&' cmp)*
+//	cmp  := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//	add  := mul (('+'|'-') mul)*
+//	mul  := unary ('*' unary)*
+//	unary:= ('!'|'-') unary | primary
+//	prim := INT | IDENT | '(' or ')'
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin(OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin(OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.peek().kind {
+		case tokEq:
+			op = OpEq
+		case tokNe:
+			op = OpNe
+		case tokLt:
+			op = OpLt
+		case tokLe:
+			op = OpLe
+		case tokGt:
+			op = OpGt
+		case tokGe:
+			op = OpGe
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.peek().kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin(op, l, r)
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokStar {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin(OpMul, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().kind {
+	case tokBang:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnExpr{Op: OpNot, E: e}, nil
+	case tokMinus:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnExpr{Op: OpNeg, E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return Num(Val(t.val)), nil
+	case tokIdent:
+		r, err := p.regRef(t.text, false, t.line)
+		if err != nil {
+			return nil, err
+		}
+		return Reg(r), nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("line %d: expected expression, found %v %q", t.line, t.kind, t.text)
+	}
+}
+
+// MustParseSystem is ParseSystem that panics on error; intended for
+// package-level test fixtures and the benchmark corpus.
+func MustParseSystem(src string) *System {
+	s, err := ParseSystem(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang.MustParseSystem: %v\nsource:\n%s", err, strings.TrimSpace(src)))
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const prodConsSrc = `
+# Producer-consumer from Figure 1 of the paper.
+system prodcons {
+  vars x y
+  domain 4
+  env producer
+  dis consumer
+}
+
+thread producer {
+  regs r
+  r = load y
+  assume r == 1
+  store x (r + 1)
+}
+
+thread consumer {
+  regs s
+  store y 1
+  s = load x
+  assume s == 2
+  assert false
+}
+`
+
+func TestParseSystemProdCons(t *testing.T) {
+	sys, err := ParseSystem(prodConsSrc)
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	if sys.Name != "prodcons" {
+		t.Errorf("Name = %q", sys.Name)
+	}
+	if len(sys.Vars) != 2 || sys.Vars[0] != "x" || sys.Vars[1] != "y" {
+		t.Errorf("Vars = %v", sys.Vars)
+	}
+	if sys.Dom != 4 {
+		t.Errorf("Dom = %d", sys.Dom)
+	}
+	if sys.Env == nil || sys.Env.Name != "producer" {
+		t.Fatalf("Env = %+v", sys.Env)
+	}
+	if len(sys.Dis) != 1 || sys.Dis[0].Name != "consumer" {
+		t.Fatalf("Dis = %+v", sys.Dis)
+	}
+	if got := len(sys.Env.Regs); got != 1 {
+		t.Errorf("producer regs = %v", sys.Env.Regs)
+	}
+	// producer body: load; assume; store
+	seq, ok := sys.Env.Body.(Seq)
+	if !ok || len(seq.Stmts) != 3 {
+		t.Fatalf("producer body = %#v", sys.Env.Body)
+	}
+	if _, ok := seq.Stmts[0].(Load); !ok {
+		t.Errorf("stmt0 = %T, want Load", seq.Stmts[0])
+	}
+	if _, ok := seq.Stmts[1].(Assume); !ok {
+		t.Errorf("stmt1 = %T, want Assume", seq.Stmts[1])
+	}
+	st, ok := seq.Stmts[2].(Store)
+	if !ok {
+		t.Fatalf("stmt2 = %T, want Store", seq.Stmts[2])
+	}
+	if sys.VarName(st.Var) != "x" {
+		t.Errorf("store var = %s, want x", sys.VarName(st.Var))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+system s { vars x; domain 3; env worker }
+thread worker {
+  regs r
+  if r == 0 {
+    store x 1
+  } else {
+    store x 2
+  }
+  while r != 2 {
+    r = load x
+  }
+  choice {
+    skip
+  } or {
+    assert false
+  } or {
+    r = r + 1
+  }
+  loop {
+    r = load x
+  }
+  cas x 0 1
+}
+`
+	sys, err := ParseSystem(src)
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	body, ok := sys.Env.Body.(Seq)
+	if !ok || len(body.Stmts) != 5 {
+		t.Fatalf("body = %#v", sys.Env.Body)
+	}
+	// if → Choice with 2 branches
+	ifc, ok := body.Stmts[0].(Choice)
+	if !ok || len(ifc.Branches) != 2 {
+		t.Fatalf("if = %#v", body.Stmts[0])
+	}
+	// while → first-class While node
+	wh, ok := body.Stmts[1].(While)
+	if !ok {
+		t.Fatalf("while = %#v", body.Stmts[1])
+	}
+	if _, ok := wh.Body.(Load); !ok {
+		t.Errorf("while body = %T, want Load", wh.Body)
+	}
+	// choice with 3 branches
+	ch, ok := body.Stmts[2].(Choice)
+	if !ok || len(ch.Branches) != 3 {
+		t.Fatalf("choice = %#v", body.Stmts[2])
+	}
+	if _, ok := body.Stmts[3].(Star); !ok {
+		t.Errorf("loop = %T, want Star", body.Stmts[3])
+	}
+	cas, ok := body.Stmts[4].(CAS)
+	if !ok {
+		t.Fatalf("cas = %#v", body.Stmts[4])
+	}
+	if cas.Expect.Eval(nil) != 0 || cas.New.Eval(nil) != 1 {
+		t.Errorf("cas operands wrong: %v %v", cas.Expect, cas.New)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"missing system", "thread t { skip }", "missing system block"},
+		{"unknown var", "system s { vars x; domain 2; env t }\nthread t { store y 1 }", "unknown shared variable"},
+		{"shared var in expr", "system s { vars x; domain 2; env t }\nthread t { regs r; r = x }", "shared variable"},
+		{"unknown reg in expr", "system s { vars x; domain 2; env t }\nthread t { assume q == 1 }", "unknown register"},
+		{"env undefined", "system s { vars x; domain 2; env missing }", "not defined"},
+		{"dis undefined", "system s { vars x; domain 2; dis missing }", "not defined"},
+		{"duplicate thread", "system s { vars x; domain 2; env t }\nthread t { skip }\nthread t { skip }", "duplicate thread"},
+		{"bad assert", "system s { vars x; domain 2; env t }\nthread t { assert true }", "assert false"},
+		{"unterminated block", "system s { vars x; domain 2; env t }\nthread t { skip", "unterminated"},
+		{"no vars", "system s { domain 2; env t }\nthread t { skip }", "no shared variables"},
+		{"bad domain", "system s { vars x; domain 0; env t }\nthread t { skip }", "domain size"},
+		{"bad char", "system s { vars x; domain 2; env t }\nthread t { skip @ }", "unexpected character"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSystem(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseSemicolonsAndComments(t *testing.T) {
+	src := "system s { vars x; domain 2; env t } // trailing\nthread t { regs r; r = 1; store x r # note\n skip }"
+	sys, err := ParseSystem(src)
+	if err != nil {
+		t.Fatalf("ParseSystem: %v", err)
+	}
+	seq, ok := sys.Env.Body.(Seq)
+	if !ok || len(seq.Stmts) != 2 {
+		t.Fatalf("body = %#v", sys.Env.Body)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{prodConsSrc, `
+system s { vars a b c; domain 6; init 1; env e; dis d1; dis d2 }
+thread e {
+  regs r s
+  loop {
+    r = load a
+    choice { store b (r + 1) } or { s = r * 2 - 1 } or { assume !(r == s) }
+  }
+}
+thread d1 {
+  regs t
+  cas a 1 2
+  t = load c
+  if t >= 3 { assert false } else { store c (t + 1) }
+}
+thread d2 {
+  skip
+}
+`}
+	for i, src := range srcs {
+		sys1, err := ParseSystem(src)
+		if err != nil {
+			t.Fatalf("case %d parse 1: %v", i, err)
+		}
+		printed := Print(sys1)
+		sys2, err := ParseSystem(printed)
+		if err != nil {
+			t.Fatalf("case %d parse 2: %v\nprinted:\n%s", i, err, printed)
+		}
+		printed2 := Print(sys2)
+		if printed != printed2 {
+			t.Errorf("case %d: print/parse/print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", i, printed, printed2)
+		}
+	}
+}
+
+func TestParseProgramStandalone(t *testing.T) {
+	prog, err := ParseProgram("thread w {\n regs r\n r = load v\n store v (r+1)\n}", []string{"v"})
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if prog.Name != "w" {
+		t.Errorf("Name = %q", prog.Name)
+	}
+	if _, err := ParseProgram("thread w { skip }\nextra", []string{"v"}); err == nil {
+		t.Error("expected trailing-input error")
+	}
+}
+
+func TestMustParseSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParseSystem("not a system")
+}

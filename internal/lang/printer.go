@@ -1,0 +1,176 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Concrete syntax printing. The output of Print/String re-parses to an
+// equivalent AST (modulo If/While sugar, which desugars before printing);
+// the parser tests rely on this round-trip.
+
+func writeIndent(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func varName(vars []string, v VarID) string {
+	if int(v) >= 0 && int(v) < len(vars) {
+		return vars[v]
+	}
+	return fmt.Sprintf("x#%d", int(v))
+}
+
+func regName(regs []string, r RegID) string {
+	if int(r) >= 0 && int(r) < len(regs) {
+		return regs[r]
+	}
+	return fmt.Sprintf("r#%d", int(r))
+}
+
+func (Skip) writeTo(b *strings.Builder, indent int, _, _ []string) {
+	writeIndent(b, indent)
+	b.WriteString("skip\n")
+}
+
+func (s Assume) writeTo(b *strings.Builder, indent int, regs, _ []string) {
+	writeIndent(b, indent)
+	b.WriteString("assume ")
+	b.WriteString(ExprString(s.Cond, regs))
+	b.WriteByte('\n')
+}
+
+func (AssertFail) writeTo(b *strings.Builder, indent int, _, _ []string) {
+	writeIndent(b, indent)
+	b.WriteString("assert false\n")
+}
+
+func (s Assign) writeTo(b *strings.Builder, indent int, regs, _ []string) {
+	writeIndent(b, indent)
+	b.WriteString(regName(regs, s.Reg))
+	b.WriteString(" = ")
+	b.WriteString(ExprString(s.E, regs))
+	b.WriteByte('\n')
+}
+
+func (s Seq) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	for _, c := range s.Stmts {
+		c.writeTo(b, indent, regs, vars)
+	}
+}
+
+func (s Choice) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString("choice {\n")
+	for i, br := range s.Branches {
+		if i > 0 {
+			writeIndent(b, indent)
+			b.WriteString("} or {\n")
+		}
+		br.writeTo(b, indent+1, regs, vars)
+	}
+	writeIndent(b, indent)
+	b.WriteString("}\n")
+}
+
+func (s Star) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString("loop {\n")
+	s.Body.writeTo(b, indent+1, regs, vars)
+	writeIndent(b, indent)
+	b.WriteString("}\n")
+}
+
+func (s While) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString("while ")
+	b.WriteString(ExprString(s.Cond, regs))
+	b.WriteString(" {\n")
+	s.Body.writeTo(b, indent+1, regs, vars)
+	writeIndent(b, indent)
+	b.WriteString("}\n")
+}
+
+func (s Load) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString(regName(regs, s.Reg))
+	b.WriteString(" = load ")
+	b.WriteString(varName(vars, s.Var))
+	b.WriteByte('\n')
+}
+
+func (s Store) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString("store ")
+	b.WriteString(varName(vars, s.Var))
+	b.WriteByte(' ')
+	b.WriteString(ExprString(s.E, regs))
+	b.WriteByte('\n')
+}
+
+func (s CAS) writeTo(b *strings.Builder, indent int, regs, vars []string) {
+	writeIndent(b, indent)
+	b.WriteString("cas ")
+	b.WriteString(varName(vars, s.Var))
+	b.WriteByte(' ')
+	b.WriteString(ExprString(s.Expect, regs))
+	b.WriteByte(' ')
+	b.WriteString(ExprString(s.New, regs))
+	b.WriteByte('\n')
+}
+
+// PrintProgram renders p in concrete syntax using the system's variable
+// names.
+func PrintProgram(p *Program, vars []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thread %s {\n", p.Name)
+	if len(p.Regs) > 0 {
+		b.WriteString("  regs ")
+		b.WriteString(strings.Join(p.Regs, " "))
+		b.WriteByte('\n')
+	}
+	p.Body.writeTo(&b, 1, p.Regs, vars)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Print renders the whole system (header plus all thread programs) in
+// concrete syntax accepted by ParseSystem.
+func Print(s *System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %s {\n", s.Name)
+	b.WriteString("  vars ")
+	b.WriteString(strings.Join(s.Vars, " "))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  domain %d\n", s.Dom)
+	if s.Init != 0 {
+		fmt.Fprintf(&b, "  init %d\n", int(s.Init))
+	}
+	if s.Env != nil {
+		fmt.Fprintf(&b, "  env %s\n", s.Env.Name)
+	}
+	for _, d := range s.Dis {
+		fmt.Fprintf(&b, "  dis %s\n", d.Name)
+	}
+	b.WriteString("}\n")
+	// A program may be referenced by several clauses (e.g. the same code as
+	// env and dis); print each thread block once.
+	printed := map[string]bool{}
+	for _, p := range s.Threads() {
+		if printed[p.Name] {
+			continue
+		}
+		printed[p.Name] = true
+		b.WriteByte('\n')
+		b.WriteString(PrintProgram(p, s.Vars))
+	}
+	return b.String()
+}
+
+// StmtString renders a single statement (used in diagnostics and tests).
+func StmtString(st Stmt, regs, vars []string) string {
+	var b strings.Builder
+	st.writeTo(&b, 0, regs, vars)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,73 @@
+package lang
+
+// Unroll replaces every iteration c* in the statement by the bounded
+// unrolling (skip ⊕ c;(skip ⊕ c;( … ))) with k copies of the body. The
+// result is loop-free (acyc), under-approximating the original program: any
+// run of the unrolling is a run of the original. This is the bounded model
+// checking view of §4 ("the distinguished threads are explored up to an
+// under-approximate loop-unrolling bound").
+func Unroll(st Stmt, k int) Stmt {
+	switch st := st.(type) {
+	case Skip, Assume, AssertFail, Assign, Load, Store, CAS:
+		return st
+	case Seq:
+		out := make([]Stmt, len(st.Stmts))
+		for i, s := range st.Stmts {
+			out[i] = Unroll(s, k)
+		}
+		return SeqOf(out...)
+	case Choice:
+		out := make([]Stmt, len(st.Branches))
+		for i, s := range st.Branches {
+			out[i] = Unroll(s, k)
+		}
+		return ChoiceOf(out...)
+	case Star:
+		body := Unroll(st.Body, k)
+		cur := Stmt(Skip{})
+		for i := 0; i < k; i++ {
+			cur = ChoiceOf(Skip{}, SeqOf(body, cur))
+		}
+		return cur
+	case While:
+		body := Unroll(st.Body, k)
+		cur := Stmt(Assume{Cond: Not(st.Cond)})
+		for i := 0; i < k; i++ {
+			cur = If(st.Cond, SeqOf(body, cur), Skip{})
+		}
+		return cur
+	default:
+		return st
+	}
+}
+
+// UnrollProgram returns a copy of p with all loops unrolled k times.
+func UnrollProgram(p *Program, k int) *Program {
+	regs := make([]string, len(p.Regs))
+	copy(regs, p.Regs)
+	return &Program{Name: p.Name, Regs: regs, Body: Unroll(p.Body, k)}
+}
+
+// UnrollSystem returns a copy of s in which every dis program has its loops
+// unrolled k times (env programs are left untouched: the paper's algorithm
+// handles env loops exactly). Programs shared between dis clauses stay
+// shared; a dis program shared with env is renamed, since the unrolled
+// variant diverges from the env original.
+func UnrollSystem(s *System, k int) *System {
+	out := &System{Name: s.Name, Dom: s.Dom, Init: s.Init, Env: s.Env}
+	out.Vars = make([]string, len(s.Vars))
+	copy(out.Vars, s.Vars)
+	memo := map[*Program]*Program{}
+	for _, d := range s.Dis {
+		u, ok := memo[d]
+		if !ok {
+			u = UnrollProgram(d, k)
+			if s.Env == d {
+				u.Name += "_unrolled"
+			}
+			memo[d] = u
+		}
+		out.Dis = append(out.Dis, u)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Limits bounds and configures an exploration. Zero values mean "no limit".
+type Limits struct {
+	// MaxStates caps the number of distinct states visited.
+	MaxStates int
+	// MaxDepth caps the length of explored computations.
+	MaxDepth int
+	// Symmetry enables symmetry reduction over the env replicas: states
+	// that differ only by a permutation of the (identical) env threads are
+	// identified. Sound and complete for safety — env replicas run the
+	// same program and messages carry no thread identity — and often
+	// exponentially smaller in the replica count.
+	Symmetry bool
+}
+
+// ErrLimit is reported (wrapped) when exploration stops due to a limit
+// before finding a violation and before exhausting the state space.
+var ErrLimit = errors.New("exploration limit reached")
+
+// Result is the outcome of exploring a fixed instance.
+type Result struct {
+	// Unsafe is true when an `assert false` transition is reachable.
+	Unsafe bool
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of transitions examined.
+	Transitions int
+	// Complete is true when the full (finite) state space was exhausted; if
+	// false and Unsafe is false, the verdict is only "no violation found
+	// within limits".
+	Complete bool
+	// Witness is a violating computation (sequence of events from the
+	// initial state), non-nil iff Unsafe.
+	Witness []Event
+}
+
+// Explore runs a breadth-first search of the instance's RA state space,
+// looking for an `assert false` transition.
+func (inst *Instance) Explore(lim Limits) Result {
+	type node struct {
+		state *State
+		depth int
+	}
+	init := inst.InitState()
+	initKey := inst.stateKey(init, lim)
+	visited := map[string]bool{initKey: true}
+	// pred maps a state key to its predecessor key and incoming event, for
+	// witness reconstruction.
+	type backEdge struct {
+		prevKey string
+		ev      Event
+	}
+	pred := map[string]backEdge{}
+
+	queue := []node{{state: init, depth: 0}}
+	res := Result{States: 1}
+	limited := false
+
+	buildWitness := func(lastKey string, final Event) []Event {
+		var rev []Event
+		rev = append(rev, final)
+		k := lastKey
+		for k != initKey {
+			be, ok := pred[k]
+			if !ok {
+				break
+			}
+			rev = append(rev, be.ev)
+			k = be.prevKey
+		}
+		out := make([]Event, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if lim.MaxDepth > 0 && n.depth >= lim.MaxDepth {
+			limited = true
+			continue
+		}
+		key := inst.stateKey(n.state, lim)
+		for _, succ := range inst.Successors(n.state) {
+			res.Transitions++
+			if succ.Event.Assert {
+				res.Unsafe = true
+				res.Witness = buildWitness(key, succ.Event)
+				return res
+			}
+			sk := inst.stateKey(succ.State, lim)
+			if visited[sk] {
+				continue
+			}
+			if lim.MaxStates > 0 && res.States >= lim.MaxStates {
+				limited = true
+				continue
+			}
+			visited[sk] = true
+			pred[sk] = backEdge{prevKey: key, ev: succ.Event}
+			res.States++
+			queue = append(queue, node{state: succ.State, depth: n.depth + 1})
+		}
+	}
+	res.Complete = !limited
+	return res
+}
+
+// ReachablePCs explores the instance and returns, per thread index, the set
+// of CFG nodes that thread can reach. Used by the differential tests and the
+// §4.3 experiments. Exploration respects lim; the boolean reports whether
+// the state space was exhausted.
+func (inst *Instance) ReachablePCs(lim Limits) ([]map[int]bool, bool) {
+	init := inst.InitState()
+	visited := map[string]bool{init.Key(): true}
+	reach := make([]map[int]bool, len(inst.Threads))
+	for i := range reach {
+		reach[i] = map[int]bool{}
+	}
+	record := func(s *State) {
+		for i, th := range s.Threads {
+			reach[i][int(th.PC)] = true
+		}
+	}
+	record(init)
+	queue := []*State{init}
+	states := 1
+	complete := true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, succ := range inst.Successors(s) {
+			k := succ.State.Key()
+			if visited[k] {
+				continue
+			}
+			if lim.MaxStates > 0 && states >= lim.MaxStates {
+				complete = false
+				continue
+			}
+			visited[k] = true
+			states++
+			record(succ.State)
+			queue = append(queue, succ.State)
+		}
+	}
+	return reach, complete
+}
+
+// FormatWitness renders a violating computation for human consumption.
+func FormatWitness(w []Event) string {
+	var b strings.Builder
+	for i, ev := range w {
+		fmt.Fprintf(&b, "%3d. [%s] %s\n", i+1, ev.Name, ev.Op)
+	}
+	return b.String()
+}

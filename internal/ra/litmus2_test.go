@@ -1,0 +1,165 @@
+package ra
+
+import (
+	"testing"
+)
+
+// Additional litmus tests pinning the finer points of the RA semantics.
+
+// TestWRCForbidden: write-to-read causality. If t2 reads t1's x=1 and then
+// publishes y=1, a third thread that reads y=1 cannot read the stale x=0 —
+// causality is transitive through view joins.
+func TestWRCForbidden(t *testing.T) {
+	res := explore(t, `
+system wrc { vars x y; domain 2; dis t1; dis t2; dis t3 }
+thread t1 { store x 1 }
+thread t2 { regs a; a = load x; assume a == 1; store y 1 }
+thread t3 {
+  regs b c
+  b = load y; assume b == 1
+  c = load x; assume c == 0
+  assert false
+}
+`, 0)
+	if res.Unsafe {
+		t.Fatalf("WRC violation — causality not transitive:\n%s", FormatWitness(res.Witness))
+	}
+}
+
+// TestIRIWAllowed: independent reads of independent writes. RA (like causal
+// consistency) permits the two readers to observe the two independent
+// writes in opposite orders — there is no total store order.
+func TestIRIWAllowed(t *testing.T) {
+	res := explore(t, `
+system iriw { vars x y f; domain 2; dis w1; dis w2; dis r1; dis r2 }
+thread w1 { store x 1 }
+thread w2 { store y 1 }
+thread r1 {
+  regs a b
+  a = load x; assume a == 1
+  b = load y; assume b == 0
+  store f 1
+}
+thread r2 {
+  regs c d g
+  c = load y; assume c == 1
+  d = load x; assume d == 0
+  g = load f; assume g == 1
+  assert false
+}
+`, 0)
+	if !res.Unsafe {
+		t.Fatal("IRIW weak outcome must be allowed under RA (no total store order)")
+	}
+}
+
+// TestRMWAcquireReleaseChain: a chain of CAS operations transfers views —
+// after winning the second CAS, the thread has synchronized with the first
+// winner's store.
+func Test2RMWChainTransfersViews(t *testing.T) {
+	res := explore(t, `
+system chain { vars l d; domain 3; dis t1; dis t2 }
+thread t1 { store d 1; cas l 0 1 }
+thread t2 {
+  regs v
+  cas l 1 2
+  v = load d; assume v == 0
+  assert false
+}
+`, 0)
+	if res.Unsafe {
+		t.Fatalf("CAS chain failed to transfer the view of d:\n%s", FormatWitness(res.Witness))
+	}
+}
+
+// TestCASFailurePathViaChoice: the common retry idiom — a thread that does
+// not win the CAS takes the other branch.
+func TestCASFailurePathViaChoice(t *testing.T) {
+	res := explore(t, `
+system retry { vars l w0 w1; domain 2; dis t1; dis t2; dis obs }
+thread t1 { choice { cas l 0 1; store w0 1 } or { skip } }
+thread t2 { choice { cas l 0 1; store w1 1 } or { skip } }
+thread obs {
+  regs a b
+  a = load w0; assume a == 1
+  b = load w1; assume b == 1
+  assert false
+}
+`, 0)
+	if res.Unsafe {
+		t.Fatal("both threads won the same CAS")
+	}
+}
+
+// TestReadFromUnpublishedForbidden: values cannot be read before any thread
+// stores them (no out-of-thin-air).
+func TestReadFromUnpublishedForbidden(t *testing.T) {
+	res := explore(t, `
+system oota { vars x; domain 4; dis t1; dis t2 }
+thread t1 { regs a; a = load x; assume a == 3; store x a }
+thread t2 { regs b; b = load x; assume b == 3; assert false }
+`, 0)
+	if res.Unsafe {
+		t.Fatal("out-of-thin-air value observed")
+	}
+}
+
+// TestStoreOwnOrder: a thread's own stores to one variable are ordered by
+// its increasing view — it can never observe them inverted.
+func TestStoreOwnOrder(t *testing.T) {
+	res := explore(t, `
+system own { vars x; domain 3; dis w; dis r }
+thread w { store x 1; store x 2 }
+thread r {
+  regs a b
+  a = load x; assume a == 2
+  b = load x; assume b == 1
+  assert false
+}
+`, 0)
+	if res.Unsafe {
+		t.Fatalf("own-store order violated:\n%s", FormatWitness(res.Witness))
+	}
+}
+
+// TestWriterCanInsertIntoPast: RA allows a thread that has not observed a
+// later store to insert its own store modification-order-*before* it; a
+// reader can then see the two stores in either order across executions.
+func TestWriterCanInsertIntoPast(t *testing.T) {
+	// Reader sees 2 then 1: only possible when w2's store x=2 is placed
+	// mo-before w1's x=1... w1 and w2 are unordered, so both placements
+	// must be reachable.
+	res := explore(t, `
+system past { vars x; domain 3; dis w1; dis w2; dis r }
+thread w1 { store x 1 }
+thread w2 { store x 2 }
+thread r {
+  regs a b
+  a = load x; assume a == 2
+  b = load x; assume b == 1
+  assert false
+}
+`, 0)
+	if !res.Unsafe {
+		t.Fatal("unordered writers must admit both modification orders")
+	}
+}
+
+// TestEnvSymmetry: permuting env replicas cannot change the verdict; the
+// explorer's state count for N identical env threads is the same regardless
+// of which replica acts (sanity for the instance construction).
+func TestEnvSymmetry(t *testing.T) {
+	src := `
+system sym { vars x y; domain 3; env w; dis d }
+thread w { regs r; r = load x; store y (r + 1) }
+thread d { regs s; s = load y; assume s == 1; assert false }
+`
+	r1 := explore(t, src, 2)
+	r2 := explore(t, src, 2)
+	if r1.Unsafe != r2.Unsafe || r1.States != r2.States {
+		t.Fatalf("exploration not deterministic: %+v vs %+v", r1, r2)
+	}
+	if !r1.Unsafe {
+		t.Fatal("expected unsafe")
+	}
+}

@@ -1,0 +1,141 @@
+package ra
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ExploreParallel runs the same breadth-first safety search as Explore,
+// fanned out over a worker pool. The visited set and frontier are shared
+// under a mutex with a condition variable for idle workers; termination is
+// detected when the frontier is empty and no worker is expanding a state.
+// Verdicts (and, for exhaustive searches, state counts) coincide with the
+// sequential explorer; witness interleavings may differ between runs.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func (inst *Instance) ExploreParallel(lim Limits, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type backEdge struct {
+		prevKey string
+		ev      Event
+	}
+	type item struct {
+		state *State
+		key   string
+		depth int
+	}
+
+	init := inst.InitState()
+	initKey := init.Key()
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		frontier = []item{{state: init, key: initKey}}
+		visited  = map[string]bool{initKey: true}
+		pred     = map[string]backEdge{}
+		active   = 0
+		states   = 1
+		trans    = 0
+		limited  = false
+		done     = false
+		unsafe   = false
+		witness  []Event
+	)
+
+	buildWitness := func(lastKey string, final Event) []Event {
+		rev := []Event{final}
+		k := lastKey
+		for k != initKey {
+			be, ok := pred[k]
+			if !ok {
+				break
+			}
+			rev = append(rev, be.ev)
+			k = be.prevKey
+		}
+		out := make([]Event, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out
+	}
+
+	worker := func() {
+		for {
+			mu.Lock()
+			for len(frontier) == 0 && active > 0 && !done {
+				cond.Wait()
+			}
+			if done || (len(frontier) == 0 && active == 0) {
+				// Wake any remaining waiters and exit.
+				done = true
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			it := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			active++
+			mu.Unlock()
+
+			if lim.MaxDepth > 0 && it.depth >= lim.MaxDepth {
+				mu.Lock()
+				limited = true
+				active--
+				cond.Broadcast()
+				mu.Unlock()
+				continue
+			}
+
+			succs := inst.Successors(it.state)
+
+			mu.Lock()
+			for _, succ := range succs {
+				trans++
+				if succ.Event.Assert && !unsafe {
+					unsafe = true
+					witness = buildWitness(it.key, succ.Event)
+					done = true
+					break
+				}
+				sk := succ.State.Key()
+				if visited[sk] {
+					continue
+				}
+				if lim.MaxStates > 0 && states >= lim.MaxStates {
+					limited = true
+					continue
+				}
+				visited[sk] = true
+				pred[sk] = backEdge{prevKey: it.key, ev: succ.Event}
+				states++
+				frontier = append(frontier, item{state: succ.State, key: sk, depth: it.depth + 1})
+			}
+			active--
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Unsafe:      unsafe,
+		States:      states,
+		Transitions: trans,
+		Complete:    !unsafe && !limited,
+		Witness:     witness,
+	}
+	return res
+}

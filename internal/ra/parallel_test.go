@@ -1,0 +1,89 @@
+package ra
+
+import (
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+func TestParallelMatchesSequentialSafe(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x y a; domain 3; dis t1; dis t2 }
+thread t1 { regs r; store x 1; r = load y; store a (r + 1) }
+thread t2 { regs q; store y 1; q = load x; store a q }
+`)
+	inst, err := NewInstance(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := inst.Explore(Limits{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		par := inst.ExploreParallel(Limits{}, workers)
+		if par.Unsafe != seq.Unsafe {
+			t.Fatalf("workers=%d: verdict %v vs %v", workers, par.Unsafe, seq.Unsafe)
+		}
+		if !par.Complete {
+			t.Fatalf("workers=%d: incomplete", workers)
+		}
+		if par.States != seq.States {
+			t.Errorf("workers=%d: states %d vs sequential %d", workers, par.States, seq.States)
+		}
+		if par.Transitions != seq.Transitions {
+			t.Errorf("workers=%d: transitions %d vs sequential %d", workers, par.Transitions, seq.Transitions)
+		}
+	}
+}
+
+func TestParallelFindsViolation(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }
+`)
+	inst, err := NewInstance(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		res := inst.ExploreParallel(Limits{}, workers)
+		if !res.Unsafe {
+			t.Fatalf("workers=%d: violation missed", workers)
+		}
+		if len(res.Witness) == 0 || !res.Witness[len(res.Witness)-1].Assert {
+			t.Fatalf("workers=%d: malformed witness %v", workers, res.Witness)
+		}
+	}
+}
+
+func TestParallelRespectsLimits(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x; domain 8; env w }
+thread w { regs r; loop { r = load x; store x (r + 1) } }
+`)
+	inst, err := NewInstance(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inst.ExploreParallel(Limits{MaxStates: 200}, 4)
+	if res.Complete {
+		t.Error("unbounded instance reported complete under a state cap")
+	}
+	if res.States > 200 {
+		t.Errorf("state cap exceeded: %d", res.States)
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x; domain 2; dis t }
+thread t { store x 1 }
+`)
+	inst, err := NewInstance(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := inst.ExploreParallel(Limits{}, 0)
+	if !res.Complete || res.States != 2 {
+		t.Errorf("default-worker exploration wrong: %+v", res)
+	}
+}

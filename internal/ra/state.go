@@ -1,0 +1,173 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// Msg is a message in a variable's modification order: the stored value, the
+// view it carries, and whether the gap immediately after it is sealed by a
+// CAS (no store may ever be inserted between this message and its successor).
+type Msg struct {
+	Val    lang.Val
+	View   View
+	Sealed bool
+}
+
+// Thread is a thread-local configuration: program counter in the thread's
+// CFG, register valuation, and view.
+type Thread struct {
+	PC   lang.PC
+	Regs []lang.Val
+	View View
+}
+
+// State is a configuration of a fixed instance: per-variable modification
+// orders plus all thread-local configurations.
+type State struct {
+	// Mem[v] is the modification order of variable v; Mem[v][0] is the
+	// initial message.
+	Mem [][]Msg
+	// Threads holds the thread-local configurations, indexed consistently
+	// with Instance.Threads.
+	Threads []Thread
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{
+		Mem:     make([][]Msg, len(s.Mem)),
+		Threads: make([]Thread, len(s.Threads)),
+	}
+	for v, list := range s.Mem {
+		nl := make([]Msg, len(list))
+		for i, m := range list {
+			nl[i] = Msg{Val: m.Val, View: m.View.Clone(), Sealed: m.Sealed}
+		}
+		out.Mem[v] = nl
+	}
+	for i, th := range s.Threads {
+		regs := make([]lang.Val, len(th.Regs))
+		copy(regs, th.Regs)
+		out.Threads[i] = Thread{PC: th.PC, Regs: regs, View: th.View.Clone()}
+	}
+	return out
+}
+
+// Key returns a canonical encoding of the state, used for visited-set
+// hashing during exploration. Positions are already canonical ranks, so two
+// states are semantically identical iff their keys are equal.
+func (s *State) Key() string {
+	var b strings.Builder
+	s.writeMemKey(&b)
+	for i := range s.Threads {
+		s.writeThreadKey(&b, i)
+	}
+	return b.String()
+}
+
+// SymKey returns the state key with the first nEnv thread sections (the
+// identical env replicas) in sorted order: states equal up to a permutation
+// of env replicas share a SymKey. Sound because replicas run the same
+// program and messages carry no thread identity.
+func (s *State) SymKey(nEnv int) string {
+	var b strings.Builder
+	s.writeMemKey(&b)
+	envKeys := make([]string, 0, nEnv)
+	for i := 0; i < nEnv && i < len(s.Threads); i++ {
+		var tb strings.Builder
+		s.writeThreadKey(&tb, i)
+		envKeys = append(envKeys, tb.String())
+	}
+	sort.Strings(envKeys)
+	for _, k := range envKeys {
+		b.WriteString(k)
+	}
+	for i := nEnv; i < len(s.Threads); i++ {
+		s.writeThreadKey(&b, i)
+	}
+	return b.String()
+}
+
+func (s *State) writeMemKey(b *strings.Builder) {
+	for _, list := range s.Mem {
+		b.WriteByte('[')
+		for _, m := range list {
+			fmt.Fprintf(b, "%d", int(m.Val))
+			if m.Sealed {
+				b.WriteByte('!')
+			}
+			b.WriteByte('(')
+			for _, t := range m.View {
+				fmt.Fprintf(b, "%d,", t)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(']')
+	}
+}
+
+func (s *State) writeThreadKey(b *strings.Builder, i int) {
+	th := s.Threads[i]
+	fmt.Fprintf(b, "T%d:", int(th.PC))
+	for _, r := range th.Regs {
+		fmt.Fprintf(b, "%d,", int(r))
+	}
+	b.WriteByte('@')
+	for _, t := range th.View {
+		fmt.Fprintf(b, "%d,", t)
+	}
+}
+
+// insert places msg at position pos in variable v's modification order and
+// patches every view in the state (thread views and message views) so that
+// positions ≥ pos shift up by one. The caller is responsible for having
+// checked gap-seal constraints.
+func (s *State) insert(v lang.VarID, pos int, msg Msg) {
+	list := s.Mem[v]
+	list = append(list, Msg{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = msg
+	s.Mem[v] = list
+	bump := func(vw View) {
+		if vw[v] >= pos {
+			// The inserted message's own view points at itself and must not
+			// be bumped; callers set msg.View[v] = pos after this returns if
+			// needed. We bump all *pre-existing* views.
+			vw[v]++
+		}
+	}
+	for vi := range s.Mem {
+		for mi := range s.Mem[vi] {
+			if vi == int(v) && mi == pos {
+				continue // the new message itself
+			}
+			bump(s.Mem[vi][mi].View)
+		}
+	}
+	for ti := range s.Threads {
+		bump(s.Threads[ti].View)
+	}
+}
+
+// String renders the state for diagnostics, with names from the instance.
+func (s *State) String() string {
+	var b strings.Builder
+	for v, list := range s.Mem {
+		fmt.Fprintf(&b, "var#%d:", v)
+		for i, m := range list {
+			fmt.Fprintf(&b, " [%d]=%d", i, int(m.Val))
+			if m.Sealed {
+				b.WriteByte('!')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for i, th := range s.Threads {
+		fmt.Fprintf(&b, "thread %d: pc=%d regs=%v view=%v\n", i, int(th.PC), th.Regs, th.View)
+	}
+	return b.String()
+}

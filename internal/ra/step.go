@@ -1,0 +1,131 @@
+package ra
+
+import (
+	"fmt"
+
+	"paramra/internal/lang"
+)
+
+// Event records one transition of a computation for witness reporting.
+type Event struct {
+	Thread int    // index into Instance.Threads
+	Name   string // thread name
+	Op     string // rendered operation
+	// Assert is true when the transition fires an `assert false`.
+	Assert bool
+}
+
+// Succ is a successor state together with the event that produced it.
+type Succ struct {
+	State *State
+	Event Event
+}
+
+// Successors enumerates all RA transitions enabled in s, implementing the
+// global transition relation of Figure 2 (LD-GLOBAL, ST-GLOBAL, CAS-GLOBAL,
+// UNLABELLED) over the positional-timestamp representation.
+func (inst *Instance) Successors(s *State) []Succ {
+	var out []Succ
+	for ti := range s.Threads {
+		out = inst.threadSuccessors(s, ti, out)
+	}
+	return out
+}
+
+func (inst *Instance) threadSuccessors(s *State, ti int, out []Succ) []Succ {
+	info := inst.Threads[ti]
+	th := &s.Threads[ti]
+	regs := info.CFG.Prog.Regs
+	vars := inst.Sys.Vars
+	for _, e := range info.CFG.Out[th.PC] {
+		ev := Event{Thread: ti, Name: info.Name, Op: e.Op.String(regs, vars)}
+		switch e.Op.Kind {
+		case lang.OpNop:
+			ns := s.Clone()
+			ns.Threads[ti].PC = e.To
+			out = append(out, Succ{State: ns, Event: ev})
+
+		case lang.OpAssume:
+			if e.Op.E.Eval(th.Regs) != 0 {
+				ns := s.Clone()
+				ns.Threads[ti].PC = e.To
+				out = append(out, Succ{State: ns, Event: ev})
+			}
+
+		case lang.OpAssertFail:
+			ns := s.Clone()
+			ns.Threads[ti].PC = e.To
+			ev.Assert = true
+			out = append(out, Succ{State: ns, Event: ev})
+
+		case lang.OpAssign:
+			ns := s.Clone()
+			ns.Threads[ti].PC = e.To
+			ns.Threads[ti].Regs[e.Op.Reg] = inst.norm(e.Op.E.Eval(th.Regs))
+			out = append(out, Succ{State: ns, Event: ev})
+
+		case lang.OpLoad:
+			// LD: any message on Var at position ≥ the thread's view.
+			v := e.Op.Var
+			for pos := th.View[v]; pos < len(s.Mem[v]); pos++ {
+				msg := s.Mem[v][pos]
+				ns := s.Clone()
+				nt := &ns.Threads[ti]
+				nt.PC = e.To
+				nt.Regs[e.Op.Reg] = msg.Val
+				nt.View = nt.View.Join(msg.View)
+				lev := ev
+				lev.Op = fmt.Sprintf("%s  (ts %d, val %d)", ev.Op, pos, int(msg.Val))
+				out = append(out, Succ{State: ns, Event: lev})
+			}
+
+		case lang.OpStore:
+			// ST: insert at any unsealed gap strictly after the view.
+			v := e.Op.Var
+			d := inst.norm(e.Op.E.Eval(th.Regs))
+			for pos := th.View[v] + 1; pos <= len(s.Mem[v]); pos++ {
+				if s.Mem[v][pos-1].Sealed {
+					continue
+				}
+				ns := s.Clone()
+				nt := &ns.Threads[ti]
+				nt.PC = e.To
+				mv := nt.View.Clone()
+				mv[v] = pos
+				msg := Msg{Val: d, View: mv}
+				ns.insert(v, pos, msg)
+				// The thread adopts the message view (vw <_x vw').
+				nt.View = mv.Clone()
+				sev := ev
+				sev.Op = fmt.Sprintf("%s  (ts %d)", ev.Op, pos)
+				out = append(out, Succ{State: ns, Event: sev})
+			}
+
+		case lang.OpCASOp:
+			// CAS: read a matching message, write immediately after it, and
+			// seal the gap so the pair stays adjacent forever.
+			v := e.Op.Var
+			expect := inst.norm(e.Op.E.Eval(th.Regs))
+			newVal := inst.norm(e.Op.E2.Eval(th.Regs))
+			for pos := th.View[v]; pos < len(s.Mem[v]); pos++ {
+				msg := s.Mem[v][pos]
+				if msg.Val != expect || msg.Sealed {
+					continue
+				}
+				ns := s.Clone()
+				nt := &ns.Threads[ti]
+				nt.PC = e.To
+				mv := nt.View.Join(msg.View)
+				mv[v] = pos + 1
+				stored := Msg{Val: newVal, View: mv}
+				ns.insert(v, pos+1, stored)
+				ns.Mem[v][pos].Sealed = true
+				nt.View = mv.Clone()
+				cev := ev
+				cev.Op = fmt.Sprintf("%s  (ts %d->%d)", ev.Op, pos, pos+1)
+				out = append(out, Succ{State: ns, Event: cev})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// Tracer drives a single computation step by step, capturing the memory
+// pool after each transition — the style of the paper's Figure 1 execution
+// snippet (m_init → m1 → m2 …).
+type Tracer struct {
+	inst  *Instance
+	state *State
+	steps []TraceStep
+}
+
+// TraceStep records one executed transition and the memory after it.
+type TraceStep struct {
+	Event  Event
+	Memory string
+}
+
+// NewTracer starts a computation at the initial configuration.
+func NewTracer(inst *Instance) *Tracer {
+	return &Tracer{inst: inst, state: inst.InitState()}
+}
+
+// State exposes the current configuration (read-only by convention).
+func (t *Tracer) State() *State { return t.state }
+
+// Options returns the currently enabled transitions.
+func (t *Tracer) Options() []Succ { return t.inst.Successors(t.state) }
+
+// Step applies the enabled transition chosen by pick (given the options in
+// order); it reports false when no transition is enabled.
+func (t *Tracer) Step(pick func([]Succ) int) bool {
+	opts := t.Options()
+	if len(opts) == 0 {
+		return false
+	}
+	i := pick(opts)
+	if i < 0 || i >= len(opts) {
+		return false
+	}
+	t.apply(opts[i])
+	return true
+}
+
+// StepMatching applies the first enabled transition whose thread name and
+// rendered operation contain the given substrings (either may be empty).
+func (t *Tracer) StepMatching(thread, op string) error {
+	for _, s := range t.Options() {
+		if strings.Contains(s.Event.Name, thread) && strings.Contains(s.Event.Op, op) {
+			t.apply(s)
+			return nil
+		}
+	}
+	return fmt.Errorf("ra: no enabled transition matching thread %q op %q", thread, op)
+}
+
+func (t *Tracer) apply(s Succ) {
+	t.state = s.State
+	t.steps = append(t.steps, TraceStep{
+		Event:  s.Event,
+		Memory: FormatMemory(t.inst, s.State),
+	})
+}
+
+// Steps returns the executed transitions with their memory snapshots.
+func (t *Tracer) Steps() []TraceStep { return t.steps }
+
+// Render pretty-prints the computation in the style of Figure 1: each
+// transition followed by the message pool it produced.
+func (t *Tracer) Render() string {
+	var b strings.Builder
+	b.WriteString("m_init = ")
+	b.WriteString(FormatMemory(t.inst, t.inst.InitState()))
+	b.WriteByte('\n')
+	for i, st := range t.steps {
+		fmt.Fprintf(&b, "%2d. [%s] %s\n", i+1, st.Event.Name, st.Event.Op)
+		fmt.Fprintf(&b, "    m%d = %s\n", i+1, st.Memory)
+	}
+	return b.String()
+}
+
+// FormatMemory renders the message pool as a set of (variable, value, view)
+// triples, views written per variable name.
+func FormatMemory(inst *Instance, s *State) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for v, list := range s.Mem {
+		for _, m := range list {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&b, "(%s, %d, [", inst.Sys.VarName(langVarID(v)), int(m.Val))
+			for vi, ts := range m.View {
+				if vi > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s:%d", inst.Sys.VarName(langVarID(vi)), ts)
+			}
+			b.WriteString("])")
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// langVarID converts a raw index into a lang.VarID (readability helper).
+func langVarID(i int) lang.VarID { return lang.VarID(i) }

@@ -1,0 +1,93 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+// TestTracerFigure1 scripts the exact execution of the paper's Figure 1
+// snippet and checks the rendered memory snapshots.
+func TestTracerFigure1(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system fig1 { vars x y; domain 8; dis producer; dis consumer }
+thread producer {
+  regs r
+  r = load y; assume r == 1
+  store x (r + 3)
+}
+thread consumer {
+  regs s
+  store y 1
+  s = load x; assume s == 4
+}
+`)
+	inst, err := NewInstance(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inst)
+	script := []struct{ thread, op string }{
+		{"consumer", "store y"},
+		{"producer", "r = load y  (ts 1, val 1)"}, // read the flag, not the init message
+		{"producer", "assume"},
+		{"producer", "store x"},
+		{"consumer", "s = load x  (ts 1, val 4)"},
+	}
+	for _, step := range script {
+		if err := tr.StepMatching(step.thread, step.op); err != nil {
+			t.Fatalf("script step %+v: %v\ntrace so far:\n%s", step, err, tr.Render())
+		}
+	}
+	out := tr.Render()
+	for _, want := range []string{
+		"m_init = {(x, 0, [x:0 y:0]), (y, 0, [x:0 y:0])}",
+		"store y 1",
+		"(y, 1, [x:0 y:1])",
+		"(x, 4, [x:1 y:1])",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if len(tr.Steps()) != 5 {
+		t.Errorf("steps = %d", len(tr.Steps()))
+	}
+}
+
+func TestTracerStepPick(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x; domain 2; dis t }
+thread t { store x 1 }
+`)
+	inst, err := NewInstance(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inst)
+	if !tr.Step(func(opts []Succ) int { return 0 }) {
+		t.Fatal("enabled transition not taken")
+	}
+	if tr.Step(func(opts []Succ) int { return 0 }) {
+		t.Fatal("step succeeded after program end")
+	}
+	if tr.Step(func(opts []Succ) int { return 99 }) {
+		t.Fatal("out-of-range pick accepted")
+	}
+}
+
+func TestTracerStepMatchingError(t *testing.T) {
+	sys := lang.MustParseSystem(`
+system s { vars x; domain 2; dis t }
+thread t { store x 1 }
+`)
+	inst, err := NewInstance(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inst)
+	if err := tr.StepMatching("t", "cas"); err == nil {
+		t.Fatal("expected no-match error")
+	}
+}

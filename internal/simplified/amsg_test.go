@@ -1,0 +1,122 @@
+package simplified
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paramra/internal/lang"
+)
+
+func TestAViewLatticeLaws(t *testing.T) {
+	mk := func(a, b int8) AView {
+		return AView{ATime(int(a&15) + 16), ATime(int(b&15) + 16)}
+	}
+	comm := func(a1, a2, b1, b2 int8) bool {
+		v, w := mk(a1, a2), mk(b1, b2)
+		return v.Join(w).Eq(w.Join(v))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("join not commutative: %v", err)
+	}
+	assoc := func(a1, a2, b1, b2, c1, c2 int8) bool {
+		u, v, w := mk(a1, a2), mk(b1, b2), mk(c1, c2)
+		return u.Join(v).Join(w).Eq(u.Join(v.Join(w)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("join not associative: %v", err)
+	}
+	mono := func(a1, a2, b1, b2 int8) bool {
+		v, w := mk(a1, a2), mk(b1, b2)
+		j := v.Join(w)
+		return v.Leq(j) && w.Leq(j)
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Errorf("join not an upper bound: %v", err)
+	}
+}
+
+func TestATimeOrderLaws(t *testing.T) {
+	// Int/Plus interleave correctly for all floors.
+	f := func(a uint8) bool {
+		n := int(a % 100)
+		return Int(n) < Plus(n) && Plus(n) < Int(n+1) &&
+			Int(n).Floor() == n && Plus(n).Floor() == n &&
+			!Int(n).IsPlus() && Plus(n).IsPlus()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisMemRandomOps drives random Put sequences and checks the container
+// invariants: Free/Get agreement, ordered iteration, stable keys, count.
+func TestDisMemRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		const vars = 3
+		m := NewDisMem(vars, 0)
+		placed := map[[2]int]lang.Val{}
+		for i := 0; i < 20; i++ {
+			v := lang.VarID(r.Intn(vars))
+			ts := 1 + r.Intn(8)
+			if !m.Free(v, ts) {
+				continue
+			}
+			val := lang.Val(r.Intn(4))
+			view := NewAView(vars)
+			view[v] = Int(ts)
+			m.Put(AMsg{Var: v, TS: Int(ts), Val: val, View: view})
+			placed[[2]int{int(v), ts}] = val
+		}
+		if m.Count() != len(placed)+vars {
+			t.Fatalf("count = %d, want %d", m.Count(), len(placed)+vars)
+		}
+		for key, val := range placed {
+			got, ok := m.Get(lang.VarID(key[0]), key[1])
+			if !ok || got.Val != val {
+				t.Fatalf("Get(%v) = %v/%v", key, got, ok)
+			}
+			if m.Free(lang.VarID(key[0]), key[1]) {
+				t.Fatalf("Free true for occupied slot %v", key)
+			}
+		}
+		// Each iterates in increasing timestamp order.
+		for v := 0; v < vars; v++ {
+			last := -1
+			m.Each(lang.VarID(v), func(msg AMsg) {
+				if msg.TS.Floor() <= last {
+					t.Fatalf("Each out of order: %d after %d", msg.TS.Floor(), last)
+				}
+				last = msg.TS.Floor()
+			})
+		}
+		// Key is deterministic and clone-stable.
+		if m.Key() != m.Clone().Key() {
+			t.Fatal("clone changed key")
+		}
+	}
+}
+
+func TestAMsgKeyDistinguishes(t *testing.T) {
+	base := AMsg{Var: 0, TS: Plus(1), Val: 2, View: AView{Plus(1), Int(0)}, Env: true}
+	variants := []AMsg{
+		{Var: 1, TS: Plus(1), Val: 2, View: AView{Plus(1), Int(0)}, Env: true},
+		{Var: 0, TS: Plus(2), Val: 2, View: AView{Plus(2), Int(0)}, Env: true},
+		{Var: 0, TS: Plus(1), Val: 3, View: AView{Plus(1), Int(0)}, Env: true},
+		{Var: 0, TS: Plus(1), Val: 2, View: AView{Plus(1), Int(2)}, Env: true},
+	}
+	for i, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("variant %d shares key with base", i)
+		}
+	}
+	// Env vs dis with same floor differ through the TS parity.
+	dis := AMsg{Var: 0, TS: Int(1), Val: 2, View: AView{Int(1), Int(0)}}
+	if dis.Key() == base.Key() {
+		t.Error("dis/env keys collide")
+	}
+	if base.String() == "" || dis.String() == "" {
+		t.Error("String broken")
+	}
+}

@@ -1,0 +1,168 @@
+package simplified
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// ReadLog is a persistent (shared-tail) list recording the messages a thread
+// has loaded, most recent first. It feeds the dependency-graph analysis
+// (Definition 1: depend, rc) and is excluded from state identity.
+type ReadLog struct {
+	MsgKey string
+	Prev   *ReadLog
+}
+
+// Keys returns the read message keys in chronological order.
+func (l *ReadLog) Keys() []string {
+	var rev []string
+	for n := l; n != nil; n = n.Prev {
+		rev = append(rev, n.MsgKey)
+	}
+	out := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// AThread is a thread-local configuration of the simplified semantics.
+type AThread struct {
+	PC   lang.PC
+	Regs []lang.Val
+	View AView
+	Log  *ReadLog // reads so far; not part of Key
+}
+
+// Key returns the identity of the configuration (pc, registers, view).
+func (c AThread) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", int(c.PC))
+	for _, r := range c.Regs {
+		fmt.Fprintf(&b, "%d,", int(r))
+	}
+	b.WriteByte('|')
+	for _, t := range c.View {
+		fmt.Fprintf(&b, "%d,", int(t))
+	}
+	return b.String()
+}
+
+func (c AThread) cloneRegs() []lang.Val {
+	out := make([]lang.Val, len(c.Regs))
+	copy(out, c.Regs)
+	return out
+}
+
+// MsgEntry is an env message together with the read log of the env
+// derivation that first produced it (genthread's reads, Definition 1).
+type MsgEntry struct {
+	Msg AMsg
+	Log *ReadLog
+}
+
+// EnvSet is the monotone env part of a configuration: every env thread
+// configuration ever reached and every env message ever generated. The
+// Infinite Supply Lemma makes these sets grow-only.
+type EnvSet struct {
+	Configs map[string]AThread
+	Msgs    map[string]MsgEntry
+	// MsgsByVar indexes the env messages by shared variable for loads.
+	MsgsByVar [][]MsgEntry
+	// fp is an order-insensitive fingerprint (xor of per-key FNV hashes),
+	// maintained incrementally; used in macro-state memoization keys.
+	fp uint64
+}
+
+// NewEnvSet returns an empty env set over numVars shared variables.
+func NewEnvSet(numVars int) *EnvSet {
+	return &EnvSet{
+		Configs:   map[string]AThread{},
+		Msgs:      map[string]MsgEntry{},
+		MsgsByVar: make([][]MsgEntry, numVars),
+	}
+}
+
+// Clone copies the set (entries themselves are immutable).
+func (e *EnvSet) Clone() *EnvSet {
+	out := &EnvSet{
+		Configs:   make(map[string]AThread, len(e.Configs)),
+		Msgs:      make(map[string]MsgEntry, len(e.Msgs)),
+		MsgsByVar: make([][]MsgEntry, len(e.MsgsByVar)),
+		fp:        e.fp,
+	}
+	for k, v := range e.Configs {
+		out.Configs[k] = v
+	}
+	for k, v := range e.Msgs {
+		out.Msgs[k] = v
+	}
+	for i, s := range e.MsgsByVar {
+		out.MsgsByVar[i] = append([]MsgEntry(nil), s...)
+	}
+	return out
+}
+
+func hashKey(k string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(k))
+	return h.Sum64()
+}
+
+// AddConfig inserts a configuration; returns true if it was new.
+func (e *EnvSet) AddConfig(c AThread) bool {
+	k := c.Key()
+	if _, ok := e.Configs[k]; ok {
+		return false
+	}
+	e.Configs[k] = c
+	e.fp ^= hashKey("c" + k)
+	return true
+}
+
+// AddMsg inserts an env message; returns true if it was new. The first
+// derivation wins (genthread is the first thread adding the message).
+func (e *EnvSet) AddMsg(m AMsg, log *ReadLog) bool {
+	k := m.Key()
+	if _, ok := e.Msgs[k]; ok {
+		return false
+	}
+	entry := MsgEntry{Msg: m, Log: log}
+	e.Msgs[k] = entry
+	e.MsgsByVar[m.Var] = append(e.MsgsByVar[m.Var], entry)
+	e.fp ^= hashKey("m" + k)
+	return true
+}
+
+// Fingerprint returns the order-insensitive content hash.
+func (e *EnvSet) Fingerprint() uint64 { return e.fp }
+
+// state is a macro-configuration of the verifier: the non-monotone dis part
+// plus the monotone env part.
+type state struct {
+	dis []AThread
+	mem *DisMem
+	env *EnvSet
+}
+
+func (s *state) clone() *state {
+	dis := make([]AThread, len(s.dis))
+	copy(dis, s.dis)
+	return &state{dis: dis, mem: s.mem.Clone(), env: s.env.Clone()}
+}
+
+// key identifies the macro-state for memoization: dis thread configurations,
+// dis memory, and the env fingerprint.
+func (s *state) key() string {
+	var b strings.Builder
+	for _, d := range s.dis {
+		b.WriteString(d.Key())
+		b.WriteByte('#')
+	}
+	b.WriteString(s.mem.Key())
+	fmt.Fprintf(&b, "~%x", s.env.Fingerprint())
+	return b.String()
+}

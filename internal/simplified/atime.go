@@ -1,0 +1,114 @@
+// Package simplified implements the paper's simplified semantics (§3) and
+// the parameterized safety verifier built on it (§4).
+//
+// Abstract timestamps are drawn from ℕ ⊎ ℕ⁺ ordered
+//
+//	0 < 0⁺ < 1 < 1⁺ < 2 < …
+//
+// Integer timestamps ts are used by dis threads (at most one store per
+// (variable, ts)); ⁺-timestamps ts⁺ are used by env threads, and multiple
+// env stores may share the same ts⁺ (§3.4, "timestamp abstraction").
+//
+// The Infinite Supply Lemma (Lemma 3.3) justifies two deviations from the
+// concrete semantics:
+//
+//   - loads of env messages perform no timestamp comparison — a clone of the
+//     message with an arbitrarily high timestamp within the message's region
+//     always exists;
+//   - after loading an env message on x, the reader's view of x moves into
+//     the ⁺-region of the maximum of its old view and the message's region
+//     (the clone actually read sits strictly above the reader's old view).
+//
+// Env thread configurations and env messages are monotone: arbitrarily many
+// identical threads mean that any reachable env configuration remains
+// populated forever. The verifier exploits this by saturating env behaviour
+// to a fixpoint between dis transitions.
+package simplified
+
+import "strconv"
+
+// ATime is an abstract timestamp. Encoding: integer timestamp ts is 2·ts,
+// the env timestamp ts⁺ is 2·ts+1. Integer comparison then realizes the
+// order 0 < 0⁺ < 1 < 1⁺ < ….
+type ATime int
+
+// Int returns the integer (dis) timestamp ts.
+func Int(ts int) ATime { return ATime(2 * ts) }
+
+// Plus returns the env timestamp ts⁺.
+func Plus(ts int) ATime { return ATime(2*ts + 1) }
+
+// IsPlus reports whether t is of the form ts⁺.
+func (t ATime) IsPlus() bool { return t&1 == 1 }
+
+// Floor returns the integer part ts of both ts and ts⁺.
+func (t ATime) Floor() int { return int(t) / 2 }
+
+// String renders the timestamp as the paper writes it.
+func (t ATime) String() string {
+	s := strconv.Itoa(t.Floor())
+	if t.IsPlus() {
+		return s + "+"
+	}
+	return s
+}
+
+// AView is an abstract view: per shared variable, the abstract timestamp of
+// the most recent observed message.
+type AView []ATime
+
+// NewAView returns the zero view over numVars variables.
+func NewAView(numVars int) AView { return make(AView, numVars) }
+
+// Clone copies the view.
+func (v AView) Clone() AView {
+	out := make(AView, len(v))
+	copy(out, v)
+	return out
+}
+
+// Join returns the pointwise maximum of v and w.
+func (v AView) Join(w AView) AView {
+	out := v.Clone()
+	for i, t := range w {
+		if t > out[i] {
+			out[i] = t
+		}
+	}
+	return out
+}
+
+// Leq reports the pointwise order.
+func (v AView) Leq(w AView) bool {
+	for i, t := range v {
+		if t > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports pointwise equality.
+func (v AView) Eq(w AView) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i, t := range v {
+		if t != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the view compactly, e.g. "⟨1,0+,2⟩".
+func (v AView) String() string {
+	out := "<"
+	for i, t := range v {
+		if i > 0 {
+			out += ","
+		}
+		out += t.String()
+	}
+	return out + ">"
+}

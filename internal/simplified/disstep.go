@@ -1,0 +1,150 @@
+package simplified
+
+import (
+	"paramra/internal/lang"
+)
+
+// disSuccessors enumerates the macro-states reachable by one transition of a
+// dis thread. Env saturation of the successors is the caller's job.
+func (v *Verifier) disSuccessors(st *state) ([]*state, *Violation) {
+	var out []*state
+	emit := func(i int, th AThread, update func(*state)) {
+		ns := st.clone()
+		ns.dis[i] = th
+		if update != nil {
+			update(ns)
+		}
+		v.stats.DisTransitions++
+		out = append(out, ns)
+	}
+
+	for i := range st.dis {
+		cfg := st.dis[i]
+		g := v.disCFG[i]
+		for _, e := range g.Out[cfg.PC] {
+			switch e.Op.Kind {
+			case lang.OpNop:
+				emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log}, nil)
+
+			case lang.OpAssume:
+				if e.Op.E.Eval(cfg.Regs) != 0 {
+					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log}, nil)
+				}
+
+			case lang.OpAssertFail:
+				// Inert in Message Generation mode (§4.1).
+				if v.opts.Goal == nil {
+					return out, &Violation{ByEnv: false, DisIndex: i, Log: cfg.Log}
+				}
+
+			case lang.OpAssign:
+				regs := cfg.cloneRegs()
+				regs[e.Op.Reg] = v.norm(e.Op.E.Eval(cfg.Regs))
+				emit(i, AThread{PC: e.To, Regs: regs, View: cfg.View, Log: cfg.Log}, nil)
+
+			case lang.OpLoad:
+				for _, lt := range v.loadTargets(st, cfg.View, e.Op.Var) {
+					regs := cfg.cloneRegs()
+					regs[e.Op.Reg] = lt.msg.Val
+					log := &ReadLog{MsgKey: lt.msg.Key(), Prev: cfg.Log}
+					emit(i, AThread{PC: e.To, Regs: regs, View: lt.view, Log: log}, nil)
+				}
+
+			case lang.OpStore:
+				x := e.Op.Var
+				d := v.norm(e.Op.E.Eval(cfg.Regs))
+				for t := 1; t <= v.budget[x]; t++ {
+					if Int(t) <= cfg.View[x] || !st.mem.Free(x, t) {
+						continue
+					}
+					view := cfg.View.Clone()
+					view[x] = Int(t)
+					msg := AMsg{Var: x, TS: Int(t), Val: d, View: view}
+					v.recordDisMsg(msg, i, cfg.Log)
+					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: cfg.Log},
+						func(ns *state) { ns.mem.Put(msg) })
+				}
+
+			case lang.OpCASOp:
+				out = v.disCAS(st, i, cfg, e, out)
+			}
+		}
+	}
+	return out, nil
+}
+
+// disCAS enumerates compare-and-swap transitions of dis thread i. A CAS
+// atomically loads a message with the expected value and stores the new
+// value at the adjacent integer timestamp:
+//
+//   - reading a dis message at ts requires ts ≥ vw(x) and slot ts+1 free
+//     (the paper's ts' = ts + 1 adjacency, which also blocks a second CAS
+//     on the same message);
+//   - reading an env message at u⁺ can use any free integer slot t with
+//     t-1 ≥ max(u, ⌊vw(x)⌋): by Infinite Supply a clone of the message can
+//     be lifted into region t-1 just below the slot, and the remaining env
+//     messages relocate out of the gap (timestamp lifting, §3.1), so env
+//     messages never block adjacency.
+func (v *Verifier) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state) []*state {
+	x := e.Op.Var
+	expect := v.norm(e.Op.E.Eval(cfg.Regs))
+	newVal := v.norm(e.Op.E2.Eval(cfg.Regs))
+
+	emit := func(th AThread, msg AMsg) {
+		ns := st.clone()
+		ns.dis[i] = th
+		ns.mem.Put(msg)
+		v.stats.DisTransitions++
+		out = append(out, ns)
+	}
+
+	// Case 1: CAS on a dis message.
+	st.mem.Each(x, func(m AMsg) {
+		u := m.TS.Floor()
+		if m.TS < cfg.View[x] || m.Val != expect {
+			return
+		}
+		if u+1 > v.budget[x] || !st.mem.Free(x, u+1) {
+			return
+		}
+		view := cfg.View.Join(m.View)
+		view[x] = Int(u + 1)
+		msg := AMsg{Var: x, TS: Int(u + 1), Val: newVal, View: view}
+		log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
+		v.recordDisMsg(msg, i, log)
+		emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)
+	})
+
+	// Case 2: CAS on an env message.
+	for _, me := range st.env.MsgsByVar[x] {
+		m := me.Msg
+		if m.Val != expect {
+			continue
+		}
+		lo := m.TS.Floor()
+		if f := cfg.View[x].Floor(); f > lo {
+			lo = f
+		}
+		for t := lo + 1; t <= v.budget[x]; t++ {
+			if !st.mem.Free(x, t) {
+				continue
+			}
+			view := cfg.View.Join(m.View)
+			view[x] = Int(t)
+			msg := AMsg{Var: x, TS: Int(t), Val: newVal, View: view}
+			log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
+			v.recordDisMsg(msg, i, log)
+			emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)
+		}
+	}
+	return out
+}
+
+// recordDisMsg stores the provenance of a dis message (first derivation
+// wins, matching genthread of Definition 1).
+func (v *Verifier) recordDisMsg(m AMsg, disIndex int, log *ReadLog) {
+	k := m.Key()
+	if _, ok := v.msgLogs[k]; !ok {
+		v.msgLogs[k] = DisGen{DisIndex: disIndex, Log: log}
+	}
+}

@@ -1,0 +1,68 @@
+package simplified
+
+import (
+	"paramra/internal/lang"
+)
+
+// Inventory computes the full Message Generation relation: every
+// (variable, value) pair for which some reachable configuration of the
+// simplified semantics contains a message. Asserts are inert during the
+// computation (as in MG mode); the boolean reports search completeness.
+//
+// Inventory answers all MG queries of §4.1 at once; per-pair Goal queries
+// agree with it (cross-checked in the tests).
+func (v *Verifier) Inventory() (map[lang.VarID]map[lang.Val]bool, Stats, bool) {
+	v.stats = Stats{}
+	v.msgLogs = map[string]DisGen{}
+	// Force MG mode with an unreachable goal so asserts are inert and the
+	// search never exits early.
+	savedGoal := v.opts.Goal
+	v.opts.Goal = &Goal{Var: 0, Val: -1}
+	defer func() { v.opts.Goal = savedGoal }()
+
+	inv := make(map[lang.VarID]map[lang.Val]bool, len(v.sys.Vars))
+	for i := range v.sys.Vars {
+		inv[lang.VarID(i)] = map[lang.Val]bool{}
+	}
+	record := func(st *state) {
+		for vi := range st.mem.ByVar {
+			st.mem.Each(lang.VarID(vi), func(m AMsg) {
+				inv[m.Var][m.Val] = true
+			})
+		}
+		for _, me := range st.env.Msgs {
+			inv[me.Msg.Var][me.Msg.Val] = true
+		}
+	}
+
+	init := v.initState()
+	v.saturate(init)
+	record(init)
+
+	seen := map[string]bool{init.key(): true}
+	queue := []*state{init}
+	v.stats.MacroStates = 1
+	complete := true
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		succs, _ := v.disSuccessors(st)
+		for _, ns := range succs {
+			v.saturate(ns)
+			k := ns.key()
+			if seen[k] {
+				continue
+			}
+			if v.opts.MaxMacroStates > 0 && v.stats.MacroStates >= v.opts.MaxMacroStates {
+				complete = false
+				continue
+			}
+			seen[k] = true
+			v.stats.MacroStates++
+			record(ns)
+			queue = append(queue, ns)
+		}
+	}
+	return inv, v.stats, complete
+}

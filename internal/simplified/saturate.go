@@ -1,0 +1,133 @@
+package simplified
+
+import (
+	"paramra/internal/lang"
+)
+
+// loadTarget is a readable message together with the view the reader adopts.
+type loadTarget struct {
+	msg  AMsg
+	view AView
+}
+
+// loadTargets enumerates the messages a thread with view vw can load from
+// variable x, and the resulting views:
+//
+//   - dis messages are timestamp-checked (vw(x) ≤ ts) and joined as in the
+//     concrete semantics;
+//   - env messages carry no check (Infinite Supply: some clone is high
+//     enough), and the resulting view of x is bumped into the ⁺-region of
+//     the join's floor — the clone actually read lies strictly above the
+//     reader's previous view of x, so the reader can no longer access the
+//     integer timestamp at that floor.
+func (v *Verifier) loadTargets(st *state, vw AView, x lang.VarID) []loadTarget {
+	var out []loadTarget
+	st.mem.Each(x, func(m AMsg) {
+		if m.TS >= vw[x] {
+			out = append(out, loadTarget{msg: m, view: vw.Join(m.View)})
+		}
+	})
+	for _, me := range st.env.MsgsByVar[x] {
+		j := vw.Join(me.Msg.View)
+		j[x] = Plus(j[x].Floor())
+		out = append(out, loadTarget{msg: me.Msg, view: j})
+	}
+	return out
+}
+
+// saturate closes the env part of st under env transitions, mutating
+// st.env. It returns a non-nil Violation when an env thread can reach an
+// `assert false` or generate the goal message.
+func (v *Verifier) saturate(st *state) *Violation {
+	if v.envCFG == nil {
+		return nil
+	}
+	// Worklist of configuration keys. Adding a message re-enqueues every
+	// configuration, since any of them may now load it.
+	var work []string
+	inWork := map[string]bool{}
+	push := func(k string) {
+		if !inWork[k] {
+			inWork[k] = true
+			work = append(work, k)
+		}
+	}
+	for k := range st.env.Configs {
+		push(k)
+	}
+	pushAll := func() {
+		for k := range st.env.Configs {
+			push(k)
+		}
+	}
+
+	addConfig := func(c AThread) {
+		if st.env.AddConfig(c) {
+			push(c.Key())
+		}
+	}
+
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[k] = false
+		cfg, ok := st.env.Configs[k]
+		if !ok {
+			continue
+		}
+		for _, e := range v.envCFG.Out[cfg.PC] {
+			v.stats.SaturationSteps++
+			switch e.Op.Kind {
+			case lang.OpNop:
+				addConfig(AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log})
+
+			case lang.OpAssume:
+				if e.Op.E.Eval(cfg.Regs) != 0 {
+					addConfig(AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log})
+				}
+
+			case lang.OpAssertFail:
+				// In Message Generation mode asserts are inert (the §4.1
+				// reduction replaces them by goal stores).
+				if v.opts.Goal == nil {
+					return &Violation{ByEnv: true, Log: cfg.Log}
+				}
+
+			case lang.OpAssign:
+				regs := cfg.cloneRegs()
+				regs[e.Op.Reg] = v.norm(e.Op.E.Eval(cfg.Regs))
+				addConfig(AThread{PC: e.To, Regs: regs, View: cfg.View, Log: cfg.Log})
+
+			case lang.OpLoad:
+				for _, lt := range v.loadTargets(st, cfg.View, e.Op.Var) {
+					regs := cfg.cloneRegs()
+					regs[e.Op.Reg] = lt.msg.Val
+					log := &ReadLog{MsgKey: lt.msg.Key(), Prev: cfg.Log}
+					addConfig(AThread{PC: e.To, Regs: regs, View: lt.view, Log: log})
+				}
+
+			case lang.OpStore:
+				x := e.Op.Var
+				d := v.norm(e.Op.E.Eval(cfg.Regs))
+				view := cfg.View.Clone()
+				view[x] = Plus(cfg.View[x].Floor())
+				msg := AMsg{Var: x, TS: view[x], Val: d, View: view, Env: true}
+				if v.goalHit(msg) {
+					mc := msg
+					return &Violation{ByEnv: true, Log: cfg.Log, GoalMsg: &mc}
+				}
+				if st.env.AddMsg(msg, cfg.Log) {
+					pushAll()
+				}
+				addConfig(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: cfg.Log})
+
+			case lang.OpCASOp:
+				// Unreachable: New rejects env CAS. Kept as a defensive
+				// no-op so a future caller cannot silently get wrong
+				// results from a hand-built Verifier.
+				continue
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package simplified
+
+import (
+	"errors"
+	"fmt"
+
+	"paramra/internal/lang"
+)
+
+// Errors returned by New.
+var (
+	// ErrEnvCAS rejects systems whose env threads use compare-and-swap: for
+	// those, parameterized safety verification is undecidable (Theorem 1.1)
+	// and the simplified semantics is not sound.
+	ErrEnvCAS = errors.New("env program uses CAS: outside the decidable class (Theorem 1.1)")
+	// ErrDisCyclic rejects systems with looping dis threads; the PSPACE
+	// algorithm requires acyclic dis programs (§4). Use lang.UnrollSystem
+	// for a bounded-model-checking under-approximation.
+	ErrDisCyclic = errors.New("dis program has loops: unroll first (class requires dis(acyc))")
+)
+
+// Goal is a Message Generation query (§4.1): is a message (Var, Val, _)
+// generatable? Safety verification reduces to MG by replacing `assert false`
+// with a store of an otherwise-unused variable/value pair.
+type Goal struct {
+	Var lang.VarID
+	Val lang.Val
+}
+
+// Options configures verification.
+type Options struct {
+	// MaxMacroStates caps the macro-state search (0 = unlimited).
+	MaxMacroStates int
+	// ExtraSlots widens the per-variable integer-timestamp budget beyond the
+	// computed 2·S_v+2 bound (useful for experiments on budget sensitivity).
+	ExtraSlots int
+	// Goal, when non-nil, switches from assert-reachability to the Message
+	// Generation problem for the given (variable, value) pair.
+	Goal *Goal
+}
+
+// Stats reports work done by the verifier.
+type Stats struct {
+	// MacroStates is the number of distinct (dis, env-fingerprint) states.
+	MacroStates int
+	// DisTransitions is the number of dis transitions taken.
+	DisTransitions int
+	// EnvConfigs / EnvMsgs are the largest env-set sizes encountered.
+	EnvConfigs int
+	EnvMsgs    int
+	// SaturationSteps counts env transition applications across saturations.
+	SaturationSteps int
+}
+
+// Violation describes how the safety violation (or goal message) arises.
+type Violation struct {
+	// ByEnv is true when an env thread fired the violating transition.
+	ByEnv bool
+	// DisIndex identifies the violating dis thread when ByEnv is false.
+	DisIndex int
+	// Log is the violating thread's read log (chronological via Keys).
+	Log *ReadLog
+	// GoalMsg is the generated goal message for MG queries.
+	GoalMsg *AMsg
+	// Env and Mem snapshot the configuration at the violation, enabling
+	// dependency-graph reconstruction (the Log chains reference them).
+	Env *EnvSet
+	Mem *DisMem
+	// DisLogs are the read logs of all dis threads at the violation.
+	DisLogs []*ReadLog
+	// DisMsgLogs maps dis message keys to the generating thread's read log
+	// at store time together with the generating dis thread index.
+	DisMsgLogs map[string]DisGen
+}
+
+// DisGen records the provenance of a dis-generated message.
+type DisGen struct {
+	DisIndex int
+	Log      *ReadLog
+}
+
+// Result is the verification outcome.
+type Result struct {
+	// Unsafe is true when `assert false` is reachable (or the goal message
+	// is generatable).
+	Unsafe bool
+	// Complete is true when the search exhausted the macro-state space.
+	Complete  bool
+	Stats     Stats
+	Violation *Violation
+}
+
+// Verifier decides parameterized safety for systems in the class
+// env(nocas) ∥ dis_1(acyc) ∥ … ∥ dis_n(acyc) under the simplified semantics.
+type Verifier struct {
+	sys    *lang.System
+	envCFG *lang.CFG
+	disCFG []*lang.CFG
+	budget []int // per variable: usable integer timestamps are 1..budget[v]
+	opts   Options
+
+	// Search-global bookkeeping (reset per Verify call).
+	stats   Stats
+	msgLogs map[string]DisGen
+}
+
+// New validates the system against the decidable class and prepares a
+// verifier.
+func New(sys *lang.System, opts Options) (*Verifier, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Verifier{sys: sys, opts: opts}
+	if sys.Env != nil {
+		v.envCFG = lang.Compile(sys.Env)
+		if !v.envCFG.CASFree() {
+			return nil, fmt.Errorf("%s: %w", sys.Env.Name, ErrEnvCAS)
+		}
+	}
+	nv := len(sys.Vars)
+	storeSum := make([]int, nv)
+	for _, d := range sys.Dis {
+		g := lang.Compile(d)
+		if !g.Acyclic() {
+			return nil, fmt.Errorf("%s: %w", d.Name, ErrDisCyclic)
+		}
+		v.disCFG = append(v.disCFG, g)
+		for i, n := range g.CountStores(nv) {
+			storeSum[i] += n
+		}
+	}
+	v.budget = make([]int, nv)
+	for i := range v.budget {
+		// 2·S_v + 2 integer slots: any single run's order/adjacency pattern
+		// of S_v dis stores embeds into {1..2·S_v+1} (greedy: plain stores
+		// leave one free slot behind them for potential CAS successors).
+		v.budget[i] = 2*storeSum[i] + 2 + opts.ExtraSlots
+	}
+	return v, nil
+}
+
+// Budget exposes the per-variable integer-timestamp budget (for tests and
+// the Datalog encoder).
+func (v *Verifier) Budget() []int { return append([]int(nil), v.budget...) }
+
+func (v *Verifier) norm(val lang.Val) lang.Val {
+	d := lang.Val(v.sys.Dom)
+	return ((val % d) + d) % d
+}
+
+// initState builds the initial macro-state and saturates it.
+func (v *Verifier) initState() *state {
+	nv := len(v.sys.Vars)
+	st := &state{
+		mem: NewDisMem(nv, v.sys.Init),
+		env: NewEnvSet(nv),
+	}
+	for _, g := range v.disCFG {
+		st.dis = append(st.dis, AThread{
+			PC:   g.Entry,
+			Regs: make([]lang.Val, g.Prog.NumRegs()),
+			View: NewAView(nv),
+		})
+	}
+	if v.envCFG != nil {
+		st.env.AddConfig(AThread{
+			PC:   v.envCFG.Entry,
+			Regs: make([]lang.Val, v.envCFG.Prog.NumRegs()),
+			View: NewAView(nv),
+		})
+	}
+	return st
+}
+
+// Verify runs the macro-state search: saturate env behaviour, branch over
+// dis transitions, repeat.
+func (v *Verifier) Verify() Result {
+	v.stats = Stats{}
+	v.msgLogs = map[string]DisGen{}
+
+	init := v.initState()
+	if viol := v.saturate(init); viol != nil {
+		return v.unsafeResult(viol, init)
+	}
+	if viol := v.checkGoalDis(init); viol != nil {
+		return v.unsafeResult(viol, init)
+	}
+
+	seen := map[string]bool{init.key(): true}
+	queue := []*state{init}
+	v.stats.MacroStates = 1
+	limited := false
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		v.recordSizes(st)
+
+		succs, viol := v.disSuccessors(st)
+		if viol != nil {
+			return v.unsafeResult(viol, st)
+		}
+		for _, ns := range succs {
+			if viol := v.saturate(ns); viol != nil {
+				return v.unsafeResult(viol, ns)
+			}
+			if viol := v.checkGoalDis(ns); viol != nil {
+				return v.unsafeResult(viol, ns)
+			}
+			k := ns.key()
+			if seen[k] {
+				continue
+			}
+			if v.opts.MaxMacroStates > 0 && v.stats.MacroStates >= v.opts.MaxMacroStates {
+				limited = true
+				continue
+			}
+			seen[k] = true
+			v.stats.MacroStates++
+			queue = append(queue, ns)
+		}
+	}
+	return Result{Unsafe: false, Complete: !limited, Stats: v.stats}
+}
+
+func (v *Verifier) recordSizes(st *state) {
+	if n := len(st.env.Configs); n > v.stats.EnvConfigs {
+		v.stats.EnvConfigs = n
+	}
+	if n := len(st.env.Msgs); n > v.stats.EnvMsgs {
+		v.stats.EnvMsgs = n
+	}
+}
+
+func (v *Verifier) unsafeResult(viol *Violation, st *state) Result {
+	v.recordSizes(st)
+	viol.Env = st.env
+	viol.Mem = st.mem
+	viol.DisMsgLogs = v.msgLogs
+	for _, d := range st.dis {
+		viol.DisLogs = append(viol.DisLogs, d.Log)
+	}
+	return Result{Unsafe: true, Complete: true, Stats: v.stats, Violation: viol}
+}
+
+// goalHit checks an individual message against the MG goal.
+func (v *Verifier) goalHit(m AMsg) bool {
+	return v.opts.Goal != nil && m.Var == v.opts.Goal.Var && m.Val == v.opts.Goal.Val
+}
+
+// checkGoalDis scans dis memory for the goal message (init messages count:
+// a goal equal to the initial value is trivially generated).
+func (v *Verifier) checkGoalDis(st *state) *Violation {
+	if v.opts.Goal == nil {
+		return nil
+	}
+	var hit *Violation
+	st.mem.Each(v.opts.Goal.Var, func(m AMsg) {
+		if hit == nil && v.goalHit(m) {
+			mc := m
+			gen := v.msgLogs[m.Key()]
+			hit = &Violation{ByEnv: false, DisIndex: gen.DisIndex, Log: gen.Log, GoalMsg: &mc}
+		}
+	})
+	return hit
+}

@@ -1,0 +1,251 @@
+// Package tqbf implements quantified Boolean formulas: evaluation (the
+// canonical PSPACE-complete problem), random instance generation, parsing,
+// and the paper's Figure 6 reduction from TQBF to parameterized safety
+// verification of PureRA programs (Theorem 5.1).
+package tqbf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Lit is a literal: variable index (into QBF.Vars) with optional negation.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// QVar is a quantified variable.
+type QVar struct {
+	Name   string
+	Exists bool
+}
+
+// QBF is a prenex CNF quantified Boolean formula: quantifier prefix (outer
+// to inner) over a CNF matrix.
+type QBF struct {
+	Vars   []QVar
+	Matrix []Clause
+}
+
+// Eval decides the formula by the textbook PSPACE recursion over the
+// quantifier prefix.
+func (q *QBF) Eval() bool {
+	assign := make([]bool, len(q.Vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(q.Vars) {
+			return q.matrixHolds(assign)
+		}
+		assign[i] = false
+		r0 := rec(i + 1)
+		if q.Vars[i].Exists && r0 {
+			return true
+		}
+		if !q.Vars[i].Exists && !r0 {
+			return false
+		}
+		assign[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+func (q *QBF) matrixHolds(assign []bool) bool {
+	for _, cl := range q.Matrix {
+		sat := false
+		for _, l := range cl {
+			if assign[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in the concrete syntax accepted by Parse.
+func (q *QBF) String() string {
+	var b strings.Builder
+	for i, v := range q.Vars {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if v.Exists {
+			b.WriteString("exists ")
+		} else {
+			b.WriteString("forall ")
+		}
+		b.WriteString(v.Name)
+	}
+	b.WriteString(" : ")
+	if len(q.Matrix) == 0 {
+		b.WriteString("true")
+		return b.String()
+	}
+	for ci, cl := range q.Matrix {
+		if ci > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteByte('(')
+		for li, l := range cl {
+			if li > 0 {
+				b.WriteString(" | ")
+			}
+			if l.Neg {
+				b.WriteByte('~')
+			}
+			b.WriteString(q.Vars[l.Var].Name)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Parse reads a formula in the String syntax, e.g.
+//
+//	forall u0 exists e1 forall u1 : (u0 | ~e1) & (e1 | u1)
+//
+// An empty clause section or the keyword "true" denotes the empty matrix.
+func Parse(src string) (*QBF, error) {
+	parts := strings.SplitN(src, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("tqbf: missing ':' separating prefix and matrix")
+	}
+	q := &QBF{}
+	idx := map[string]int{}
+	fields := strings.Fields(parts[0])
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("tqbf: malformed prefix %q", parts[0])
+	}
+	for i := 0; i < len(fields); i += 2 {
+		var exists bool
+		switch fields[i] {
+		case "forall":
+			exists = false
+		case "exists":
+			exists = true
+		default:
+			return nil, fmt.Errorf("tqbf: expected quantifier, found %q", fields[i])
+		}
+		name := fields[i+1]
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("tqbf: duplicate variable %q", name)
+		}
+		idx[name] = len(q.Vars)
+		q.Vars = append(q.Vars, QVar{Name: name, Exists: exists})
+	}
+	matrix := strings.TrimSpace(parts[1])
+	if matrix == "" || matrix == "true" {
+		return q, nil
+	}
+	for _, clStr := range strings.Split(matrix, "&") {
+		clStr = strings.TrimSpace(clStr)
+		clStr = strings.TrimPrefix(clStr, "(")
+		clStr = strings.TrimSuffix(clStr, ")")
+		var cl Clause
+		for _, litStr := range strings.Split(clStr, "|") {
+			litStr = strings.TrimSpace(litStr)
+			neg := false
+			if strings.HasPrefix(litStr, "~") || strings.HasPrefix(litStr, "!") {
+				neg = true
+				litStr = strings.TrimSpace(litStr[1:])
+			}
+			v, ok := idx[litStr]
+			if !ok {
+				return nil, fmt.Errorf("tqbf: unquantified variable %q", litStr)
+			}
+			cl = append(cl, Lit{Var: v, Neg: neg})
+		}
+		if len(cl) == 0 {
+			return nil, fmt.Errorf("tqbf: empty clause")
+		}
+		q.Matrix = append(q.Matrix, cl)
+	}
+	return q, nil
+}
+
+// Normalize rewrites the formula into the paper's shape
+//
+//	∀u0 ∃e1 ∀u1 … ∃en ∀un Φ
+//
+// (strictly alternating, starting and ending with ∀) by inserting fresh
+// dummy variables that do not occur in the matrix. The result is
+// equivalent to the original.
+func (q *QBF) Normalize() *QBF {
+	out := &QBF{}
+	remap := make([]int, len(q.Vars))
+	fresh := 0
+	pad := func(exists bool) {
+		out.Vars = append(out.Vars, QVar{
+			Name:   fmt.Sprintf("pad%d", fresh),
+			Exists: exists,
+		})
+		fresh++
+	}
+	wantExists := false // paper shape starts with ∀
+	for i, v := range q.Vars {
+		for v.Exists != wantExists {
+			pad(wantExists)
+			wantExists = !wantExists
+		}
+		remap[i] = len(out.Vars)
+		out.Vars = append(out.Vars, v)
+		wantExists = !wantExists
+	}
+	// Must end with a universal.
+	if len(out.Vars) == 0 || out.Vars[len(out.Vars)-1].Exists {
+		pad(false)
+	}
+	for _, cl := range q.Matrix {
+		ncl := make(Clause, len(cl))
+		for i, l := range cl {
+			ncl[i] = Lit{Var: remap[l.Var], Neg: l.Neg}
+		}
+		out.Matrix = append(out.Matrix, ncl)
+	}
+	return out
+}
+
+// IsPaperShape reports whether the prefix is ∀(∃∀)* — the Figure 6
+// reduction's input shape.
+func (q *QBF) IsPaperShape() bool {
+	if len(q.Vars) == 0 || len(q.Vars)%2 == 0 {
+		return false
+	}
+	for i, v := range q.Vars {
+		if v.Exists != (i%2 == 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Random generates a random paper-shape QBF with n existential levels
+// (2n+1 variables) and the given number of CNF clauses of width ≤ 3.
+func Random(r *rand.Rand, n, clauses int) *QBF {
+	q := &QBF{}
+	for i := 0; i <= 2*n; i++ {
+		if i%2 == 1 {
+			q.Vars = append(q.Vars, QVar{Name: fmt.Sprintf("e%d", (i+1)/2), Exists: true})
+		} else {
+			q.Vars = append(q.Vars, QVar{Name: fmt.Sprintf("u%d", i/2), Exists: false})
+		}
+	}
+	for c := 0; c < clauses; c++ {
+		width := 1 + r.Intn(3)
+		var cl Clause
+		for l := 0; l < width; l++ {
+			cl = append(cl, Lit{Var: r.Intn(len(q.Vars)), Neg: r.Intn(2) == 1})
+		}
+		q.Matrix = append(q.Matrix, cl)
+	}
+	return q
+}

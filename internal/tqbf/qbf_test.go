@@ -1,0 +1,130 @@
+package tqbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *QBF {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestEvalBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"forall u : u", false},
+		{"forall u : (u | ~u)", true},
+		{"exists e : e", true},
+		{"exists e : (e & ~e)", false}, // parsed as two clauses? no — single & splits clauses: (e) & (~e)
+		{"forall u exists e : (u | e)", true},
+		{"forall u exists e : (~u | e) & (u | ~e)", true},  // e := u
+		{"exists e forall u : (~u | e) & (u | ~e)", false}, // e fixed before u
+		{"forall u0 exists e1 forall u1 : (e1 | u1) & (~e1 | ~u1)", false},
+		{"forall u0 exists e1 forall u1 : (~u0 | e1) & (u0 | ~e1)", true},
+		{"forall u : true", true},
+	}
+	for _, tc := range tests {
+		q := mustParse(t, tc.src)
+		if got := q.Eval(); got != tc.want {
+			t.Errorf("Eval(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"forall u (u)",            // missing colon
+		"forall : (u)",            // malformed prefix
+		"what u : (u)",            // bad quantifier
+		"forall u : (v)",          // unquantified variable
+		"forall u forall u : (u)", // duplicate
+		"forall u : () ",          // empty clause
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		q := Random(r, 1+r.Intn(2), 1+r.Intn(4))
+		q2 := mustParse(t, q.String())
+		if q.String() != q2.String() {
+			t.Fatalf("round trip mismatch:\n%s\n%s", q, q2)
+		}
+		if q.Eval() != q2.Eval() {
+			t.Fatalf("round trip changed truth: %s", q)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []string{
+		"exists e : e",
+		"forall u : u",
+		"exists a exists b : (a | b)",
+		"forall u forall v : (u | ~v | v)",
+		"exists a forall u exists b : (a | b | u)",
+	}
+	for _, src := range cases {
+		q := mustParse(t, src)
+		n := q.Normalize()
+		if !n.IsPaperShape() {
+			t.Errorf("Normalize(%q) not paper shape: %s", src, n)
+		}
+		if q.Eval() != n.Eval() {
+			t.Errorf("Normalize(%q) changed truth value", src)
+		}
+	}
+}
+
+func TestNormalizeRandomPreservesTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		// Random arbitrary prefix.
+		q := &QBF{}
+		nv := 1 + r.Intn(4)
+		for v := 0; v < nv; v++ {
+			q.Vars = append(q.Vars, QVar{Name: string(rune('a' + v)), Exists: r.Intn(2) == 0})
+		}
+		for c := 0; c < 1+r.Intn(3); c++ {
+			var cl Clause
+			for l := 0; l < 1+r.Intn(3); l++ {
+				cl = append(cl, Lit{Var: r.Intn(nv), Neg: r.Intn(2) == 1})
+			}
+			q.Matrix = append(q.Matrix, cl)
+		}
+		n := q.Normalize()
+		if !n.IsPaperShape() {
+			t.Fatalf("not paper shape: %s", n)
+		}
+		if q.Eval() != n.Eval() {
+			t.Fatalf("truth changed: %s vs %s", q, n)
+		}
+	}
+}
+
+func TestIsPaperShape(t *testing.T) {
+	if !mustParse(t, "forall u : u").IsPaperShape() {
+		t.Error("∀u should be paper shape (n=0)")
+	}
+	if !mustParse(t, "forall u0 exists e1 forall u1 : u0").IsPaperShape() {
+		t.Error("∀∃∀ should be paper shape")
+	}
+	if mustParse(t, "exists e : e").IsPaperShape() {
+		t.Error("∃ alone is not paper shape")
+	}
+	if mustParse(t, "forall u exists e : e").IsPaperShape() {
+		t.Error("∀∃ (even length) is not paper shape")
+	}
+}

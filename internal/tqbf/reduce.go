@@ -1,0 +1,158 @@
+package tqbf
+
+import (
+	"fmt"
+
+	"paramra/internal/lang"
+)
+
+// Reduce implements the Figure 6 construction: given a paper-shape QBF
+//
+//	Ψ = ∀u0 ∃e1 ∀u1 … ∃en ∀un Φ,
+//
+// it builds a parameterized PureRA system (env threads only) that is unsafe
+// iff Ψ is true.
+//
+// Encoding of assignments in views (§5): for each variable b of Ψ there are
+// shared variables t_b and f_b, and a view vw encodes
+//
+//	b = 1  ⟺  vw(t_b) = 0      b = 0  ⟺  vw(f_b) = 0,
+//
+// i.e. the truth of b is "the init message of t_b is still readable". The
+// env program non-deterministically plays one of the roles:
+//
+//	c_AG      guesses an assignment: pick(b) bumps t_b or f_b by storing 1
+//	          (Figure 6 writes the store as `t_u := 0`; PureRA stores write
+//	          the value 1 — only the timestamp bump matters), then
+//	          publishes s := 1, whose message carries the assignment view.
+//	c_SATC    reads s = 1 (adopting the assignment), checks Φ by reading
+//	          init messages, and certifies the innermost universal's value
+//	          by storing a_{n,1} or a_{n,0}.
+//	c_FE[i]   merges a level-(i+1) pair of certificates a_{i+1,0}, a_{i+1,1}
+//	          (their join must still determine e_{i+1}, enforcing that the
+//	          existential choice did not depend on the universal u_{i+1}),
+//	          then re-certifies u_i at level i.
+//	c_assert  reads both level-0 certificates and fails.
+//
+// The check `assume(x = 0)` is a load of x followed by an assume against 0:
+// it succeeds iff the thread can still read x's initial message.
+func Reduce(q *QBF) (*lang.System, error) {
+	if !q.IsPaperShape() {
+		return nil, fmt.Errorf("tqbf: formula prefix is not of shape ∀(∃∀)*; call Normalize first")
+	}
+	n := len(q.Vars) / 2 // number of existential levels
+
+	sb := lang.NewSystemBuilder("tqbf", 2)
+	// Shared variables.
+	tVar := make([]lang.VarID, len(q.Vars))
+	fVar := make([]lang.VarID, len(q.Vars))
+	for i, v := range q.Vars {
+		tVar[i] = sb.Var("t_" + v.Name)
+		fVar[i] = sb.Var("f_" + v.Name)
+	}
+	s := sb.Var("s")
+	// Certificates a_{i,0}, a_{i,1} for levels 0..n.
+	a := make([][2]lang.VarID, n+1)
+	for i := 0; i <= n; i++ {
+		a[i][0] = sb.Var(fmt.Sprintf("a_%d_0", i))
+		a[i][1] = sb.Var(fmt.Sprintf("a_%d_1", i))
+	}
+
+	pb := lang.NewProgramBuilder("cenv")
+	r := pb.Reg("r")
+
+	// assumeZero: r = load x; assume r == 0 — readable iff vw(x) = 0.
+	assumeZero := func(x lang.VarID) lang.Stmt {
+		return lang.SeqOf(
+			lang.Load{Reg: r, Var: x},
+			lang.Assume{Cond: lang.Eq(lang.Reg(r), lang.Num(0))},
+		)
+	}
+	// assumeOne: r = load x; assume r == 1 — the store on x happened-before.
+	assumeOne := func(x lang.VarID) lang.Stmt {
+		return lang.SeqOf(
+			lang.Load{Reg: r, Var: x},
+			lang.Assume{Cond: lang.Eq(lang.Reg(r), lang.Num(1))},
+		)
+	}
+	store1 := func(x lang.VarID) lang.Stmt { return lang.Store{Var: x, E: lang.Num(1)} }
+
+	// pick(b): guess b's value by bumping the opposite witness variable.
+	pick := func(b int) lang.Stmt {
+		return lang.ChoiceOf(
+			store1(tVar[b]), // b := 0 (t_b's init becomes stale)
+			store1(fVar[b]), // b := 1
+		)
+	}
+
+	// c_AG.
+	var ag []lang.Stmt
+	for b := range q.Vars {
+		ag = append(ag, pick(b))
+	}
+	ag = append(ag, store1(s))
+	cAG := lang.SeqOf(ag...)
+
+	// check(Φ): for each clause, choose a literal and certify it.
+	checkLit := func(l Lit) lang.Stmt {
+		if l.Neg {
+			return assumeZero(fVar[l.Var]) // b = 0
+		}
+		return assumeZero(tVar[l.Var]) // b = 1
+	}
+	var checks []lang.Stmt
+	for _, cl := range q.Matrix {
+		branches := make([]lang.Stmt, len(cl))
+		for i, l := range cl {
+			branches[i] = checkLit(l)
+		}
+		checks = append(checks, lang.ChoiceOf(branches...))
+	}
+
+	// certify(level, varIdx): re-assert the universal's value and publish.
+	certify := func(level, varIdx int) lang.Stmt {
+		return lang.ChoiceOf(
+			lang.SeqOf(assumeZero(tVar[varIdx]), store1(a[level][1])),
+			lang.SeqOf(assumeZero(fVar[varIdx]), store1(a[level][0])),
+		)
+	}
+
+	// c_SATC.
+	un := 2 * n // index of the innermost universal u_n
+	cSATC := lang.SeqOf(
+		assumeOne(s),
+		lang.SeqOf(checks...),
+		certify(n, un),
+	)
+
+	// c_FE[i] for 0 ≤ i ≤ n-1.
+	var fes []lang.Stmt
+	for i := 0; i < n; i++ {
+		ei1 := 2*i + 1 // index of e_{i+1}
+		ui := 2 * i    // index of u_i
+		fes = append(fes, lang.SeqOf(
+			assumeOne(a[i+1][0]),
+			assumeOne(a[i+1][1]),
+			lang.ChoiceOf(assumeZero(fVar[ei1]), assumeZero(tVar[ei1])),
+			certify(i, ui),
+		))
+	}
+
+	// c_assert.
+	cAssert := lang.SeqOf(
+		assumeOne(a[0][0]),
+		assumeOne(a[0][1]),
+		lang.AssertFail{},
+	)
+
+	branches := []lang.Stmt{cAG, cSATC}
+	branches = append(branches, fes...)
+	branches = append(branches, cAssert)
+	env := pb.Build(lang.ChoiceOf(branches...))
+
+	sys := sb.Env(env).Build()
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("tqbf: generated system invalid: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,301 @@
+package paramra
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"paramra/internal/depgraph"
+	"paramra/internal/encode"
+	"paramra/internal/lang"
+	"paramra/internal/ra"
+	"paramra/internal/simplified"
+)
+
+// Core types re-exported from the language package.
+type (
+	// System is a parameterized system: shared variables, a data domain,
+	// an env program and dis programs.
+	System = lang.System
+	// Program is a single thread's code.
+	Program = lang.Program
+	// SystemClass is the paper-notation classification of a system.
+	SystemClass = lang.SystemClass
+	// Stats reports verifier work.
+	Stats = simplified.Stats
+	// DependencyGraph is the Definition 1 dependency graph of a violation.
+	DependencyGraph = depgraph.Graph
+)
+
+// Errors surfaced by Verify.
+var (
+	// ErrEnvCAS marks systems whose env threads use CAS (undecidable class,
+	// Theorem 1.1).
+	ErrEnvCAS = simplified.ErrEnvCAS
+	// ErrDisCyclic marks systems with looping dis threads; set
+	// Options.UnrollDis for a bounded under-approximation.
+	ErrDisCyclic = simplified.ErrDisCyclic
+)
+
+// Parse reads a system in concrete syntax.
+func Parse(src string) (*System, error) { return lang.ParseSystem(src) }
+
+// ParseFile reads a system from a file.
+func ParseFile(path string) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data))
+}
+
+// Format renders a system back into concrete syntax.
+func Format(sys *System) string { return lang.Print(sys) }
+
+// Classify computes the system class signature, e.g.
+// "env(nocas) || dis_1(acyc)".
+func Classify(sys *System) SystemClass { return lang.Classify(sys) }
+
+// Unroll returns a copy of the system with every dis-thread loop unrolled k
+// times (a bounded-model-checking under-approximation; env loops are
+// handled exactly by the verifier and left untouched).
+func Unroll(sys *System, k int) *System { return lang.UnrollSystem(sys, k) }
+
+// Goal switches verification to the Message Generation problem (§4.1): can
+// a message with the given variable and value be generated?
+type Goal struct {
+	Var string
+	Val int
+}
+
+// Options configures Verify.
+type Options struct {
+	// MaxMacroStates caps the search (0 = unlimited).
+	MaxMacroStates int
+	// Goal, when non-nil, asks Message Generation instead of assert
+	// reachability.
+	Goal *Goal
+	// UnrollDis, when positive, unrolls looping dis threads this many times
+	// before verification (making the result an under-approximation for
+	// such systems).
+	UnrollDis int
+	// Datalog selects the makeP → Datalog backend (Theorem 4.1) instead of
+	// the integrated fixpoint engine. Slower; exposed for cross-checking
+	// and experiments.
+	Datalog bool
+	// MaxSkeletons caps dis-run enumeration for the Datalog backend.
+	MaxSkeletons int
+}
+
+// Result is the verification outcome.
+type Result struct {
+	// Unsafe is true when some instance reaches `assert false` (or
+	// generates the goal message).
+	Unsafe bool
+	// Complete is false when a search limit was hit before a verdict.
+	Complete bool
+	// Class is the system's classification.
+	Class SystemClass
+	// Underapprox is true when dis loops were unrolled, so a SAFE verdict
+	// only covers the unrolled behaviours.
+	Underapprox bool
+	// Stats reports verifier work (fixpoint backend only).
+	Stats Stats
+	// EnvThreadBound is the §4.3 cost bound on the number of env threads
+	// sufficient to reproduce the violation (-1 when not applicable).
+	EnvThreadBound int64
+	// Graph is the dependency graph of the violation (fixpoint backend,
+	// unsafe verdicts only).
+	Graph *DependencyGraph
+	// Witness lists the messages read by the violating thread, in order
+	// (fixpoint backend, unsafe verdicts only).
+	Witness []string
+}
+
+// Verify decides parameterized safety for the system.
+func Verify(sys *System, opts Options) (Result, error) {
+	res := Result{EnvThreadBound: -1}
+	work := sys
+	if opts.UnrollDis > 0 {
+		cls := lang.Classify(sys)
+		needs := false
+		for _, d := range cls.Dis {
+			if !d.Acyclic {
+				needs = true
+			}
+		}
+		if needs {
+			work = lang.UnrollSystem(sys, opts.UnrollDis)
+			res.Underapprox = true
+		}
+	}
+	res.Class = lang.Classify(work)
+
+	if opts.Datalog {
+		return verifyDatalog(work, opts, res)
+	}
+
+	var goal *simplified.Goal
+	if opts.Goal != nil {
+		v, ok := work.VarByName(opts.Goal.Var)
+		if !ok {
+			return res, fmt.Errorf("paramra: unknown goal variable %q", opts.Goal.Var)
+		}
+		goal = &simplified.Goal{Var: v, Val: lang.Val(opts.Goal.Val)}
+	}
+	ver, err := simplified.New(work, simplified.Options{
+		MaxMacroStates: opts.MaxMacroStates,
+		Goal:           goal,
+	})
+	if err != nil {
+		return res, err
+	}
+	out := ver.Verify()
+	res.Unsafe = out.Unsafe
+	res.Complete = out.Complete
+	res.Stats = out.Stats
+	if out.Unsafe && out.Violation != nil {
+		res.Witness = out.Violation.Log.Keys()
+		if g, err := depgraph.FromViolation(work, out.Violation); err == nil {
+			res.Graph = g
+			res.EnvThreadBound = g.CostGoal()
+		}
+	}
+	return res, nil
+}
+
+func verifyDatalog(sys *System, opts Options, res Result) (Result, error) {
+	if opts.Goal != nil {
+		return res, errors.New("paramra: the Datalog backend supports assert-reachability only")
+	}
+	maxSk := opts.MaxSkeletons
+	if maxSk == 0 {
+		maxSk = 100_000
+	}
+	ps, complete, err := encode.All(sys, maxSk)
+	if err != nil {
+		return res, err
+	}
+	res.Unsafe = encode.Unsafe(ps)
+	res.Complete = res.Unsafe || complete
+	return res, nil
+}
+
+// ConfirmViolation independently validates an UNSAFE verdict: it searches
+// for a concrete instance (under the full RA semantics of Figure 2) that
+// exhibits the violation, trying env thread counts up to the §4.3 cost
+// bound capped at maxN. It returns the confirming thread count and the
+// interleaving witness, or an error when no instance within the cap could
+// be fully explored and confirmed (which, given Theorem 3.4, indicates the
+// bound cap or the state cap was too small — not a false alarm).
+func ConfirmViolation(sys *System, res Result, maxN, maxStates int) (int, string, error) {
+	if !res.Unsafe {
+		return 0, "", errors.New("paramra: result is not a violation")
+	}
+	hi := int64(maxN)
+	if res.EnvThreadBound >= 0 && res.EnvThreadBound < hi {
+		hi = res.EnvThreadBound
+	}
+	if sys.Env == nil {
+		hi = 0
+	}
+	limitHit := false
+	for n := 0; n <= int(hi); n++ {
+		inst, err := ra.NewInstance(sys, n)
+		if err != nil {
+			return 0, "", err
+		}
+		out := inst.Explore(ra.Limits{MaxStates: maxStates})
+		if out.Unsafe {
+			return n, ra.FormatWitness(out.Witness), nil
+		}
+		if !out.Complete {
+			limitHit = true
+		}
+	}
+	if limitHit {
+		return 0, "", fmt.Errorf("paramra: no confirmation within %d env threads (state cap hit; raise maxStates)", hi)
+	}
+	return 0, "", fmt.Errorf("paramra: no confirmation within %d env threads (raise maxN)", hi)
+}
+
+// DeadlockResult classifies the sink states of a fixed instance.
+type DeadlockResult struct {
+	// Deadlocks counts reachable states with no enabled transition where
+	// some thread has not finished (e.g. stuck in an assume).
+	Deadlocks int
+	// Terminal counts states where every thread finished its program.
+	Terminal int
+	// Complete is true when the state space was exhausted.
+	Complete bool
+	// Example renders one deadlocked state; StuckThreads names its
+	// unfinished threads.
+	Example      string
+	StuckThreads []string
+}
+
+// FindDeadlocks explores the fixed instance with nEnv env threads under the
+// concrete RA semantics and classifies its sink states.
+func FindDeadlocks(sys *System, nEnv, maxStates int) (DeadlockResult, error) {
+	inst, err := ra.NewInstance(sys, nEnv)
+	if err != nil {
+		return DeadlockResult{}, err
+	}
+	rep := inst.FindDeadlocks(ra.Limits{MaxStates: maxStates})
+	return DeadlockResult{
+		Deadlocks: rep.Deadlocks, Terminal: rep.Terminal, Complete: rep.Complete,
+		Example: rep.Example, StuckThreads: rep.StuckThreads,
+	}, nil
+}
+
+// Inventory computes the full Message Generation relation of §4.1: for
+// every shared variable, the set of values some generatable message
+// carries. Keys are variable names; asserts are inert during the analysis.
+func Inventory(sys *System, opts Options) (map[string][]int, error) {
+	v, err := simplified.New(sys, simplified.Options{MaxMacroStates: opts.MaxMacroStates})
+	if err != nil {
+		return nil, err
+	}
+	inv, _, complete := v.Inventory()
+	if !complete {
+		return nil, errors.New("paramra: inventory search hit the state cap")
+	}
+	out := make(map[string][]int, len(sys.Vars))
+	for vi, name := range sys.Vars {
+		var vals []int
+		for d := 0; d < sys.Dom; d++ {
+			if inv[lang.VarID(vi)][lang.Val(d)] {
+				vals = append(vals, d)
+			}
+		}
+		out[name] = vals
+	}
+	return out, nil
+}
+
+// InstanceResult is the outcome of exploring one fixed instance under the
+// concrete RA semantics.
+type InstanceResult struct {
+	Unsafe   bool
+	Complete bool
+	States   int
+	// Witness is a violating interleaving rendered one event per line.
+	Witness string
+}
+
+// VerifyInstance explores the concrete RA state space of the instance with
+// nEnv environment threads (maxStates 0 = unlimited — beware, loops make
+// the space infinite in general).
+func VerifyInstance(sys *System, nEnv, maxStates int) (InstanceResult, error) {
+	inst, err := ra.NewInstance(sys, nEnv)
+	if err != nil {
+		return InstanceResult{}, err
+	}
+	out := inst.Explore(ra.Limits{MaxStates: maxStates})
+	return InstanceResult{
+		Unsafe:   out.Unsafe,
+		Complete: out.Complete,
+		States:   out.States,
+		Witness:  ra.FormatWitness(out.Witness),
+	}, nil
+}

@@ -1,0 +1,290 @@
+package paramra_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paramra"
+)
+
+const prodcons = `
+system prodcons { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }
+`
+
+func TestVerifyUnsafe(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsafe || !res.Complete {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Class.String() != "env(nocas, acyc) || dis_1(nocas, acyc)" {
+		t.Errorf("class = %s", res.Class)
+	}
+	if res.EnvThreadBound != 1 {
+		t.Errorf("env thread bound = %d, want 1", res.EnvThreadBound)
+	}
+	if res.Graph == nil || len(res.Witness) != 1 {
+		t.Errorf("missing violation artifacts: graph=%v witness=%v", res.Graph, res.Witness)
+	}
+}
+
+func TestVerifySafe(t *testing.T) {
+	sys, err := paramra.Parse(`
+system mp { vars x y; domain 2; env p; dis c }
+thread p { store x 1; store y 1 }
+thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; assert false }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsafe {
+		t.Fatal("MP must be safe")
+	}
+	if res.EnvThreadBound != -1 || res.Graph != nil {
+		t.Error("safe result should carry no violation artifacts")
+	}
+}
+
+func TestVerifyDatalogBackendAgrees(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{Datalog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsafe {
+		t.Fatal("Datalog backend disagrees with fixpoint")
+	}
+	if _, err := paramra.Verify(sys, paramra.Options{Datalog: true, Goal: &paramra.Goal{Var: "x", Val: 2}}); err == nil {
+		t.Error("Datalog backend should reject goal queries")
+	}
+}
+
+func TestVerifyGoal(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsafe {
+		t.Error("message (x,2) should be generatable")
+	}
+	res, err = paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsafe {
+		t.Error("message (x,3) should not be generatable")
+	}
+	if _, err := paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "zz", Val: 0}}); err == nil {
+		t.Error("unknown goal variable accepted")
+	}
+}
+
+func TestVerifyUnrollDis(t *testing.T) {
+	sys, err := paramra.Parse(`
+system loopy { vars x; domain 4; env w; dis d }
+thread w { regs r; r = load x; store x (r + 1) }
+thread d { regs s; while s != 2 { s = load x }; assert false }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paramra.Verify(sys, paramra.Options{}); !errors.Is(err, paramra.ErrDisCyclic) {
+		t.Fatalf("looping dis should be rejected without UnrollDis: %v", err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{UnrollDis: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsafe || !res.Underapprox {
+		t.Errorf("unrolled verification: %+v", res)
+	}
+}
+
+func TestVerifyEnvCASRejected(t *testing.T) {
+	sys, err := paramra.Parse(`
+system bad { vars x; domain 2; env e }
+thread e { cas x 0 1 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := paramra.Verify(sys, paramra.Options{}); !errors.Is(err, paramra.ErrEnvCAS) {
+		t.Fatalf("env CAS should be rejected: %v", err)
+	}
+}
+
+func TestVerifyInstance(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.VerifyInstance(sys, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsafe {
+		t.Error("0 env threads: safe expected")
+	}
+	res, err = paramra.VerifyInstance(sys, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsafe {
+		t.Error("1 env thread: unsafe expected")
+	}
+	if !strings.Contains(res.Witness, "assert false") {
+		t.Errorf("witness missing assert:\n%s", res.Witness)
+	}
+}
+
+func TestConfirmViolation(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(sys, paramra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, witness, err := paramra.ConfirmViolation(sys, res, 4, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("confirmed at n=%d, want 1", n)
+	}
+	if !strings.Contains(witness, "assert false") {
+		t.Errorf("witness missing assert:\n%s", witness)
+	}
+	// Safe results are rejected.
+	safeSys, err := paramra.Parse(`
+system mp { vars x y; domain 2; env p; dis c }
+thread p { store x 1; store y 1 }
+thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; assert false }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safeRes, err := paramra.Verify(safeSys, paramra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := paramra.ConfirmViolation(safeSys, safeRes, 2, 100_000); err == nil {
+		t.Error("safe result accepted for confirmation")
+	}
+}
+
+func TestParseFileAndFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.ra")
+	if err := os.WriteFile(path, []byte(prodcons), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := paramra.ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "prodcons" {
+		t.Errorf("name = %s", sys.Name)
+	}
+	if _, err := paramra.ParseFile(filepath.Join(dir, "missing.ra")); err == nil {
+		t.Error("missing file accepted")
+	}
+	formatted := paramra.Format(sys)
+	sys2, err := paramra.Parse(formatted)
+	if err != nil {
+		t.Fatalf("formatted output does not re-parse: %v\n%s", err, formatted)
+	}
+	if paramra.Format(sys2) != formatted {
+		t.Error("format not idempotent")
+	}
+}
+
+func TestFindDeadlocksFacade(t *testing.T) {
+	sys, err := paramra.Parse(`
+system stuck { vars go; domain 2; env waiter }
+thread waiter { regs g; g = load go; assume g == 1 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := paramra.FindDeadlocks(sys, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlocks == 0 || !rep.Complete {
+		t.Errorf("expected deadlocks: %+v", rep)
+	}
+	okSys, err := paramra.Parse(`
+system fine { vars x; domain 2; dis t }
+thread t { store x 1 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = paramra.FindDeadlocks(okSys, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlocks != 0 || rep.Terminal == 0 {
+		t.Errorf("straight-line program misclassified: %+v", rep)
+	}
+}
+
+func TestInventoryFacade(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := paramra.Inventory(sys, paramra.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := []int{0, 2} // init and the producer's store
+	gotX := inv["x"]
+	if len(gotX) != len(wantX) || gotX[0] != wantX[0] || gotX[1] != wantX[1] {
+		t.Errorf("inventory[x] = %v, want %v", gotX, wantX)
+	}
+	wantY := []int{0, 1}
+	gotY := inv["y"]
+	if len(gotY) != len(wantY) || gotY[0] != wantY[0] || gotY[1] != wantY[1] {
+		t.Errorf("inventory[y] = %v, want %v", gotY, wantY)
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := paramra.Classify(sys)
+	if !c.Decidable() {
+		t.Errorf("prodcons should be decidable: %s", c)
+	}
+	u := paramra.Unroll(sys, 2)
+	if u == sys {
+		t.Error("Unroll should copy")
+	}
+}

@@ -1,0 +1,65 @@
+package paramra_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paramra"
+)
+
+// expected verdicts for the shipped example systems (first line of each
+// file documents them).
+var testdataVerdicts = map[string]bool{
+	"prodcons.ra": true,
+	"mp.ra":       false,
+	"peterson.ra": true,
+	"chain.ra":    true,
+	"barrier.ra":  false,
+	"spinlock.ra": false,
+}
+
+// TestShippedSystems parses and verifies every .ra file under
+// testdata/systems, checking the documented verdict.
+func TestShippedSystems(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "systems"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".ra") {
+			continue
+		}
+		seen++
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			sys, err := paramra.ParseFile(filepath.Join("testdata", "systems", name))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			want, known := testdataVerdicts[name]
+			if !known {
+				t.Fatalf("no expected verdict recorded for %s — update testdataVerdicts", name)
+			}
+			res, err := paramra.Verify(sys, paramra.Options{})
+			if err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if !res.Unsafe && !res.Complete {
+				t.Fatal("incomplete")
+			}
+			if res.Unsafe != want {
+				t.Errorf("verdict = %v, want %v", res.Unsafe, want)
+			}
+			// Round trip through the printer.
+			if _, err := paramra.Parse(paramra.Format(sys)); err != nil {
+				t.Errorf("formatted output does not re-parse: %v", err)
+			}
+		})
+	}
+	if seen != len(testdataVerdicts) {
+		t.Errorf("found %d .ra files, expected %d", seen, len(testdataVerdicts))
+	}
+}
