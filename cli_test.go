@@ -28,7 +28,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"raverify", "raexplore", "radatalog", "ratqbf", "rabench"} {
+		for _, tool := range []string{"raverify", "raexplore", "radatalog", "ratqbf", "rabench", "ravet"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -182,6 +182,73 @@ func TestCLIRatqbf(t *testing.T) {
 	out, code = runTool(t, "ratqbf", "-random", "-n", "1", "-seed", "3")
 	if code != 0 || !strings.Contains(out, "agreement") {
 		t.Errorf("ratqbf random: code=%d out=%s", code, out)
+	}
+}
+
+func TestCLIRavet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	defective := writeTemp(t, "defects.ra", `
+system s { vars x wonly; domain 3; env t }
+thread t { regs a dead; dead = 2; a = load x; store wonly a; store x 1 }
+`)
+	out, code := runTool(t, "ravet", defective)
+	if code != 1 {
+		t.Errorf("defective file: code=%d out=%s", code, out)
+	}
+	for _, rule := range []string{"dead-store", "write-only-var"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("missing %q diagnostic in output:\n%s", rule, out)
+		}
+	}
+	if !strings.Contains(out, filepath.Base(defective)+":") && !strings.Contains(out, defective+":") {
+		t.Errorf("diagnostics not prefixed with the file name:\n%s", out)
+	}
+	clean := writeTemp(t, "mp.ra", cliSafe)
+	out, code = runTool(t, "ravet", clean)
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Errorf("clean file: code=%d out=%q", code, out)
+	}
+	out, code = runTool(t, "ravet", "-footprint", clean)
+	if code != 0 || !strings.Contains(out, "footprint") {
+		t.Errorf("-footprint: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "ravet", "-slice", defective)
+	if code != 1 || !strings.Contains(out, "slice") {
+		t.Errorf("-slice preview: code=%d out=%s", code, out)
+	}
+	bad := writeTemp(t, "bad.ra", "system oops {")
+	_, code = runTool(t, "ravet", bad)
+	if code != 2 {
+		t.Errorf("parse error: code=%d", code)
+	}
+	_, code = runTool(t, "ravet")
+	if code != 2 {
+		t.Errorf("no args: code=%d", code)
+	}
+}
+
+func TestCLISliceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	path := writeTemp(t, "pc.ra", cliProdCons)
+	out, code := runTool(t, "raverify", "-slice", path)
+	if code != 1 || !strings.Contains(out, "UNSAFE") {
+		t.Errorf("raverify -slice verdict changed: code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "slice:") {
+		t.Errorf("raverify -slice missing slice report:\n%s", out)
+	}
+	safePath := writeTemp(t, "mp.ra", cliSafe)
+	out, code = runTool(t, "raverify", "-slice", safePath)
+	if code != 0 || !strings.Contains(out, "SAFE") {
+		t.Errorf("raverify -slice on safe system: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, "radatalog", "-slice", path)
+	if code != 1 || !strings.Contains(out, "UNSAFE") || !strings.Contains(out, "slice:") {
+		t.Errorf("radatalog -slice: code=%d out=%s", code, out)
 	}
 }
 

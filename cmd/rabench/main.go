@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|all]
+//	rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|all]
 package main
 
 import (
@@ -35,9 +35,10 @@ func run() int {
 		"scaling":   scaling,
 		"gap":       gap,
 		"budget":    budget,
+		"slice":     slice_,
 	}
 	if what == "all" {
-		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget"} {
+		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice"} {
 			if err := run[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
 				return 1
@@ -48,7 +49,7 @@ func run() int {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|all]\n")
 		return 2
 	}
 	if err := f(); err != nil {
@@ -159,5 +160,14 @@ func budget() error {
 		return err
 	}
 	fmt.Print(bench.BudgetTable(rows).String())
+	return nil
+}
+
+func slice_() error {
+	rows, err := bench.SliceExperiment()
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.SliceTable(rows).String())
 	return nil
 }

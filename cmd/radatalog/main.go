@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"paramra/internal/analysis"
 	"paramra/internal/datalog"
 	"paramra/internal/encode"
 	"paramra/internal/lang"
@@ -32,6 +33,7 @@ func run() int {
 		maxSkeletons = flag.Int("max-skeletons", 100_000, "cap on dis-run skeleton enumeration")
 		stats        = flag.Bool("stats", false, "print per-instance rule/atom counts")
 		cacheBound   = flag.Int("cache", 0, ".dl mode: decide queries under the Cache Datalog bound ⊢_k")
+		doSlice      = flag.Bool("slice", false, ".ra mode: run the verdict-preserving slicer before encoding")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,6 +53,11 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "radatalog:", err)
 		return 2
+	}
+	if *doSlice {
+		var st analysis.SliceStats
+		sys, st = analysis.Slice(sys, analysis.SliceOptions{})
+		fmt.Printf("slice:     %s\n", st)
 	}
 	ps, complete, err := encode.All(sys, *maxSkeletons)
 	if err != nil {

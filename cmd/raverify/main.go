@@ -31,6 +31,7 @@ type jsonReport struct {
 	EnvMsgs        int      `json:"envMsgs"`
 	EnvThreadBound int64    `json:"envThreadBound"`
 	Witness        []string `json:"witness,omitempty"`
+	Slice          string   `json:"slice,omitempty"`
 }
 
 func main() {
@@ -48,6 +49,7 @@ func run() int {
 		showClass      = flag.Bool("class", false, "print the system class and exit")
 		jsonOut        = flag.Bool("json", false, "emit a machine-readable JSON report")
 		confirm        = flag.Bool("confirm", false, "on UNSAFE, confirm with a concrete instance and print its interleaving")
+		doSlice        = flag.Bool("slice", false, "run the verdict-preserving slicer before verification")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -63,6 +65,15 @@ func run() int {
 	if *showClass {
 		fmt.Println(paramra.Classify(sys))
 		return 0
+	}
+	var sliceStats paramra.SliceStats
+	if *doSlice {
+		// The goal variable must survive slicing: the query is about it.
+		var keep []string
+		if *goalVar != "" {
+			keep = append(keep, *goalVar)
+		}
+		sys, sliceStats = paramra.Slice(sys, keep...)
 	}
 	opts := paramra.Options{
 		MaxMacroStates: *maxStates,
@@ -90,6 +101,7 @@ func run() int {
 	if *jsonOut {
 		rep := jsonReport{
 			System: sys.Name, Class: res.Class.String(), Verdict: verdict,
+			Slice:    sliceDesc(*doSlice, sliceStats),
 			Complete: res.Complete, Underapprox: res.Underapprox,
 			MacroStates: res.Stats.MacroStates, DisTransitions: res.Stats.DisTransitions,
 			EnvConfigs: res.Stats.EnvConfigs, EnvMsgs: res.Stats.EnvMsgs,
@@ -108,6 +120,9 @@ func run() int {
 	}
 	fmt.Printf("system:   %s\n", sys.Name)
 	fmt.Printf("class:    %s\n", res.Class)
+	if *doSlice {
+		fmt.Printf("slice:    %s\n", sliceStats)
+	}
 	fmt.Printf("verdict:  %s\n", verdict)
 	if !*datalogBackend {
 		fmt.Printf("stats:    macro-states=%d dis-transitions=%d env-configs=%d env-msgs=%d\n",
@@ -138,4 +153,13 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// sliceDesc renders the slice stats for the JSON report ("" when -slice is
+// off, so the field is omitted).
+func sliceDesc(sliced bool, stats paramra.SliceStats) string {
+	if !sliced {
+		return ""
+	}
+	return stats.String()
 }

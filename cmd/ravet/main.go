@@ -1,0 +1,82 @@
+// Command ravet is the static analyzer ("vet") for .ra system files. It
+// parses each file, runs the lint rules of internal/analysis — dead register
+// stores, loads whose value is never read, unreachable code and asserts,
+// write-only shared variables, constant-false assumes, CAS operations that
+// can never succeed, registers read before assignment, empty loop bodies —
+// and prints one "file:line:col: rule: message" diagnostic per finding.
+//
+// Usage:
+//
+//	ravet [flags] system.ra ...
+//
+// The exit code is 0 when every file is clean, 1 when any diagnostic fired,
+// and 2 on parse or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paramra"
+	"paramra/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		footprint = flag.Bool("footprint", false, "also print each thread's per-variable load/store/CAS footprint")
+		slicePrev = flag.Bool("slice", false, "also print what the verdict-preserving slicer would remove")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ravet [flags] system.ra ...")
+		flag.PrintDefaults()
+		return 2
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		sys, err := paramra.ParseFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 2
+			continue
+		}
+		for _, d := range paramra.Analyze(sys) {
+			d.File = path
+			fmt.Println(d)
+			if code == 0 {
+				code = 1
+			}
+		}
+		if *footprint {
+			fmt.Printf("%s: footprint:\n", path)
+			fmt.Print(indent(analysis.Footprint(sys).String()))
+		}
+		if *slicePrev {
+			if _, stats := paramra.Slice(sys); stats.Changed() {
+				fmt.Printf("%s: slice would shrink the system: %s\n", path, stats)
+			}
+		}
+	}
+	return code
+}
+
+func indent(s string) string {
+	var out []byte
+	start := true
+	for i := 0; i < len(s); i++ {
+		if start {
+			out = append(out, ' ', ' ')
+			start = false
+		}
+		out = append(out, s[i])
+		if s[i] == '\n' {
+			start = true
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"paramra/internal/lang"
+)
+
+// constVal is a flat constant lattice element for one register:
+// bottom (never assigned on any path considered) < const v < top (varies).
+type constVal struct {
+	kind int // cBot, cConst, cTop
+	val  lang.Val
+}
+
+const (
+	cBot = iota
+	cConst
+	cTop
+)
+
+func joinConst(a, b constVal) constVal {
+	switch {
+	case a.kind == cBot:
+		return b
+	case b.kind == cBot:
+		return a
+	case a.kind == cConst && b.kind == cConst && a.val == b.val:
+		return a
+	default:
+		return constVal{kind: cTop}
+	}
+}
+
+// constFact is the forward constant-propagation fact: reachability plus one
+// lattice element per register. The unreachable fact is the problem's
+// bottom.
+type constFact struct {
+	reachable bool
+	regs      []constVal
+}
+
+func (f constFact) clone() constFact {
+	out := constFact{reachable: f.reachable, regs: make([]constVal, len(f.regs))}
+	copy(out.regs, f.regs)
+	return out
+}
+
+func constFactEqual(a, b constFact) bool {
+	if a.reachable != b.reachable {
+		return false
+	}
+	for i := range a.regs {
+		if a.regs[i] != b.regs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstProp is the result of reaching-constant propagation over one
+// program's CFG, relative to a system-wide over-approximation of the values
+// each shared variable can hold.
+type ConstProp struct {
+	CFG   *lang.CFG
+	facts []constFact
+}
+
+// Reachable reports whether pc can be reached from the entry on some path
+// the analysis could not rule out (paths through constant-false assumes and
+// never-matching CAS expects are ruled out).
+func (c *ConstProp) Reachable(pc lang.PC) bool { return c.facts[pc].reachable }
+
+// EvalAt constant-evaluates e at pc; ok is false when the value is not a
+// compile-time constant there (or pc is unreachable).
+func (c *ConstProp) EvalAt(pc lang.PC, e lang.Expr) (lang.Val, bool) {
+	f := c.facts[pc]
+	if !f.reachable {
+		return 0, false
+	}
+	return constEval(e, f.regs)
+}
+
+// constEval evaluates e under a partial register valuation; ok is false
+// when any register involved is non-constant. Short-circuit cases where one
+// operand decides the result (0 && _, 1 || _) are folded even if the other
+// operand is unknown, matching Expr.Eval's semantics.
+func constEval(e lang.Expr, regs []constVal) (lang.Val, bool) {
+	switch e := e.(type) {
+	case lang.ConstExpr:
+		return e.V, true
+	case lang.RegExpr:
+		i := int(e.Reg)
+		if i < 0 || i >= len(regs) {
+			return 0, true // out-of-range registers read as 0 (Expr.Eval)
+		}
+		if regs[i].kind == cConst {
+			return regs[i].val, true
+		}
+		if regs[i].kind == cBot {
+			return 0, true // never assigned: the implicit initial value
+		}
+		return 0, false
+	case lang.UnExpr:
+		v, ok := constEval(e.E, regs)
+		if !ok {
+			return 0, false
+		}
+		return lang.UnExpr{Op: e.Op, E: lang.Num(v)}.Eval(nil), true
+	case lang.BinExpr:
+		l, lok := constEval(e.L, regs)
+		if e.Op == lang.OpAnd {
+			if lok && l == 0 {
+				return 0, true
+			}
+			r, rok := constEval(e.R, regs)
+			if !lok || !rok {
+				return 0, false
+			}
+			return boolToVal(l != 0 && r != 0), true
+		}
+		if e.Op == lang.OpOr {
+			if lok && l != 0 {
+				return 1, true
+			}
+			r, rok := constEval(e.R, regs)
+			if !lok || !rok {
+				return 0, false
+			}
+			return boolToVal(l != 0 || r != 0), true
+		}
+		r, rok := constEval(e.R, regs)
+		if !lok || !rok {
+			return 0, false
+		}
+		return lang.BinExpr{Op: e.Op, L: lang.Num(l), R: lang.Num(r)}.Eval(nil), true
+	default:
+		return 0, false
+	}
+}
+
+func boolToVal(b bool) lang.Val {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// VarValues over-approximates, per shared variable, the set of values any
+// message on that variable can carry across the whole system: the initial
+// value plus every syntactically-constant stored value; a single
+// non-constant store makes the variable's set "anything".
+type VarValues struct {
+	Dom int
+	// any[v] is true when stores to v include a non-constant expression.
+	any []bool
+	// vals[v] is the set of known possible values of v.
+	vals []map[lang.Val]bool
+}
+
+// CanHold reports whether variable v can ever hold value d (an
+// over-approximation: true may be spurious, false is definite).
+func (vv *VarValues) CanHold(v lang.VarID, d lang.Val) bool {
+	if int(v) < 0 || int(v) >= len(vv.vals) {
+		return true
+	}
+	return vv.any[v] || vv.vals[v][d]
+}
+
+// PossibleVarValues scans every thread of the system once.
+func PossibleVarValues(sys *lang.System) *VarValues {
+	vv := &VarValues{
+		Dom:  sys.Dom,
+		any:  make([]bool, len(sys.Vars)),
+		vals: make([]map[lang.Val]bool, len(sys.Vars)),
+	}
+	for v := range sys.Vars {
+		vv.vals[v] = map[lang.Val]bool{sys.Init: true}
+	}
+	record := func(v lang.VarID, e lang.Expr) {
+		if c, ok := e.(lang.ConstExpr); ok {
+			vv.vals[v][c.V] = true
+		} else {
+			vv.any[v] = true
+		}
+	}
+	for _, p := range sys.Threads() {
+		g := lang.Compile(p)
+		for _, edges := range g.Out {
+			for _, e := range edges {
+				switch e.Op.Kind {
+				case lang.OpStore:
+					record(e.Op.Var, e.Op.E)
+				case lang.OpCASOp:
+					record(e.Op.Var, e.Op.E2)
+				}
+			}
+		}
+	}
+	return vv
+}
+
+// PropagateConsts runs forward constant propagation over g. The system-wide
+// vv refines loads (a variable nobody ever writes always reads its initial
+// value) and CAS feasibility (an expected value the variable can never hold
+// makes the success edge unreachable). Registers start at 0, matching both
+// execution engines (internal/ra, internal/simplified).
+func PropagateConsts(g *lang.CFG, sys *lang.System, vv *VarValues) *ConstProp {
+	numRegs := g.Prog.NumRegs()
+	neverWritten := make([]bool, len(sys.Vars))
+	for v := range sys.Vars {
+		neverWritten[v] = !vv.any[v] && len(vv.vals[v]) == 1 && vv.vals[v][sys.Init]
+	}
+	boundary := func() constFact {
+		f := constFact{reachable: true, regs: make([]constVal, numRegs)}
+		for i := range f.regs {
+			f.regs[i] = constVal{kind: cConst, val: 0}
+		}
+		return f
+	}
+	facts := Solve(g, Problem[constFact]{
+		Dir:      Forward,
+		Bottom:   func() constFact { return constFact{regs: make([]constVal, numRegs)} },
+		Boundary: boundary,
+		Join: func(a, b constFact) constFact {
+			if !a.reachable {
+				return b.clone()
+			}
+			if !b.reachable {
+				return a.clone()
+			}
+			out := constFact{reachable: true, regs: make([]constVal, len(a.regs))}
+			for i := range out.regs {
+				out.regs[i] = joinConst(a.regs[i], b.regs[i])
+			}
+			return out
+		},
+		Equal: constFactEqual,
+		Transfer: func(e lang.Edge, in constFact) constFact {
+			if !in.reachable {
+				return in
+			}
+			switch e.Op.Kind {
+			case lang.OpAssume:
+				if v, ok := constEval(e.Op.E, in.regs); ok && v == 0 {
+					return constFact{regs: make([]constVal, numRegs)} // blocks forever
+				}
+				return in
+			case lang.OpAssign:
+				out := in.clone()
+				if v, ok := constEval(e.Op.E, in.regs); ok {
+					out.regs[e.Op.Reg] = constVal{kind: cConst, val: v}
+				} else {
+					out.regs[e.Op.Reg] = constVal{kind: cTop}
+				}
+				return out
+			case lang.OpLoad:
+				out := in.clone()
+				if neverWritten[e.Op.Var] {
+					out.regs[e.Op.Reg] = constVal{kind: cConst, val: sys.Init}
+				} else {
+					out.regs[e.Op.Reg] = constVal{kind: cTop}
+				}
+				return out
+			case lang.OpCASOp:
+				if v, ok := constEval(e.Op.E, in.regs); ok && !vv.CanHold(e.Op.Var, v) {
+					return constFact{regs: make([]constVal, numRegs)} // can never succeed
+				}
+				return in
+			default:
+				return in
+			}
+		},
+	})
+	return &ConstProp{CFG: g, facts: facts}
+}

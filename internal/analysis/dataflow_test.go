@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+func mustProgram(t *testing.T, src string, vars []string) *lang.Program {
+	t.Helper()
+	p, err := lang.ParseProgram(src, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustSystem(t *testing.T, src string) *lang.System {
+	t.Helper()
+	sys, err := lang.ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestLivenessStraightLine: in a = 1; b = a; store x b, register a dies after
+// b = a, and b dies after the store.
+func TestLivenessStraightLine(t *testing.T) {
+	p := mustProgram(t, "thread t { regs a b; a = 1; b = a; store x b }", []string{"x"})
+	g := lang.Compile(p)
+	live := LiveRegs(g)
+	var asgA, asgB, st lang.Edge
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			switch {
+			case e.Op.Kind == lang.OpAssign && e.Op.Reg == 0:
+				asgA = e
+			case e.Op.Kind == lang.OpAssign && e.Op.Reg == 1:
+				asgB = e
+			case e.Op.Kind == lang.OpStore:
+				st = e
+			}
+		}
+	}
+	if !live.Live(asgA.To, 0) {
+		t.Error("a should be live right after a = 1 (read by b = a)")
+	}
+	if live.Live(asgB.To, 0) {
+		t.Error("a should be dead after b = a")
+	}
+	if !live.Live(asgB.To, 1) {
+		t.Error("b should be live after b = a (read by the store)")
+	}
+	if live.Live(st.To, 1) {
+		t.Error("b should be dead after the store")
+	}
+	if live.DeadDef(asgA) || live.DeadDef(asgB) {
+		t.Error("no definition in the chain is dead")
+	}
+}
+
+// TestLivenessLoop: a register read inside a loop stays live around the back
+// edge.
+func TestLivenessLoop(t *testing.T) {
+	p := mustProgram(t, "thread t { regs n; n = 1; loop { store x n } }", []string{"x"})
+	g := lang.Compile(p)
+	live := LiveRegs(g)
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpAssign {
+				if !live.Live(e.To, 0) {
+					t.Error("n must stay live through the loop")
+				}
+				if live.DeadDef(e) {
+					t.Error("n = 1 is not a dead definition")
+				}
+			}
+		}
+	}
+}
+
+// TestConstPropBranchJoin: a register constant on both branches with the
+// same value stays constant at the join; differing values go to top.
+func TestConstPropBranchJoin(t *testing.T) {
+	sys := mustSystem(t, `system s { vars x; domain 4; env t }
+thread t {
+  regs a b
+  choice { a = 2; b = 1 } or { a = 2; b = 3 }
+  store x a
+}`)
+	g := lang.Compile(sys.Env)
+	vv := PossibleVarValues(sys)
+	cp := PropagateConsts(g, sys, vv)
+	var st lang.Edge
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpStore {
+				st = e
+			}
+		}
+	}
+	if v, ok := cp.EvalAt(st.From, lang.Reg(0)); !ok || v != 2 {
+		t.Errorf("a at the join = (%d, %v), want constant 2", v, ok)
+	}
+	if _, ok := cp.EvalAt(st.From, lang.Reg(1)); ok {
+		t.Error("b differs across branches; must not be constant at the join")
+	}
+}
+
+// TestConstPropUnreachable: a constant-false assume makes everything after
+// it unreachable, and EvalAt reports not-a-constant there.
+func TestConstPropUnreachable(t *testing.T) {
+	sys := mustSystem(t, `system s { vars x; domain 2; env t }
+thread t { regs a; assume 0 == 1; a = load x; store x 1 }`)
+	g := lang.Compile(sys.Env)
+	cp := PropagateConsts(g, sys, PossibleVarValues(sys))
+	if !cp.Reachable(g.Entry) {
+		t.Fatal("entry must be reachable")
+	}
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpLoad || e.Op.Kind == lang.OpStore {
+				if cp.Reachable(e.From) {
+					t.Errorf("%v after a constant-false assume should be unreachable", e.Op.Kind)
+				}
+				if _, ok := cp.EvalAt(e.From, lang.Num(1)); ok {
+					t.Error("EvalAt at an unreachable PC must report not-constant")
+				}
+			}
+		}
+	}
+}
+
+// TestConstPropNeverWrittenVar: loads from a variable nobody writes yield
+// the initial value as a constant.
+func TestConstPropNeverWrittenVar(t *testing.T) {
+	sys := mustSystem(t, `system s { vars ro rw; domain 3; init 2; env t }
+thread t { regs a b; a = load ro; b = load rw; store rw b }`)
+	g := lang.Compile(sys.Env)
+	cp := PropagateConsts(g, sys, PossibleVarValues(sys))
+	exit := terminalPC(g)
+	if v, ok := cp.EvalAt(exit, lang.Reg(0)); !ok || v != 2 {
+		t.Errorf("load from never-written var = (%d, %v), want constant init 2", v, ok)
+	}
+	if _, ok := cp.EvalAt(exit, lang.Reg(1)); ok {
+		t.Error("load from a written var must be non-constant")
+	}
+}
+
+func terminalPC(g *lang.CFG) lang.PC {
+	for n := 0; n < g.NumNodes; n++ {
+		if len(g.Out[n]) == 0 {
+			return lang.PC(n)
+		}
+	}
+	return g.Entry
+}
+
+// TestUnassignedRegs: a register is maybe-unassigned until every path has
+// defined it.
+func TestUnassignedRegs(t *testing.T) {
+	p := mustProgram(t, "thread t { regs a; choice { a = 1 } or { skip }; store x a }", []string{"x"})
+	g := lang.Compile(p)
+	ua := UnassignedRegs(g)
+	if !ua.Unassigned(g.Entry, 0) {
+		t.Error("a is unassigned at entry")
+	}
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpStore && !ua.Unassigned(e.From, 0) {
+				t.Error("a may still be unassigned at the store (skip branch)")
+			}
+		}
+	}
+}
+
+// TestVarValues: the possible-value over-approximation collects the initial
+// value and syntactic store/CAS constants, and degrades to "anything" on a
+// non-constant store.
+func TestVarValues(t *testing.T) {
+	sys := mustSystem(t, `system s { vars c anyv; domain 5; env t }
+thread t { regs r; store c 3; cas c 3 4; r = load c; store anyv r }`)
+	vv := PossibleVarValues(sys)
+	c, _ := sys.VarByName("c")
+	a, _ := sys.VarByName("anyv")
+	for val, want := range map[lang.Val]bool{0: true, 3: true, 4: true, 1: false, 2: false} {
+		if got := vv.CanHold(c, val); got != want {
+			t.Errorf("CanHold(c, %d) = %v, want %v", val, got, want)
+		}
+	}
+	if !vv.CanHold(a, 4) {
+		t.Error("a variable with a non-constant store can hold anything")
+	}
+}
+
+// TestFootprint covers the per-variable refinement of acyc/nocas.
+func TestFootprint(t *testing.T) {
+	sys := mustSystem(t, `system s { vars lock data out; domain 2; env w; dis r }
+thread w { regs v; cas lock 0 1; v = load data; store data 1 }
+thread r { store out 1 }`)
+	fp := Footprint(sys)
+	lock, _ := sys.VarByName("lock")
+	data, _ := sys.VarByName("data")
+	out, _ := sys.VarByName("out")
+	w := fp.Threads[0]
+	if w.NoCASOn(lock) {
+		t.Error("thread w CASes lock")
+	}
+	if !w.NoCASOn(data) {
+		t.Error("thread w is CAS-free on data")
+	}
+	if !fp.WriteOnly(out) {
+		t.Error("out is write-only")
+	}
+	if fp.WriteOnly(data) {
+		t.Error("data is loaded, not write-only")
+	}
+	if fp.NeverWritten(lock) {
+		t.Error("lock is CASed, so it is written")
+	}
+	if fp.Unused(lock) || fp.Unused(out) {
+		t.Error("lock and out are both accessed")
+	}
+	s := fp.String()
+	if !strings.Contains(s, "lock{cas:1}") || !strings.Contains(s, "out{st:1}") {
+		t.Errorf("footprint rendering missing entries:\n%s", s)
+	}
+}
+
+// TestSolveBackwardBoundary: every terminal node gets the boundary fact even
+// when several exist.
+func TestSolveBackwardBoundary(t *testing.T) {
+	p := mustProgram(t, "thread t { regs a; choice { a = 1; store x a } or { assume 1 == 1 } }", []string{"x"})
+	g := lang.Compile(p)
+	live := LiveRegs(g)
+	// At the entry a is not yet live on the assume branch, but it is live on
+	// the assignment branch only *after* the assignment; so entry-liveness of
+	// a must be false (it is defined before its only use).
+	if live.Live(g.Entry, 0) {
+		t.Error("a is defined before use on every path; not live at entry")
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// VarFootprint counts how one thread accesses one shared variable.
+type VarFootprint struct {
+	Loads  int
+	Stores int
+	CASes  int
+}
+
+// Accessed reports whether the variable is touched at all.
+func (f VarFootprint) Accessed() bool { return f.Loads+f.Stores+f.CASes > 0 }
+
+// ProgFootprint is a single thread's shared-memory footprint, refining the
+// whole-program acyc/nocas classification of lang.Classify to per-variable
+// granularity: a thread may be nocas globally yet, more usefully, nocas on
+// every variable except the one lock word it spins on.
+type ProgFootprint struct {
+	Prog *lang.Program
+	// Vars is indexed by VarID.
+	Vars []VarFootprint
+	// Type is the thread's whole-program classification.
+	Type lang.ThreadType
+}
+
+// NoCASOn reports whether the thread is CAS-free on variable v (the
+// per-variable refinement of the paper's nocas restriction).
+func (pf *ProgFootprint) NoCASOn(v lang.VarID) bool {
+	return int(v) >= len(pf.Vars) || pf.Vars[v].CASes == 0
+}
+
+// SystemFootprint aggregates per-thread footprints over a system. Threads
+// are ordered as in System.Threads() (env first, then dis).
+type SystemFootprint struct {
+	Sys     *lang.System
+	Threads []*ProgFootprint
+	// Totals sums the per-thread footprints, counting a program shared by
+	// several clauses once per clause it appears in.
+	Totals []VarFootprint
+}
+
+// Footprint computes the read/write/CAS footprint of every thread.
+func Footprint(sys *lang.System) *SystemFootprint {
+	sf := &SystemFootprint{Sys: sys, Totals: make([]VarFootprint, len(sys.Vars))}
+	for _, p := range sys.Threads() {
+		pf := &ProgFootprint{Prog: p, Vars: make([]VarFootprint, len(sys.Vars))}
+		g := lang.Compile(p)
+		pf.Type = lang.ThreadType{Acyclic: g.Acyclic(), NoCAS: g.CASFree()}
+		for _, edges := range g.Out {
+			for _, e := range edges {
+				switch e.Op.Kind {
+				case lang.OpLoad:
+					pf.Vars[e.Op.Var].Loads++
+				case lang.OpStore:
+					pf.Vars[e.Op.Var].Stores++
+				case lang.OpCASOp:
+					pf.Vars[e.Op.Var].CASes++
+				}
+			}
+		}
+		sf.Threads = append(sf.Threads, pf)
+		for v := range sf.Totals {
+			sf.Totals[v].Loads += pf.Vars[v].Loads
+			sf.Totals[v].Stores += pf.Vars[v].Stores
+			sf.Totals[v].CASes += pf.Vars[v].CASes
+		}
+	}
+	return sf
+}
+
+// WriteOnly reports whether variable v is stored somewhere but never loaded
+// and never CAS'd (a CAS both reads and writes): its messages are never
+// observed, so stores to it are removable by the slicer.
+func (sf *SystemFootprint) WriteOnly(v lang.VarID) bool {
+	t := sf.Totals[v]
+	return t.Stores > 0 && t.Loads == 0 && t.CASes == 0
+}
+
+// Unused reports whether variable v is never accessed at all.
+func (sf *SystemFootprint) Unused(v lang.VarID) bool {
+	return !sf.Totals[v].Accessed()
+}
+
+// NeverWritten reports whether no thread ever stores or CASes v, so every
+// load of v yields the initial value.
+func (sf *SystemFootprint) NeverWritten(v lang.VarID) bool {
+	t := sf.Totals[v]
+	return t.Stores == 0 && t.CASes == 0
+}
+
+// String renders the footprint as a per-thread table, e.g.
+//
+//	producer (nocas, acyc): x{st:1} y{ld:1}
+//	consumer (nocas, acyc): x{ld:1} y{st:1}
+func (sf *SystemFootprint) String() string {
+	var b strings.Builder
+	for _, pf := range sf.Threads {
+		fmt.Fprintf(&b, "%s %s:", pf.Prog.Name, pf.Type)
+		touched := false
+		for v, f := range pf.Vars {
+			if !f.Accessed() {
+				continue
+			}
+			touched = true
+			b.WriteByte(' ')
+			b.WriteString(sf.Sys.VarName(lang.VarID(v)))
+			b.WriteByte('{')
+			var parts []string
+			if f.Loads > 0 {
+				parts = append(parts, fmt.Sprintf("ld:%d", f.Loads))
+			}
+			if f.Stores > 0 {
+				parts = append(parts, fmt.Sprintf("st:%d", f.Stores))
+			}
+			if f.CASes > 0 {
+				parts = append(parts, fmt.Sprintf("cas:%d", f.CASes))
+			}
+			b.WriteString(strings.Join(parts, ","))
+			b.WriteByte('}')
+		}
+		if !touched {
+			b.WriteString(" (no shared accesses)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+// FuzzAnalyzeAndSlice runs the linter and the slicer over every system the
+// frontend accepts: neither may panic, the sliced system must validate and
+// re-parse, and slicing must be idempotent.
+func FuzzAnalyzeAndSlice(f *testing.F) {
+	seeds := []string{
+		"system s { vars x y; domain 4; env producer; dis consumer }\nthread producer { regs r; r = load y; assume r == 1; store x 2 }\nthread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }",
+		"system s { vars x; domain 2; env t }\nthread t { skip }",
+		"system s { vars x y z; domain 7; init 3; env a; dis b }\nthread a { loop { choice { store x 1 } or { cas y 0 1 } } }\nthread b { regs r; while r != 2 { r = load z } }",
+		"system s { vars x; domain 2; env t }\nthread t { regs a; a = 1; assume a == 0; assert false }",
+		"system s { vars w; domain 2; env t }\nthread t { regs a b; a = load w; store w b; while a == a { } }",
+		"system s{vars x;domain 2;env t}thread t{r=load x;store x (r*r-1)}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sys, err := lang.ParseSystem(src)
+		if err != nil {
+			return
+		}
+		AnalyzeSystem(sys) // must not panic
+		sliced, stats := Slice(sys, SliceOptions{})
+		if err := sliced.Validate(); err != nil {
+			t.Fatalf("sliced system invalid: %v\noriginal:\n%s\nsliced:\n%s", err, src, lang.Print(sliced))
+		}
+		if _, err := lang.ParseSystem(lang.Print(sliced)); err != nil {
+			t.Fatalf("sliced system does not re-parse: %v\n%s", err, lang.Print(sliced))
+		}
+		if stats.PCsAfter > stats.PCsBefore || stats.RegsAfter > stats.RegsBefore || stats.VarsAfter > stats.VarsBefore {
+			t.Fatalf("slice grew the system: %v", stats)
+		}
+		again, stats2 := Slice(sliced, SliceOptions{})
+		if stats2.Changed() {
+			t.Fatalf("slice not idempotent (still shrinking): %v\n%s", stats2, lang.Print(sliced))
+		}
+		if !reflect.DeepEqual(sliced, again) {
+			t.Fatalf("slice not idempotent:\nonce:\n%s\ntwice:\n%s", lang.Print(sliced), lang.Print(again))
+		}
+	})
+}

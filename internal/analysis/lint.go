@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// Diagnostic is one lint finding. File is filled in by the caller (the
+// analyses only see parsed systems); Thread is empty for system-level
+// findings.
+type Diagnostic struct {
+	File   string
+	Pos    lang.Pos
+	Rule   string
+	Thread string
+	Msg    string
+}
+
+// String renders the diagnostic as "file:line:col: rule: [thread t] msg".
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteByte(':')
+	}
+	b.WriteString(d.Pos.String())
+	b.WriteString(": ")
+	b.WriteString(d.Rule)
+	b.WriteString(": ")
+	if d.Thread != "" {
+		fmt.Fprintf(&b, "thread %s: ", d.Thread)
+	}
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// Lint rule identifiers, as printed by ravet and used in golden tests.
+const (
+	RuleDeadStore         = "dead-store"
+	RuleDeadLoad          = "dead-load"
+	RuleUnreachableCode   = "unreachable-code"
+	RuleUnreachableAssert = "unreachable-assert"
+	RuleWriteOnlyVar      = "write-only-var"
+	RuleAssumeFalse       = "assume-false"
+	RuleCASNeverSucceeds  = "cas-never-succeeds"
+	RuleUseBeforeDef      = "use-before-def"
+	RuleEmptyLoop         = "empty-loop"
+)
+
+// AnalyzeSystem runs every lint rule over the system and returns the
+// findings sorted by position. It never mutates the system.
+func AnalyzeSystem(sys *lang.System) []Diagnostic {
+	l := &linter{sys: sys, vv: PossibleVarValues(sys), fp: Footprint(sys)}
+	seenProg := map[*lang.Program]bool{}
+	for _, p := range sys.Threads() {
+		if seenProg[p] {
+			continue
+		}
+		seenProg[p] = true
+		l.lintProgram(p)
+	}
+	l.lintVars()
+	sort.SliceStable(l.out, func(i, j int) bool {
+		a, b := l.out[i], l.out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return l.out
+}
+
+type linter struct {
+	sys *lang.System
+	vv  *VarValues
+	fp  *SystemFootprint
+	out []Diagnostic
+	// seen dedupes (rule, pos, msg) triples: several CFG edges may stem
+	// from the same statement.
+	seen map[string]bool
+}
+
+func (l *linter) report(pos lang.Pos, rule, thread, format string, args ...interface{}) {
+	d := Diagnostic{Pos: pos, Rule: rule, Thread: thread, Msg: fmt.Sprintf(format, args...)}
+	key := fmt.Sprintf("%s|%v|%s|%s", rule, pos, thread, d.Msg)
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
+	if l.seen[key] {
+		return
+	}
+	l.seen[key] = true
+	l.out = append(l.out, d)
+}
+
+func (l *linter) lintProgram(p *lang.Program) {
+	g := lang.Compile(p)
+	live := LiveRegs(g)
+	consts := PropagateConsts(g, l.sys, l.vv)
+	unassigned := UnassignedRegs(g)
+	regName := p.RegName
+	varName := l.sys.VarName
+
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if !consts.Reachable(e.From) {
+				continue // flagged by the unreachable-code frontier below
+			}
+			switch e.Op.Kind {
+			case lang.OpAssign:
+				if live.DeadDef(e) {
+					l.report(e.Op.Pos, RuleDeadStore, p.Name,
+						"value assigned to register '%s' is never read", regName(e.Op.Reg))
+				}
+				l.checkUses(p, e, unassigned, lang.ExprRegs(e.Op.E))
+			case lang.OpLoad:
+				if live.DeadDef(e) {
+					l.report(e.Op.Pos, RuleDeadLoad, p.Name,
+						"value loaded from '%s' into register '%s' is never read", varName(e.Op.Var), regName(e.Op.Reg))
+				}
+			case lang.OpAssume:
+				if v, ok := consts.EvalAt(e.From, e.Op.E); ok && v == 0 {
+					l.report(e.Op.Pos, RuleAssumeFalse, p.Name,
+						"condition '%s' is constant false: this path can never proceed", lang.ExprString(e.Op.E, p.Regs))
+				}
+				l.checkUses(p, e, unassigned, lang.ExprRegs(e.Op.E))
+			case lang.OpStore:
+				l.checkUses(p, e, unassigned, lang.ExprRegs(e.Op.E))
+			case lang.OpCASOp:
+				if v, ok := consts.EvalAt(e.From, e.Op.E); ok && !l.vv.CanHold(e.Op.Var, v) {
+					l.report(e.Op.Pos, RuleCASNeverSucceeds, p.Name,
+						"cas on '%s' expects %d, a value the variable can never hold", varName(e.Op.Var), int(v))
+				}
+				l.checkUses(p, e, unassigned, append(lang.ExprRegs(e.Op.E), lang.ExprRegs(e.Op.E2)...))
+			}
+		}
+	}
+
+	l.lintUnreachable(p, g, consts)
+	l.lintEmptyLoops(p, p.Body)
+}
+
+// checkUses flags registers read while possibly unassigned.
+func (l *linter) checkUses(p *lang.Program, e lang.Edge, ua *MaybeUnassigned, used []lang.RegID) {
+	for _, r := range used {
+		if ua.Unassigned(e.From, r) {
+			l.report(e.Op.Pos, RuleUseBeforeDef, p.Name,
+				"register '%s' may be read before it is assigned (it reads as 0)", p.RegName(r))
+		}
+	}
+}
+
+// lintUnreachable reports the statements of every unreachable CFG region,
+// and every `assert false` the analysis proves unreachable (if ALL asserts
+// of the system are unreachable the parameterized verification is trivially
+// SAFE, so the expensive procedure can be skipped — ravet points that out
+// per assert).
+func (l *linter) lintUnreachable(p *lang.Program, g *lang.CFG, consts *ConstProp) {
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if consts.Reachable(e.From) {
+				continue
+			}
+			if e.Op.Kind == lang.OpAssertFail {
+				l.report(e.Op.Pos, RuleUnreachableAssert, p.Name,
+					"'assert false' is unreachable: the goal cannot be violated here, verification of this path is trivial")
+				continue
+			}
+			if e.Op.Pos.IsValid() && e.Op.Kind != lang.OpNop {
+				l.report(e.Op.Pos, RuleUnreachableCode, p.Name, "unreachable code")
+			}
+		}
+	}
+}
+
+// lintEmptyLoops walks the AST for loops with empty bodies.
+func (l *linter) lintEmptyLoops(p *lang.Program, st lang.Stmt) {
+	switch st := st.(type) {
+	case lang.Seq:
+		for _, s := range st.Stmts {
+			l.lintEmptyLoops(p, s)
+		}
+	case lang.Choice:
+		for _, s := range st.Branches {
+			l.lintEmptyLoops(p, s)
+		}
+	case lang.Star:
+		if emptyBody(st.Body) {
+			l.report(st.Pos, RuleEmptyLoop, p.Name, "loop body is empty")
+		} else {
+			l.lintEmptyLoops(p, st.Body)
+		}
+	case lang.While:
+		if emptyBody(st.Body) {
+			l.report(st.Pos, RuleEmptyLoop, p.Name,
+				"while body is empty (the loop only waits for the condition to turn false)")
+		} else {
+			l.lintEmptyLoops(p, st.Body)
+		}
+	}
+}
+
+func emptyBody(st lang.Stmt) bool {
+	switch st := st.(type) {
+	case lang.Skip:
+		return true
+	case lang.Seq:
+		return len(st.Stmts) == 0
+	default:
+		return false
+	}
+}
+
+// lintVars reports system-level shared-variable findings: variables that
+// are written but never read. The diagnostic is attached to the first store
+// found in thread order.
+func (l *linter) lintVars() {
+	for v := range l.sys.Vars {
+		if !l.fp.WriteOnly(lang.VarID(v)) {
+			continue
+		}
+		pos, thread := l.firstStore(lang.VarID(v))
+		l.report(pos, RuleWriteOnlyVar, thread,
+			"shared variable '%s' is written but never read", l.sys.VarName(lang.VarID(v)))
+	}
+}
+
+func (l *linter) firstStore(v lang.VarID) (lang.Pos, string) {
+	for _, p := range l.sys.Threads() {
+		g := lang.Compile(p)
+		for _, edges := range g.Out {
+			for _, e := range edges {
+				if e.Op.Kind == lang.OpStore && e.Op.Var == v {
+					return e.Op.Pos, p.Name
+				}
+			}
+		}
+	}
+	return lang.Pos{}, ""
+}

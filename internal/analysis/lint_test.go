@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden .want files")
+
+// TestDefectFixtures runs the linter over every seeded-defect fixture and
+// compares the diagnostics against the golden .want file. Each fixture is
+// named after the rule it seeds, which must appear among the findings.
+func TestDefectFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "defects", "*.ra"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	ruleSeen := map[string]bool{}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := lang.ParseSystem(string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ds := AnalyzeSystem(sys)
+			if len(ds) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics", file)
+			}
+			var lines []string
+			for _, d := range ds {
+				lines = append(lines, d.String())
+				ruleSeen[d.Rule] = true
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			want := strings.TrimSuffix(file, ".ra") + ".want"
+			if *updateGolden {
+				if err := os.WriteFile(want, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantData, err := os.ReadFile(want)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(wantData) {
+				t.Errorf("diagnostics mismatch for %s:\ngot:\n%swant:\n%s", file, got, wantData)
+			}
+			// The seeded rule (the file's base name, modulo the cas-never
+			// shorthand) must be among the findings.
+			seeded := strings.TrimSuffix(filepath.Base(file), ".ra")
+			if seeded == "cas-never" {
+				seeded = RuleCASNeverSucceeds
+			}
+			found := false
+			for _, d := range ds {
+				if d.Rule == seeded {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fixture %s did not trigger rule %q; got:\n%s", file, seeded, got)
+			}
+		})
+	}
+	if *updateGolden {
+		return
+	}
+	// Every lint rule must be exercised by some fixture.
+	for _, rule := range []string{
+		RuleDeadStore, RuleDeadLoad, RuleUnreachableCode, RuleUnreachableAssert,
+		RuleWriteOnlyVar, RuleAssumeFalse, RuleCASNeverSucceeds, RuleUseBeforeDef, RuleEmptyLoop,
+	} {
+		if !ruleSeen[rule] {
+			t.Errorf("no fixture triggers rule %q", rule)
+		}
+	}
+}
+
+// TestShippedSystemsClean checks ravet has nothing to say about the example
+// systems shipped in testdata/systems.
+func TestShippedSystemsClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "systems", "*.ra"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped systems found: %v", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := lang.ParseSystem(string(data))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", file, err)
+		}
+		for _, d := range AnalyzeSystem(sys) {
+			t.Errorf("%s: unexpected diagnostic: %s", file, d)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "f.ra", Pos: lang.Pos{Line: 3, Col: 7}, Rule: "dead-store", Thread: "t", Msg: "m"}
+	if got, want := d.String(), "f.ra:3:7: dead-store: thread t: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d = Diagnostic{Pos: lang.Pos{Line: 2}, Rule: "write-only-var", Msg: "m"}
+	if got, want := d.String(), "2: write-only-var: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"paramra/internal/lang"
+)
+
+// Liveness is the result of register-liveness analysis over one program's
+// CFG: which registers may still be read before being overwritten.
+type Liveness struct {
+	CFG *lang.CFG
+	// live[pc] is the set of registers live when control is at pc.
+	live []regSet
+}
+
+// Live reports whether register r is live at pc.
+func (l *Liveness) Live(pc lang.PC, r lang.RegID) bool {
+	return l.live[pc].has(r)
+}
+
+// DeadDef reports whether edge e defines a register whose value is dead,
+// i.e. e is an assignment or load whose destination is not live at the
+// target PC. (A dead *load* still has acquire semantics under RA — it
+// synchronizes the thread's view — so it is lint-worthy but not removable.)
+func (l *Liveness) DeadDef(e lang.Edge) bool {
+	switch e.Op.Kind {
+	case lang.OpAssign, lang.OpLoad:
+		return !l.live[e.To].has(e.Op.Reg)
+	default:
+		return false
+	}
+}
+
+// LiveRegs runs backward register liveness on g.
+func LiveRegs(g *lang.CFG) *Liveness {
+	numRegs := g.Prog.NumRegs()
+	live := Solve(g, Problem[regSet]{
+		Dir:      Backward,
+		Bottom:   func() regSet { return newRegSet(numRegs) },
+		Boundary: func() regSet { return newRegSet(numRegs) },
+		Join: func(a, b regSet) regSet {
+			out := a.clone()
+			out.union(b)
+			return out
+		},
+		Equal: func(a, b regSet) bool { return a.equal(b) },
+		Transfer: func(e lang.Edge, after regSet) regSet {
+			out := after.clone()
+			// Kill the defined register first, then add the uses.
+			switch e.Op.Kind {
+			case lang.OpAssign:
+				out.remove(e.Op.Reg)
+				for _, r := range lang.ExprRegs(e.Op.E) {
+					out.add(r)
+				}
+			case lang.OpLoad:
+				out.remove(e.Op.Reg)
+			case lang.OpAssume, lang.OpStore:
+				for _, r := range lang.ExprRegs(e.Op.E) {
+					out.add(r)
+				}
+			case lang.OpCASOp:
+				for _, r := range lang.ExprRegs(e.Op.E) {
+					out.add(r)
+				}
+				for _, r := range lang.ExprRegs(e.Op.E2) {
+					out.add(r)
+				}
+			}
+			return out
+		},
+	})
+	return &Liveness{CFG: g, live: live}
+}
+
+// MaybeUnassigned runs a forward definite-assignment analysis: the result
+// reports, per PC, the set of registers that are NOT assigned (by a local
+// assignment or a load) on some path from the entry. Reading such a
+// register observes its implicit initial value — legal, but usually a
+// programming mistake, so `ravet` flags it.
+type MaybeUnassigned struct {
+	CFG *lang.CFG
+	// unassigned[pc]: registers lacking a definition on some entry path.
+	unassigned []regSet
+}
+
+// Unassigned reports whether r may be unassigned when control reaches pc.
+func (m *MaybeUnassigned) Unassigned(pc lang.PC, r lang.RegID) bool {
+	return m.unassigned[pc].has(r)
+}
+
+// UnassignedRegs computes the may-be-unassigned analysis for g.
+func UnassignedRegs(g *lang.CFG) *MaybeUnassigned {
+	numRegs := g.Prog.NumRegs()
+	all := func() regSet {
+		s := newRegSet(numRegs)
+		for r := 0; r < numRegs; r++ {
+			s.add(lang.RegID(r))
+		}
+		return s
+	}
+	unassigned := Solve(g, Problem[regSet]{
+		Dir: Forward,
+		// Bottom is the empty set: an unvisited PC constrains nothing.
+		Bottom: func() regSet { return newRegSet(numRegs) },
+		// At entry every register is unassigned.
+		Boundary: all,
+		Join: func(a, b regSet) regSet {
+			out := a.clone()
+			out.union(b)
+			return out
+		},
+		Equal: func(a, b regSet) bool { return a.equal(b) },
+		Transfer: func(e lang.Edge, before regSet) regSet {
+			switch e.Op.Kind {
+			case lang.OpAssign, lang.OpLoad:
+				out := before.clone()
+				out.remove(e.Op.Reg)
+				return out
+			default:
+				return before
+			}
+		},
+	})
+	return &MaybeUnassigned{CFG: g, unassigned: unassigned}
+}

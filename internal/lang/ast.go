@@ -32,42 +32,54 @@ type VarID int
 // by the parser and builder helpers (they desugar to Choice/Star/Assume).
 type Stmt interface {
 	isStmt()
+	// Position returns the statement's source position (the zero Pos for
+	// statements constructed programmatically).
+	Position() Pos
 	// writeTo pretty-prints the statement at the given indentation into b,
 	// using the register table regs and variable table vars for names.
 	writeTo(b *strings.Builder, indent int, regs, vars []string)
 }
 
 // Skip is the no-op statement.
-type Skip struct{}
+type Skip struct {
+	Pos Pos
+}
 
 // Assume blocks unless Cond evaluates to a non-zero value.
 type Assume struct {
 	Cond Expr
+	Pos  Pos
 }
 
 // AssertFail is the `assert false` statement; reaching it is the safety
 // violation the verification problem asks about.
-type AssertFail struct{}
+type AssertFail struct {
+	Pos Pos
+}
 
 // Assign is the local assignment r := e(r̄).
 type Assign struct {
 	Reg RegID
 	E   Expr
+	Pos Pos
 }
 
 // Seq is sequential composition c1; c2; …; cn.
 type Seq struct {
 	Stmts []Stmt
+	Pos   Pos
 }
 
 // Choice is non-deterministic choice c1 ⊕ c2 ⊕ … ⊕ cn.
 type Choice struct {
 	Branches []Stmt
+	Pos      Pos
 }
 
 // Star is iteration c*: execute the body any number of times (possibly zero).
 type Star struct {
 	Body Stmt
+	Pos  Pos
 }
 
 // While is the guarded loop `while cond { body }`. It is compiled with both
@@ -78,12 +90,14 @@ type Star struct {
 type While struct {
 	Cond Expr
 	Body Stmt
+	Pos  Pos
 }
 
 // Load is the shared-memory read r := x.
 type Load struct {
 	Reg RegID
 	Var VarID
+	Pos Pos
 }
 
 // Store is the shared-memory write x := e. The paper's grammar writes x := r;
@@ -92,6 +106,7 @@ type Load struct {
 type Store struct {
 	Var VarID
 	E   Expr
+	Pos Pos
 }
 
 // CAS is the atomic compare-and-swap cas(x, e1, e2): atomically load x,
@@ -100,6 +115,7 @@ type Store struct {
 type CAS struct {
 	Var         VarID
 	Expect, New Expr
+	Pos         Pos
 }
 
 func (Skip) isStmt()       {}
@@ -113,6 +129,61 @@ func (While) isStmt()      {}
 func (Load) isStmt()       {}
 func (Store) isStmt()      {}
 func (CAS) isStmt()        {}
+
+// Position implements Stmt.
+func (s Skip) Position() Pos       { return s.Pos }
+func (s Assume) Position() Pos     { return s.Pos }
+func (s AssertFail) Position() Pos { return s.Pos }
+func (s Assign) Position() Pos     { return s.Pos }
+func (s Seq) Position() Pos        { return s.Pos }
+func (s Choice) Position() Pos     { return s.Pos }
+func (s Star) Position() Pos       { return s.Pos }
+func (s While) Position() Pos      { return s.Pos }
+func (s Load) Position() Pos       { return s.Pos }
+func (s Store) Position() Pos      { return s.Pos }
+func (s CAS) Position() Pos        { return s.Pos }
+
+// WithPos returns st with its source position set to pos (the statement's
+// own position only; children are unaffected).
+func WithPos(st Stmt, pos Pos) Stmt {
+	switch st := st.(type) {
+	case Skip:
+		st.Pos = pos
+		return st
+	case Assume:
+		st.Pos = pos
+		return st
+	case AssertFail:
+		st.Pos = pos
+		return st
+	case Assign:
+		st.Pos = pos
+		return st
+	case Seq:
+		st.Pos = pos
+		return st
+	case Choice:
+		st.Pos = pos
+		return st
+	case Star:
+		st.Pos = pos
+		return st
+	case While:
+		st.Pos = pos
+		return st
+	case Load:
+		st.Pos = pos
+		return st
+	case Store:
+		st.Pos = pos
+		return st
+	case CAS:
+		st.Pos = pos
+		return st
+	default:
+		return st
+	}
+}
 
 // Program is a single thread's code together with its register table.
 // Register names are local to the program; RegID values index Regs.

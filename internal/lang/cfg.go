@@ -29,6 +29,7 @@ type Op struct {
 	Var  VarID // OpLoad, OpStore, OpCASOp: shared variable
 	E    Expr  // OpAssume: condition; OpAssign/OpStore: value; OpCASOp: expected value
 	E2   Expr  // OpCASOp: new value
+	Pos  Pos   // source position of the originating statement (may be zero)
 }
 
 // Silent reports whether the operation is thread-local (does not interact
@@ -113,15 +114,15 @@ func (c *cfgBuilder) build(st Stmt, from PC) PC {
 		return from
 	case Assume:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpAssume, E: st.Cond})
+		c.edge(from, to, Op{Kind: OpAssume, E: st.Cond, Pos: st.Pos})
 		return to
 	case AssertFail:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpAssertFail})
+		c.edge(from, to, Op{Kind: OpAssertFail, Pos: st.Pos})
 		return to
 	case Assign:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpAssign, Reg: st.Reg, E: st.E})
+		c.edge(from, to, Op{Kind: OpAssign, Reg: st.Reg, E: st.E, Pos: st.Pos})
 		return to
 	case Seq:
 		cur := from
@@ -133,41 +134,41 @@ func (c *cfgBuilder) build(st Stmt, from PC) PC {
 		exit := c.newNode()
 		for _, br := range st.Branches {
 			brExit := c.build(br, from)
-			c.edge(brExit, exit, Op{Kind: OpNop})
+			c.edge(brExit, exit, Op{Kind: OpNop, Pos: st.Pos})
 		}
 		return exit
 	case Star:
 		// from --nop--> head; head --body--> back to head; head --nop--> exit.
 		head := c.newNode()
-		c.edge(from, head, Op{Kind: OpNop})
+		c.edge(from, head, Op{Kind: OpNop, Pos: st.Pos})
 		bodyExit := c.build(st.Body, head)
-		c.edge(bodyExit, head, Op{Kind: OpNop})
+		c.edge(bodyExit, head, Op{Kind: OpNop, Pos: st.Pos})
 		exit := c.newNode()
-		c.edge(head, exit, Op{Kind: OpNop})
+		c.edge(head, exit, Op{Kind: OpNop, Pos: st.Pos})
 		return exit
 	case While:
 		// Both guard edges leave the loop head: no commit point before the
 		// exit guard (a waiting thread can always retry).
 		head := c.newNode()
-		c.edge(from, head, Op{Kind: OpNop})
+		c.edge(from, head, Op{Kind: OpNop, Pos: st.Pos})
 		bodyStart := c.newNode()
-		c.edge(head, bodyStart, Op{Kind: OpAssume, E: st.Cond})
+		c.edge(head, bodyStart, Op{Kind: OpAssume, E: st.Cond, Pos: st.Pos})
 		bodyExit := c.build(st.Body, bodyStart)
-		c.edge(bodyExit, head, Op{Kind: OpNop})
+		c.edge(bodyExit, head, Op{Kind: OpNop, Pos: st.Pos})
 		exit := c.newNode()
-		c.edge(head, exit, Op{Kind: OpAssume, E: Not(st.Cond)})
+		c.edge(head, exit, Op{Kind: OpAssume, E: Not(st.Cond), Pos: st.Pos})
 		return exit
 	case Load:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpLoad, Reg: st.Reg, Var: st.Var})
+		c.edge(from, to, Op{Kind: OpLoad, Reg: st.Reg, Var: st.Var, Pos: st.Pos})
 		return to
 	case Store:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpStore, Var: st.Var, E: st.E})
+		c.edge(from, to, Op{Kind: OpStore, Var: st.Var, E: st.E, Pos: st.Pos})
 		return to
 	case CAS:
 		to := c.newNode()
-		c.edge(from, to, Op{Kind: OpCASOp, Var: st.Var, E: st.Expect, E2: st.New})
+		c.edge(from, to, Op{Kind: OpCASOp, Var: st.Var, E: st.Expect, E2: st.New, Pos: st.Pos})
 		return to
 	default:
 		panic(fmt.Sprintf("lang.Compile: unknown statement %T", st))

@@ -148,7 +148,7 @@ thread d2 { regs r; while r == 0 { r = load x }; cas x 1 0 }
 	if c.Decidable() {
 		t.Error("system with cyclic dis thread should not be in the decidable class")
 	}
-	want := "env(nocas) || dis_1(acyc) || dis_2"
+	want := "env(nocas) || dis_1(acyc) || dis_2(plain)"
 	if got := c.String(); got != want {
 		t.Errorf("String = %q, want %q", got, want)
 	}

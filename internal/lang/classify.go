@@ -14,6 +14,8 @@ type ThreadType struct {
 }
 
 // String renders the type as the paper writes it, e.g. "(nocas, acyc)".
+// A thread satisfying neither restriction renders as "(plain)" so the
+// signature never shows a bare "env"/"dis_i" with an invisible type.
 func (t ThreadType) String() string {
 	var parts []string
 	if t.NoCAS {
@@ -23,7 +25,7 @@ func (t ThreadType) String() string {
 		parts = append(parts, "acyc")
 	}
 	if len(parts) == 0 {
-		return ""
+		return "(plain)"
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
 }

@@ -1,0 +1,86 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestThreadTypeString covers all four acyc/nocas combinations, in
+// particular that the unrestricted type renders as "(plain)" rather than
+// the empty string.
+func TestThreadTypeString(t *testing.T) {
+	tests := []struct {
+		tt   ThreadType
+		want string
+	}{
+		{ThreadType{Acyclic: false, NoCAS: false}, "(plain)"},
+		{ThreadType{Acyclic: true, NoCAS: false}, "(acyc)"},
+		{ThreadType{Acyclic: false, NoCAS: true}, "(nocas)"},
+		{ThreadType{Acyclic: true, NoCAS: true}, "(nocas, acyc)"},
+	}
+	for _, tc := range tests {
+		if got := tc.tt.String(); got != tc.want {
+			t.Errorf("ThreadType{Acyclic:%v, NoCAS:%v}.String() = %q, want %q",
+				tc.tt.Acyclic, tc.tt.NoCAS, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyProgramCombinations checks that ClassifyProgram lands each
+// program in the expected quadrant.
+func TestClassifyProgramCombinations(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want ThreadType
+	}{
+		{
+			"straight-line no cas",
+			"thread t { regs r; r = load v; store v (r + 1) }",
+			ThreadType{Acyclic: true, NoCAS: true},
+		},
+		{
+			"loop no cas",
+			"thread t { loop { store v 1 } }",
+			ThreadType{Acyclic: false, NoCAS: true},
+		},
+		{
+			"straight-line with cas",
+			"thread t { cas v 0 1 }",
+			ThreadType{Acyclic: true, NoCAS: false},
+		},
+		{
+			"loop with cas",
+			"thread t { loop { cas v 0 1 } }",
+			ThreadType{Acyclic: false, NoCAS: false},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := ParseProgram(tc.src, []string{"v"})
+			if err != nil {
+				t.Fatalf("ParseProgram: %v", err)
+			}
+			if got := ClassifyProgram(prog); got != tc.want {
+				t.Errorf("ClassifyProgram = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSystemClassStringPlain checks the signature rendering of a system
+// with an unrestricted env thread.
+func TestSystemClassStringPlain(t *testing.T) {
+	sys := MustParseSystem(`
+system s { vars x; domain 2; env e; dis d }
+thread e { loop { cas x 0 1 } }
+thread d { store x 1 }
+`)
+	got := Classify(sys).String()
+	if !strings.Contains(got, "env(plain)") {
+		t.Errorf("class = %q, want env(plain) in it", got)
+	}
+	if !strings.Contains(got, "dis_1(nocas, acyc)") {
+		t.Errorf("class = %q, want dis_1(nocas, acyc) in it", got)
+	}
+}

@@ -1,7 +1,6 @@
 package lang
 
 import (
-	"fmt"
 	"strconv"
 )
 
@@ -84,24 +83,30 @@ func (k tokKind) String() string {
 	}
 }
 
-// token is a lexical token with its source line for diagnostics.
+// token is a lexical token with its source position for diagnostics.
 type token struct {
 	kind tokKind
 	text string
 	val  int
 	line int
+	col  int
 }
+
+// pos returns the token's source position.
+func (t token) pos() Pos { return Pos{Line: t.line, Col: t.col} }
 
 // lex tokenizes src. Line comments start with // or #; semicolons are
 // treated as newlines (statement separators).
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
-	emit := func(k tokKind, text string) {
-		toks = append(toks, token{kind: k, text: text, line: line})
-	}
+	lineStart := 0
 	i := 0
 	n := len(src)
+	// emit appends a token starting at offset i on the current line.
+	emit := func(k tokKind, text string) {
+		toks = append(toks, token{kind: k, text: text, line: line, col: i - lineStart + 1})
+	}
 	for i < n {
 		c := src[i]
 		switch {
@@ -109,6 +114,7 @@ func lex(src string) ([]token, error) {
 			emit(tokNewline, "\\n")
 			line++
 			i++
+			lineStart = i
 		case c == ';':
 			emit(tokNewline, ";")
 			i++
@@ -136,9 +142,9 @@ func lex(src string) ([]token, error) {
 			}
 			v, err := strconv.Atoi(src[i:j])
 			if err != nil {
-				return nil, fmt.Errorf("line %d: bad integer %q", line, src[i:j])
+				return nil, synErrf(Pos{Line: line, Col: i - lineStart + 1}, "bad integer %q", src[i:j])
 			}
-			toks = append(toks, token{kind: tokInt, text: src[i:j], val: v, line: line})
+			toks = append(toks, token{kind: tokInt, text: src[i:j], val: v, line: line, col: i - lineStart + 1})
 			i = j
 		default:
 			two := ""
@@ -201,12 +207,12 @@ func lex(src string) ([]token, error) {
 			case ',':
 				emit(tokComma, ",")
 			default:
-				return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+				return nil, synErrf(Pos{Line: line, Col: i - lineStart + 1}, "unexpected character %q", string(c))
 			}
 			i++
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line, col: n - lineStart + 1})
 	return toks, nil
 }
 

@@ -67,9 +67,8 @@ type parser struct {
 func (p *parser) peek() token { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) unread()     { p.pos-- }
-func (p *parser) line() int   { return p.peek().line }
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("line %d: %s", p.line(), fmt.Sprintf(format, args...))
+	return synErrf(p.peek().pos(), format, args...)
 }
 
 func (p *parser) skipNewlines() {
@@ -81,7 +80,7 @@ func (p *parser) skipNewlines() {
 func (p *parser) expect(k tokKind) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return t, fmt.Errorf("line %d: expected %v, found %v %q", t.line, k, t.kind, t.text)
+		return t, synErrf(t.pos(), "expected %v, found %v %q", k, t.kind, t.text)
 	}
 	return t, nil
 }
@@ -89,7 +88,7 @@ func (p *parser) expect(k tokKind) (token, error) {
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if t.kind != tokIdent || t.text != kw {
-		return fmt.Errorf("line %d: expected %q, found %q", t.line, kw, t.text)
+		return synErrf(t.pos(), "expected %q, found %q", kw, t.text)
 	}
 	return nil
 }
@@ -104,7 +103,7 @@ func (p *parser) parseFile() (*System, error) {
 		init    int
 		envName string
 		disName []string
-		line    int
+		pos     Pos
 	}
 	var hdr *header
 	threadSrcs := make(map[string]int) // name -> token position of its block
@@ -130,7 +129,7 @@ func (p *parser) parseFile() (*System, error) {
 			}
 			hdr = &header{
 				name: h.name, vars: h.vars, dom: h.dom, init: h.init,
-				envName: h.envName, disName: h.disName, line: t.line,
+				envName: h.envName, disName: h.disName, pos: t.pos(),
 			}
 		case "thread":
 			// Record position, skip the block; parse after vars are known.
@@ -140,7 +139,7 @@ func (p *parser) parseFile() (*System, error) {
 				return nil, err
 			}
 			if _, dup := threadSrcs[nameTok.text]; dup {
-				return nil, fmt.Errorf("line %d: duplicate thread %q", nameTok.line, nameTok.text)
+				return nil, synErrf(nameTok.pos(), "duplicate thread %q", nameTok.text)
 			}
 			start := p.pos
 			if err := p.skipBlock(); err != nil {
@@ -172,14 +171,14 @@ func (p *parser) parseFile() (*System, error) {
 	if hdr.envName != "" {
 		env, ok := parsed[hdr.envName]
 		if !ok {
-			return nil, fmt.Errorf("line %d: env thread %q not defined", hdr.line, hdr.envName)
+			return nil, synErrf(hdr.pos, "env thread %q not defined", hdr.envName)
 		}
 		sys.Env = env
 	}
 	for _, dn := range hdr.disName {
 		dis, ok := parsed[dn]
 		if !ok {
-			return nil, fmt.Errorf("line %d: dis thread %q not defined", hdr.line, dn)
+			return nil, synErrf(hdr.pos, "dis thread %q not defined", dn)
 		}
 		sys.Dis = append(sys.Dis, dis)
 	}
@@ -217,7 +216,7 @@ func (p *parser) parseSystemHeader() (*sysHeader, error) {
 			break
 		}
 		if t.kind != tokIdent {
-			return nil, fmt.Errorf("line %d: expected system clause, found %q", t.line, t.text)
+			return nil, synErrf(t.pos(), "expected system clause, found %q", t.text)
 		}
 		switch t.text {
 		case "vars":
@@ -246,7 +245,7 @@ func (p *parser) parseSystemHeader() (*sysHeader, error) {
 				return nil, err
 			}
 			if h.envName != "" {
-				return nil, fmt.Errorf("line %d: duplicate env clause", t.line)
+				return nil, synErrf(t.pos(), "duplicate env clause")
 			}
 			h.envName = nt.text
 		case "dis":
@@ -256,7 +255,7 @@ func (p *parser) parseSystemHeader() (*sysHeader, error) {
 			}
 			h.disName = append(h.disName, nt.text)
 		default:
-			return nil, fmt.Errorf("line %d: unknown system clause %q", t.line, t.text)
+			return nil, synErrf(t.pos(), "unknown system clause %q", t.text)
 		}
 	}
 	return h, nil
@@ -277,7 +276,7 @@ func (p *parser) skipBlock() error {
 		case tokRBrace:
 			depth--
 		case tokEOF:
-			return fmt.Errorf("line %d: unterminated block", t.line)
+			return synErrf(t.pos(), "unterminated block")
 		}
 	}
 	return nil
@@ -317,10 +316,10 @@ func (p *parser) parseThreadBody(name string) (*Program, error) {
 }
 
 // regRef resolves an identifier to a register, declaring it if allowed.
-func (p *parser) regRef(name string, declare bool, line int) (RegID, error) {
+func (p *parser) regRef(name string, declare bool, pos Pos) (RegID, error) {
 	for _, v := range p.vars {
 		if v == name {
-			return 0, fmt.Errorf("line %d: %q is a shared variable; use 'load'/'store' to access it", line, name)
+			return 0, synErrf(pos, "%q is a shared variable; use 'load'/'store' to access it", name)
 		}
 	}
 	for i, r := range p.prog.Regs {
@@ -329,19 +328,19 @@ func (p *parser) regRef(name string, declare bool, line int) (RegID, error) {
 		}
 	}
 	if !declare {
-		return 0, fmt.Errorf("line %d: unknown register %q", line, name)
+		return 0, synErrf(pos, "unknown register %q", name)
 	}
 	p.prog.Regs = append(p.prog.Regs, name)
 	return RegID(len(p.prog.Regs) - 1), nil
 }
 
-func (p *parser) varRef(name string, line int) (VarID, error) {
+func (p *parser) varRef(name string, pos Pos) (VarID, error) {
 	for i, v := range p.vars {
 		if v == name {
 			return VarID(i), nil
 		}
 	}
-	return 0, fmt.Errorf("line %d: unknown shared variable %q", line, name)
+	return 0, synErrf(pos, "unknown shared variable %q", name)
 }
 
 // parseStmts parses a newline-separated statement list until '}' or EOF.
@@ -364,10 +363,20 @@ func (p *parser) parseStmts() (Stmt, error) {
 	return SeqOf(stmts...), nil
 }
 
+// parseStmt parses one statement and stamps it with the position of its
+// leading token.
 func (p *parser) parseStmt() (Stmt, error) {
 	t := p.next()
+	st, err := p.parseStmtAfter(t)
+	if err != nil || st == nil {
+		return st, err
+	}
+	return WithPos(st, t.pos()), nil
+}
+
+func (p *parser) parseStmtAfter(t token) (Stmt, error) {
 	if t.kind != tokIdent {
-		return nil, fmt.Errorf("line %d: expected statement, found %v %q", t.line, t.kind, t.text)
+		return nil, synErrf(t.pos(), "expected statement, found %v %q", t.kind, t.text)
 	}
 	switch t.text {
 	case "skip":
@@ -381,7 +390,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case "assert":
 		ft := p.next()
 		if ft.kind != tokIdent || ft.text != "false" {
-			return nil, fmt.Errorf("line %d: expected 'assert false'", ft.line)
+			return nil, synErrf(ft.pos(), "expected 'assert false'")
 		}
 		return AssertFail{}, nil
 	case "store":
@@ -389,7 +398,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := p.varRef(vt.text, vt.line)
+		v, err := p.varRef(vt.text, vt.pos())
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +412,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := p.varRef(vt.text, vt.line)
+		v, err := p.varRef(vt.text, vt.pos())
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +443,12 @@ func (p *parser) parseStmt() (Stmt, error) {
 				return nil, err
 			}
 		}
-		return If(cond, then, els), nil
+		// If's desugar, with the guard assumes carrying the `if` position so
+		// diagnostics on the condition cite the source line.
+		return ChoiceOf(
+			SeqOf(Assume{Cond: cond, Pos: t.pos()}, then),
+			SeqOf(Assume{Cond: Not(cond), Pos: t.pos()}, els),
+		), nil
 	case "while":
 		cond, err := p.parseExpr()
 		if err != nil {
@@ -478,14 +492,14 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if rt.kind == tokComma {
 				continue
 			}
-			if _, err := p.regRef(rt.text, true, rt.line); err != nil {
+			if _, err := p.regRef(rt.text, true, rt.pos()); err != nil {
 				return nil, err
 			}
 		}
 		return nil, nil
 	default:
 		// Assignment or load: ident = expr | ident = load var.
-		r, err := p.regRef(t.text, true, t.line)
+		r, err := p.regRef(t.text, true, t.pos())
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +512,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			v, err := p.varRef(vt.text, vt.line)
+			v, err := p.varRef(vt.text, vt.pos())
 			if err != nil {
 				return nil, err
 			}
@@ -681,7 +695,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokInt:
 		return Num(Val(t.val)), nil
 	case tokIdent:
-		r, err := p.regRef(t.text, false, t.line)
+		r, err := p.regRef(t.text, false, t.pos())
 		if err != nil {
 			return nil, err
 		}
@@ -696,7 +710,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return e, nil
 	default:
-		return nil, fmt.Errorf("line %d: expected expression, found %v %q", t.line, t.kind, t.text)
+		return nil, synErrf(t.pos(), "expected expression, found %v %q", t.kind, t.text)
 	}
 }
 

@@ -1,0 +1,44 @@
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) in the concrete syntax
+// a statement was parsed from. The zero Pos marks statements constructed
+// programmatically (builders, unrolling, slicing); diagnostics render it
+// as "-".
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position carries source information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col" (or "-" for the zero Pos).
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.Col <= 0 {
+		return fmt.Sprintf("%d", p.Line)
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// SyntaxError is a lexer or parser error carrying its source position, so
+// callers can prefix the file name and report "file:line:col: msg".
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	if !e.Pos.IsValid() {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// synErrf builds a positioned syntax error.
+func synErrf(pos Pos, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"paramra/internal/analysis"
 	"paramra/internal/depgraph"
 	"paramra/internal/encode"
 	"paramra/internal/lang"
@@ -40,13 +41,22 @@ var (
 // Parse reads a system in concrete syntax.
 func Parse(src string) (*System, error) { return lang.ParseSystem(src) }
 
-// ParseFile reads a system from a file.
+// ParseFile reads a system from a file. Syntax errors are prefixed with the
+// file name, in the usual "file:line:col: message" shape.
 func ParseFile(path string) (*System, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Parse(string(data))
+	sys, err := Parse(string(data))
+	if err != nil {
+		var syn *lang.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, fmt.Errorf("%s:%w", path, err)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sys, nil
 }
 
 // Format renders a system back into concrete syntax.
@@ -60,6 +70,26 @@ func Classify(sys *System) SystemClass { return lang.Classify(sys) }
 // times (a bounded-model-checking under-approximation; env loops are
 // handled exactly by the verifier and left untouched).
 func Unroll(sys *System, k int) *System { return lang.UnrollSystem(sys, k) }
+
+// Diagnostic is one static-analysis finding (see cmd/ravet).
+type Diagnostic = analysis.Diagnostic
+
+// SliceStats reports the size reduction achieved by Slice.
+type SliceStats = analysis.SliceStats
+
+// Analyze runs the static lint rules over the system and returns the
+// findings sorted by source position. Callers that know the source file
+// should set Diagnostic.File before printing.
+func Analyze(sys *System) []Diagnostic { return analysis.AnalyzeSystem(sys) }
+
+// Slice returns a smaller system with the same parameterized safety verdict:
+// it drops assignments to dead registers, statements at unreachable PCs,
+// stores to write-only shared variables, and unused registers and variables.
+// Variables named in keepVars survive even when removable (pass the goal
+// variable of a Message Generation query). The input is not mutated.
+func Slice(sys *System, keepVars ...string) (*System, SliceStats) {
+	return analysis.Slice(sys, analysis.SliceOptions{KeepVars: keepVars})
+}
 
 // Goal switches verification to the Message Generation problem (§4.1): can
 // a message with the given variable and value be generated?

@@ -63,3 +63,24 @@ func TestShippedSystems(t *testing.T) {
 		t.Errorf("found %d .ra files, expected %d", seen, len(testdataVerdicts))
 	}
 }
+
+// TestShippedSystemsSliceDifferential verifies that the slicer preserves the
+// parameterized verdict on every shipped example system.
+func TestShippedSystemsSliceDifferential(t *testing.T) {
+	for name, want := range testdataVerdicts {
+		t.Run(name, func(t *testing.T) {
+			sys, err := paramra.ParseFile(filepath.Join("testdata", "systems", name))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			sliced, _ := paramra.Slice(sys)
+			res, err := paramra.Verify(sliced, paramra.Options{})
+			if err != nil {
+				t.Fatalf("verify sliced: %v", err)
+			}
+			if res.Unsafe != want {
+				t.Errorf("sliced verdict = %v, want %v (slicing must preserve verdicts)", res.Unsafe, want)
+			}
+		})
+	}
+}
