@@ -3,24 +3,46 @@
 //
 // Usage:
 //
-//	rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|all]
+//	rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"paramra/internal/bench"
 )
+
+var (
+	workers  = flag.Int("j", 0, "worker goroutines for the parallel experiment (0 = GOMAXPROCS)")
+	timeout  = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 10m")
+	baseline = flag.String("baseline", "", "parallel experiment: also write the rows to this JSON file")
+)
+
+// runCtx carries the SIGINT/-timeout context to the experiments.
+var runCtx = context.Background()
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runCtx = ctx
+
 	what := "all"
-	if len(os.Args) > 1 {
-		what = os.Args[1]
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
 	}
 	run := map[string]func() error{
 		"table1":    table1,
@@ -36,9 +58,10 @@ func run() int {
 		"gap":       gap,
 		"budget":    budget,
 		"slice":     slice_,
+		"parallel":  parallel,
 	}
 	if what == "all" {
-		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice"} {
+		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel"} {
 			if err := run[name](); err != nil {
 				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
 				return 1
@@ -49,7 +72,7 @@ func run() int {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: rabench [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|all]\n")
+		fmt.Fprintf(os.Stderr, "usage: rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n")
 		return 2
 	}
 	if err := f(); err != nil {
@@ -57,6 +80,26 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// parallel measures the layered engine's scaling over worker counts.
+func parallel() error {
+	counts := []int{1, 2, 4, 8}
+	if *workers > 0 {
+		counts = []int{1, *workers}
+	}
+	rows, err := bench.ParallelExperiment(runCtx, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.ParallelTable(rows).String())
+	if *baseline != "" {
+		if err := bench.WriteParallelBaseline(runCtx, *baseline, counts); err != nil {
+			return err
+		}
+		fmt.Printf("baseline written to %s\n", *baseline)
+	}
+	return nil
 }
 
 func table1() error {

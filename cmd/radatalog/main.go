@@ -7,15 +7,20 @@
 //
 // Usage:
 //
-//	radatalog [-dump] [-max-skeletons N] system.ra
+//	radatalog [-dump] [-max-skeletons N] [-j N] [-timeout D] system.ra
 //	radatalog [-cache k] program.dl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"paramra/internal/analysis"
 	"paramra/internal/datalog"
@@ -34,12 +39,21 @@ func run() int {
 		stats        = flag.Bool("stats", false, "print per-instance rule/atom counts")
 		cacheBound   = flag.Int("cache", 0, ".dl mode: decide queries under the Cache Datalog bound ⊢_k")
 		doSlice      = flag.Bool("slice", false, ".ra mode: run the verdict-preserving slicer before encoding")
+		workers      = flag.Int("j", 0, "query instances evaluated concurrently (0 = GOMAXPROCS); the verdict is deterministic")
+		timeout      = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: radatalog [flags] system.ra | program.dl")
 		flag.PrintDefaults()
 		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -66,20 +80,37 @@ func run() int {
 	}
 	fmt.Printf("system:    %s\n", sys.Name)
 	fmt.Printf("skeletons: %d (exhaustive=%v)\n", len(ps), complete)
-	unsafe := false
-	for i, p := range ps {
-		hit := datalog.Query(p.Prog, p.Goal)
-		if hit {
-			unsafe = true
+
+	var unsafe bool
+	if *stats || *dump {
+		// Diagnostic modes print per-instance output in order; evaluate
+		// sequentially so the report is reproducible line for line.
+		for i, p := range ps {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "radatalog: interrupted:", ctx.Err())
+				return 2
+			}
+			hit := datalog.Query(p.Prog, p.Goal)
+			if hit {
+				unsafe = true
+			}
+			if *stats || hit {
+				fmt.Printf("instance %d: rules=%d query=%v\n", i, len(p.Prog.Rules), hit)
+			}
+			if *dump {
+				fmt.Printf("--- instance %d ---\n%s", i, p.Prog.String())
+			}
+			if hit {
+				break
+			}
 		}
-		if *stats || hit {
-			fmt.Printf("instance %d: rules=%d query=%v\n", i, len(p.Prog.Rules), hit)
-		}
-		if *dump {
-			fmt.Printf("--- instance %d ---\n%s", i, p.Prog.String())
-		}
-		if hit {
-			break
+	} else {
+		// The instances are independent; evaluate them on a worker pool,
+		// first hit wins (the verdict does not depend on which).
+		unsafe, err = evalParallel(ctx, ps, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radatalog: interrupted:", err)
+			return 2
 		}
 	}
 	if unsafe {
@@ -88,6 +119,45 @@ func run() int {
 	}
 	fmt.Println("verdict:   SAFE (no skeleton's query succeeded)")
 	return 0
+}
+
+// evalParallel evaluates the ∃-over-skeletons semantics with a worker pool;
+// remaining instances are cancelled once one query succeeds.
+func evalParallel(ctx context.Context, ps []*encode.Problem, workers int) (bool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		hit  atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) || cctx.Err() != nil {
+					return
+				}
+				if datalog.Query(ps[i].Prog, ps[i].Goal) {
+					hit.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil && !hit.Load() {
+		return false, err
+	}
+	return hit.Load(), nil
 }
 
 // runDatalogFile evaluates a plain .dl program's queries.

@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	raexplore [-env N] [-max-states M] system.ra
+//	raexplore [-env N] [-max-states M] [-j N] [-timeout D] system.ra
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"paramra"
 )
@@ -26,6 +28,8 @@ func run() int {
 		maxStates = flag.Int("max-states", 1_000_000, "state cap (0 = unlimited)")
 		sweep     = flag.Int("sweep", 0, "explore instances with 0..N env threads and report each")
 		deadlocks = flag.Bool("deadlocks", false, "classify sink states (terminal vs stuck threads) instead of checking safety")
+		workers   = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -33,13 +37,21 @@ func run() int {
 		flag.PrintDefaults()
 		return 2
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	sys, err := paramra.ParseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raexplore:", err)
 		return 2
 	}
+	opts := paramra.Options{MaxStates: *maxStates, Parallelism: *workers}
 	if *deadlocks {
-		rep, err := paramra.FindDeadlocks(sys, *nEnv, *maxStates)
+		rep, err := paramra.FindDeadlocks(ctx, sys, *nEnv, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raexplore:", err)
 			return 2
@@ -55,7 +67,7 @@ func run() int {
 	}
 	if *sweep > 0 {
 		for n := 0; n <= *sweep; n++ {
-			res, err := paramra.VerifyInstance(sys, n, *maxStates)
+			res, err := paramra.VerifyInstance(ctx, sys, n, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "raexplore:", err)
 				return 2
@@ -64,7 +76,7 @@ func run() int {
 		}
 		return 0
 	}
-	res, err := paramra.VerifyInstance(sys, *nEnv, *maxStates)
+	res, err := paramra.VerifyInstance(ctx, sys, *nEnv, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raexplore:", err)
 		return 2

@@ -6,14 +6,18 @@
 //	raverify [flags] system.ra
 //
 // The input syntax is documented in the paramra package. The exit code is 0
-// for SAFE, 1 for UNSAFE, and 2 on errors.
+// for SAFE, 1 for UNSAFE, and 2 on errors. SIGINT (and -timeout) cancel the
+// verification cleanly through its context.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"paramra"
 )
@@ -30,6 +34,8 @@ type jsonReport struct {
 	EnvConfigs     int      `json:"envConfigs"`
 	EnvMsgs        int      `json:"envMsgs"`
 	EnvThreadBound int64    `json:"envThreadBound"`
+	Workers        int      `json:"workers,omitempty"`
+	WallMS         int64    `json:"wallMs,omitempty"`
 	Witness        []string `json:"witness,omitempty"`
 	Slice          string   `json:"slice,omitempty"`
 }
@@ -50,6 +56,9 @@ func run() int {
 		jsonOut        = flag.Bool("json", false, "emit a machine-readable JSON report")
 		confirm        = flag.Bool("confirm", false, "on UNSAFE, confirm with a concrete instance and print its interleaving")
 		doSlice        = flag.Bool("slice", false, "run the verdict-preserving slicer before verification")
+		workers        = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS); verdicts are identical for every value")
+		timeout        = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
+		progress       = flag.Bool("progress", false, "report search progress to stderr while verifying")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -57,6 +66,14 @@ func run() int {
 		flag.PrintDefaults()
 		return 2
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	sys, err := paramra.ParseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raverify:", err)
@@ -79,12 +96,24 @@ func run() int {
 		MaxMacroStates: *maxStates,
 		UnrollDis:      *unroll,
 		Datalog:        *datalogBackend,
+		Parallelism:    *workers,
 	}
 	if *goalVar != "" {
 		opts.Goal = &paramra.Goal{Var: *goalVar, Val: *goalVal}
 	}
-	res, err := paramra.Verify(sys, opts)
+	if *progress {
+		opts.Progress = func(s paramra.Stats) {
+			fmt.Fprintf(os.Stderr, "raverify: %d macro states, %d dedup hits, frontier peak %d, %s\n",
+				s.MacroStates, s.DedupHits, s.PeakFrontier, s.Wall.Round(time.Millisecond))
+		}
+	}
+	res, err := paramra.Verify(ctx, sys, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "raverify: interrupted (%v) after %d macro states; verdict unknown\n",
+				ctx.Err(), res.Stats.MacroStates)
+			return 2
+		}
 		fmt.Fprintln(os.Stderr, "raverify:", err)
 		return 2
 	}
@@ -106,6 +135,7 @@ func run() int {
 			MacroStates: res.Stats.MacroStates, DisTransitions: res.Stats.DisTransitions,
 			EnvConfigs: res.Stats.EnvConfigs, EnvMsgs: res.Stats.EnvMsgs,
 			EnvThreadBound: res.EnvThreadBound, Witness: res.Witness,
+			Workers: res.Stats.Workers, WallMS: res.Stats.Wall.Milliseconds(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -127,6 +157,10 @@ func run() int {
 	if !*datalogBackend {
 		fmt.Printf("stats:    macro-states=%d dis-transitions=%d env-configs=%d env-msgs=%d\n",
 			res.Stats.MacroStates, res.Stats.DisTransitions, res.Stats.EnvConfigs, res.Stats.EnvMsgs)
+	} else {
+		fmt.Printf("stats:    skeletons=%d facts=%d rules=%d fixpoint-rounds=%d atoms=%d\n",
+			res.Stats.Skeletons, res.Stats.DatalogFacts, res.Stats.DatalogRules,
+			res.Stats.FixpointRounds, res.Stats.DatalogAtoms)
 	}
 	if res.Unsafe && res.EnvThreadBound >= 0 {
 		fmt.Printf("bound:    %d env thread(s) suffice (§4.3 cost bound)\n", res.EnvThreadBound)
@@ -142,7 +176,10 @@ func run() int {
 		fmt.Print(res.Graph.String())
 	}
 	if *confirm && res.Unsafe {
-		n, witness, err := paramra.ConfirmViolation(sys, res, 8, 2_000_000)
+		n, witness, err := paramra.ConfirmViolation(ctx, sys, res, 8, paramra.Options{
+			MaxStates:   2_000_000,
+			Parallelism: *workers,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raverify: confirmation failed:", err)
 		} else {

@@ -25,8 +25,46 @@
 // # Quick start
 //
 //	sys, err := paramra.Parse(src)          // concrete syntax, see below
-//	res, err := paramra.Verify(sys, paramra.Options{})
+//	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 //	if res.Unsafe { ... }
+//
+// Every entry point takes a context; cancellation or a deadline stops the
+// search and returns the partial Result (Complete = false) together with
+// the context error. Options.Parallelism sets the worker count (0 =
+// GOMAXPROCS) and Options.Progress streams periodic Stats snapshots.
+// Verdicts, witnesses and fixpoint statistics are identical for every
+// worker count (see internal/engine).
+//
+// # Result and Stats fields by backend
+//
+// Verify has three backends — the simplified-semantics fixpoint (default),
+// the Datalog encoding (Options.Datalog), and the concrete RA explorer
+// (VerifyInstance / ConfirmViolation, whose InstanceResult mirrors the
+// shared Result fields). Each fills a different slice of Result and Stats:
+//
+//	field                  fixpoint  Datalog  concrete
+//	Result.Unsafe             ✓         ✓        ✓
+//	Result.Complete           ✓         ✓        ✓
+//	Result.Class              ✓         ✓        —
+//	Result.EnvThreadBound     ✓         —        —   (-1 when absent)
+//	Result.Graph              ✓         —        —   (unsafe only)
+//	Result.Witness            ✓         —        ✓   (unsafe only)
+//	Stats.MacroStates         ✓         —        —
+//	Stats.DisTransitions      ✓         —        —
+//	Stats.EnvConfigs          ✓         —        —
+//	Stats.EnvMsgs             ✓         —        —
+//	Stats.SaturationSteps     ✓         —        —
+//	Stats.States              —         —        ✓
+//	Stats.Transitions         —         —        ✓
+//	Stats.Skeletons           —         ✓        —
+//	Stats.DatalogFacts        —         ✓        —
+//	Stats.DatalogRules        —         ✓        —
+//	Stats.FixpointRounds      —         ✓        —
+//	Stats.DatalogAtoms        —         ✓        —
+//	Stats.DedupHits           ✓         —        ✓
+//	Stats.PeakFrontier        ✓         —        ✓
+//	Stats.Wall                ✓         ✓        ✓
+//	Stats.Workers             ✓         ✓        ✓
 //
 // Systems are written in a small concrete syntax:
 //

@@ -1,6 +1,7 @@
 package paramra_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ thread t2 { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; asse
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := paramra.VerifyInstance(sys, 0, 100000)
+	res, err := paramra.VerifyInstance(context.Background(), sys, 0, paramra.Options{MaxStates: 100000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,11 +80,11 @@ thread watcher { regs s; s = load x; assume s == 2; assert false }
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	n, _, err := paramra.ConfirmViolation(sys, res, 8, 500000)
+	n, _, err := paramra.ConfirmViolation(context.Background(), sys, res, 8, paramra.Options{MaxStates: 500000})
 	if err != nil {
 		log.Fatal(err)
 	}

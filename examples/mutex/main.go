@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := paramra.Verify(sys, paramra.Options{})
+		res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := paramra.VerifyInstance(sys, 0, 2_000_000)
+	inst, err := paramra.VerifyInstance(context.Background(), sys, 0, paramra.Options{MaxStates: 2_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -45,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := paramra.VerifyInstance(sys1, 1, 200_000)
+	inst, err := paramra.VerifyInstance(context.Background(), sys1, 1, paramra.Options{MaxStates: 200_000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := paramra.Verify(sys, paramra.Options{})
+		res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := paramra.Verify(sys3, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys3, paramra.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

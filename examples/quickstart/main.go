@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	fmt.Println("class: ", paramra.Classify(sys))
 
 	// Decide safety for EVERY number of environment threads at once.
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 
 	// Cross-check against concrete instances under the full RA semantics.
 	for n := 0; n <= 2; n++ {
-		inst, err := paramra.VerifyInstance(sys, n, 200_000)
+		inst, err := paramra.VerifyInstance(context.Background(), sys, n, paramra.Options{MaxStates: 200_000})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := paramra.Verify(sys, paramra.Options{})
+		res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

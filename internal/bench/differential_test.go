@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"paramra/internal/simplified"
+)
+
+// TestParallelMatchesSequentialCorpus is the determinism contract of the
+// layered parallel engine: for every corpus entry and every worker count,
+// VerifyContext must agree with the sequential Verify on the verdict,
+// completeness, every statistic, and the violation's read logs (the inputs
+// of the §4.3 env-thread bound).
+func TestParallelMatchesSequentialCorpus(t *testing.T) {
+	for _, e := range Corpus() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			seqV, err := simplified.New(e.System(), simplified.Options{})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			seq := seqV.Verify()
+
+			for _, workers := range []int{1, 2, 8} {
+				parV, err := simplified.New(e.System(), simplified.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				par := parV.VerifyContext(context.Background())
+
+				if par.Unsafe != seq.Unsafe || par.Complete != seq.Complete {
+					t.Fatalf("j=%d: verdict (%v,%v) vs sequential (%v,%v)",
+						workers, par.Unsafe, par.Complete, seq.Unsafe, seq.Complete)
+				}
+				if par.Stats != seq.Stats {
+					t.Errorf("j=%d: stats %+v vs sequential %+v", workers, par.Stats, seq.Stats)
+				}
+				if (par.Violation == nil) != (seq.Violation == nil) {
+					t.Fatalf("j=%d: violation presence differs", workers)
+				}
+				if par.Violation != nil {
+					pv, sv := par.Violation, seq.Violation
+					if pv.ByEnv != sv.ByEnv || pv.DisIndex != sv.DisIndex {
+						t.Errorf("j=%d: violation source (%v,%d) vs (%v,%d)",
+							workers, pv.ByEnv, pv.DisIndex, sv.ByEnv, sv.DisIndex)
+					}
+					if got, want := logKeys(pv.Log), logKeys(sv.Log); !equalStrings(got, want) {
+						t.Errorf("j=%d: violating read log %v vs %v", workers, got, want)
+					}
+					for i := range sv.DisLogs {
+						if got, want := logKeys(pv.DisLogs[i]), logKeys(sv.DisLogs[i]); !equalStrings(got, want) {
+							t.Errorf("j=%d: dis %d read log %v vs %v", workers, i, got, want)
+						}
+					}
+					if len(pv.DisMsgLogs) != len(sv.DisMsgLogs) {
+						t.Errorf("j=%d: provenance map size %d vs %d",
+							workers, len(pv.DisMsgLogs), len(sv.DisMsgLogs))
+					}
+					for k, sg := range sv.DisMsgLogs {
+						pg, ok := pv.DisMsgLogs[k]
+						if !ok {
+							t.Errorf("j=%d: provenance missing key %q", workers, k)
+							continue
+						}
+						if pg.DisIndex != sg.DisIndex || !equalStrings(logKeys(pg.Log), logKeys(sg.Log)) {
+							t.Errorf("j=%d: provenance of %q differs", workers, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func logKeys(l *simplified.ReadLog) []string {
+	if l == nil {
+		return nil
+	}
+	return l.Keys()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -149,16 +149,31 @@ func EvalNaive(p *Program) *DB {
 	}
 }
 
+// EvalStats reports the work of one semi-naive evaluation.
+type EvalStats struct {
+	// Rounds is the number of fixpoint iterations (delta rounds), counting
+	// the initial fact round.
+	Rounds int
+	// Atoms is the number of derived ground atoms.
+	Atoms int
+}
+
 // EvalSemiNaive computes the same fixpoint, joining each round only against
 // atoms derived in the previous round (each body position takes a turn as
 // the delta position).
 func EvalSemiNaive(p *Program) *DB {
+	db, _ := evalSemiNaiveFrom(p, nil)
+	return db
+}
+
+// EvalSemiNaiveStats is EvalSemiNaive with evaluation statistics.
+func EvalSemiNaiveStats(p *Program) (*DB, EvalStats) {
 	return evalSemiNaiveFrom(p, nil)
 }
 
 // evalSemiNaiveFrom seeds the evaluation with extra ground atoms (used for
 // EDB facts kept outside the program).
-func evalSemiNaiveFrom(p *Program, seed *DB) *DB {
+func evalSemiNaiveFrom(p *Program, seed *DB) (*DB, EvalStats) {
 	db := NewDB(p)
 	delta := NewDB(p)
 	if seed != nil {
@@ -168,6 +183,7 @@ func evalSemiNaiveFrom(p *Program, seed *DB) *DB {
 			}
 		}
 	}
+	stats := EvalStats{Rounds: 1}
 	// Round 0: facts.
 	for _, r := range p.Rules {
 		if !r.IsFact() {
@@ -179,6 +195,7 @@ func evalSemiNaiveFrom(p *Program, seed *DB) *DB {
 		}
 	}
 	for delta.Size() > 0 {
+		stats.Rounds++
 		next := NewDB(p)
 		for _, r := range p.Rules {
 			if r.IsFact() {
@@ -198,10 +215,17 @@ func evalSemiNaiveFrom(p *Program, seed *DB) *DB {
 		}
 		delta = next
 	}
-	return db
+	stats.Atoms = db.Size()
+	return db, stats
 }
 
 // Query reports whether Prog ⊢ g, using semi-naive evaluation.
 func Query(p *Program, g GroundAtom) bool {
 	return EvalSemiNaive(p).Has(g)
+}
+
+// QueryStats is Query with evaluation statistics.
+func QueryStats(p *Program, g GroundAtom) (bool, EvalStats) {
+	db, stats := evalSemiNaiveFrom(p, nil)
+	return db.Has(g), stats
 }

@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes an exploration run.
+type Config struct {
+	// Workers is the number of worker goroutines; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxStates caps the number of admitted states (0 = unlimited). The
+	// root counts as the first admitted state, matching the sequential
+	// explorers.
+	MaxStates int
+	// MaxDepth caps the length of explored computations (0 = unlimited).
+	MaxDepth int
+	// Progress, when non-nil, is called with a stats snapshot roughly every
+	// ProgressEvery (default 250ms) from a dedicated goroutine.
+	Progress func(Stats)
+	// ProgressEvery is the progress callback interval (0 = 250ms).
+	ProgressEvery time.Duration
+}
+
+func (cfg Config) workers() int {
+	if cfg.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Workers
+}
+
+func (cfg Config) progressEvery() time.Duration {
+	if cfg.ProgressEvery <= 0 {
+		return 250 * time.Millisecond
+	}
+	return cfg.ProgressEvery
+}
+
+// Stats aggregates the per-worker counters of a run.
+type Stats struct {
+	// States is the number of distinct states admitted to the visited set
+	// (including the root).
+	States int64
+	// Transitions is the number of successor edges examined.
+	Transitions int64
+	// DedupHits counts successors dropped because their canonical key was
+	// already in the visited set.
+	DedupHits int64
+	// PeakFrontier is the maximum number of admitted-but-unexpanded states
+	// observed at any point (for Layered, the largest BFS layer).
+	PeakFrontier int64
+	// Wall is the wall-clock duration of the run.
+	Wall time.Duration
+	// Workers is the resolved worker count.
+	Workers int
+}
+
+// Outcome is the engine-level result of a run.
+type Outcome struct {
+	Stats Stats
+	// Complete is true when the search space was exhausted: no halt, no
+	// state/depth cap hit, no cancellation.
+	Complete bool
+	// Halted is true when a halting successor (violation) ended the run.
+	Halted bool
+	// HaltParent is the canonical key of the state whose expansion produced
+	// the halting successor ("" unless Halted).
+	HaltParent string
+	// HaltTag is the caller payload attached to the halting successor.
+	HaltTag any
+	// Capped is true when MaxStates or MaxDepth pruned the search.
+	Capped bool
+	// Err is the context error when the run was cancelled, else nil.
+	Err error
+}
+
+// counters holds the shared atomic counters of one run.
+type counters struct {
+	states      atomic.Int64
+	transitions atomic.Int64
+	dedupHits   atomic.Int64
+	peak        atomic.Int64
+}
+
+// admit increments the state counter unless the cap is already reached; it
+// reports whether the state was admitted. CAS keeps the counter exactly at
+// the cap even under contention.
+func (c *counters) admit(maxStates int) bool {
+	for {
+		cur := c.states.Load()
+		if maxStates > 0 && cur >= int64(maxStates) {
+			return false
+		}
+		if c.states.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (c *counters) bumpPeak(n int64) {
+	for {
+		cur := c.peak.Load()
+		if n <= cur || c.peak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot(workers int, start time.Time) Stats {
+	return Stats{
+		States:       c.states.Load(),
+		Transitions:  c.transitions.Load(),
+		DedupHits:    c.dedupHits.Load(),
+		PeakFrontier: c.peak.Load(),
+		Wall:         time.Since(start),
+		Workers:      workers,
+	}
+}
+
+// startProgress launches the progress ticker; the returned stop function
+// must be called once the run is over (it emits a final snapshot).
+func startProgress(cfg Config, cnt *counters, workers int, start time.Time) (stop func()) {
+	if cfg.Progress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(cfg.progressEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cfg.Progress(cnt.snapshot(workers, start))
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		cfg.Progress(cnt.snapshot(workers, start))
+	}
+}
+
+// Succ is one successor produced by an expansion callback.
+type Succ[S any, V any] struct {
+	// State and Key identify the successor; ignored when Halt is set.
+	State S
+	Key   string
+	// Val is stored in the visited map under Key (e.g. a predecessor edge).
+	Val V
+	// Halt marks a halting successor (assert violation): the search stops,
+	// the first reported halt wins, and the remaining workers drain.
+	Halt bool
+	// Tag is the caller payload surfaced as Outcome.HaltTag when Halt wins.
+	Tag any
+}
+
+// item is one admitted frontier entry.
+type item[S any] struct {
+	state S
+	key   string
+	depth int
+}
+
+// batchSize is how many frontier items a worker moves between its local
+// stack and the shared queue at a time; spillAt is the local-stack size
+// that triggers a donation back to the shared queue.
+const (
+	batchSize = 32
+	spillAt   = 2 * batchSize
+)
+
+// Explore runs a free-order parallel search from root. expand is called
+// exactly once per admitted state (concurrently from several goroutines)
+// and returns its successors; the engine deduplicates them through a
+// sharded visited map that also stores each admitted state's Val for
+// later lookup (witness reconstruction via the returned map).
+//
+// The frontier is a shared batched queue with per-worker local stacks:
+// workers take and donate work in batches, so queue contention is paid
+// once per batch rather than once per state. The first halting successor
+// wins; after a halt (or cancellation) the workers drain and exit.
+func Explore[S any, V any](
+	ctx context.Context,
+	cfg Config,
+	root S, rootKey string, rootVal V,
+	expand func(s S, key string, depth int) []Succ[S, V],
+) (*ShardedMap[V], Outcome) {
+	workers := cfg.workers()
+	start := time.Now()
+	cnt := &counters{}
+	visited := NewShardedMap[V]()
+	visited.TryPut(rootKey, rootVal)
+	cnt.states.Store(1)
+	cnt.bumpPeak(1)
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		global  = []item[S]{{state: root, key: rootKey}}
+		waiting = 0
+		stopped atomic.Bool // halt, cancel: workers drain
+		capped  atomic.Bool
+		halted  bool
+		haltKey string
+		haltTag any
+	)
+	pending := atomic.Int64{}
+	pending.Store(1)
+
+	// Cancellation watcher: wakes idle workers when the context fires.
+	cancelDone := make(chan struct{})
+	var cancelWG sync.WaitGroup
+	if ctx != nil && ctx.Done() != nil {
+		cancelWG.Add(1)
+		go func() {
+			defer cancelWG.Done()
+			select {
+			case <-ctx.Done():
+				stopped.Store(true)
+				mu.Lock()
+				cond.Broadcast()
+				mu.Unlock()
+			case <-cancelDone:
+			}
+		}()
+	}
+
+	stopProgress := startProgress(cfg, cnt, workers, start)
+
+	recordHalt := func(parentKey string, tag any) {
+		mu.Lock()
+		if !halted {
+			halted = true
+			haltKey = parentKey
+			haltTag = tag
+		}
+		mu.Unlock()
+		stopped.Store(true)
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	}
+
+	worker := func() {
+		var local []item[S]
+		for {
+			if stopped.Load() {
+				return
+			}
+			if len(local) == 0 {
+				mu.Lock()
+				for len(global) == 0 && pending.Load() > 0 && !stopped.Load() {
+					waiting++
+					cond.Wait()
+					waiting--
+				}
+				if stopped.Load() || (len(global) == 0 && pending.Load() == 0) {
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				n := len(global)
+				if n > batchSize {
+					n = batchSize
+				}
+				local = append(local, global[len(global)-n:]...)
+				global = global[:len(global)-n]
+				mu.Unlock()
+				continue
+			}
+
+			it := local[len(local)-1]
+			local = local[:len(local)-1]
+
+			if cfg.MaxDepth > 0 && it.depth >= cfg.MaxDepth {
+				capped.Store(true)
+				if pending.Add(-1) == 0 {
+					mu.Lock()
+					cond.Broadcast()
+					mu.Unlock()
+				}
+				continue
+			}
+
+			succs := expand(it.state, it.key, it.depth)
+			cnt.transitions.Add(int64(len(succs)))
+			for _, sc := range succs {
+				if sc.Halt {
+					recordHalt(it.key, sc.Tag)
+					break
+				}
+				if !visited.TryPut(sc.Key, sc.Val) {
+					cnt.dedupHits.Add(1)
+					continue
+				}
+				if !cnt.admit(cfg.MaxStates) {
+					capped.Store(true)
+					continue
+				}
+				n := pending.Add(1)
+				cnt.bumpPeak(n)
+				local = append(local, item[S]{state: sc.State, key: sc.Key, depth: it.depth + 1})
+			}
+
+			// Donate work to idle peers, or spill an oversized local stack.
+			if len(local) > 0 {
+				mu.Lock()
+				if waiting > 0 || len(local) > spillAt {
+					half := len(local) / 2
+					if half == 0 {
+						half = 1
+					}
+					global = append(global, local[:half]...)
+					local = append(local[:0:0], local[half:]...)
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+
+			if pending.Add(-1) == 0 {
+				mu.Lock()
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	close(cancelDone)
+	cancelWG.Wait()
+	stopProgress()
+
+	out := Outcome{
+		Stats:      cnt.snapshot(workers, start),
+		Halted:     halted,
+		HaltParent: haltKey,
+		HaltTag:    haltTag,
+		Capped:     capped.Load(),
+	}
+	if ctx != nil {
+		out.Err = ctx.Err()
+	}
+	out.Complete = !out.Halted && !out.Capped && out.Err == nil
+	return visited, out
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"paramra/internal/engine"
 )
 
 // Limits bounds and configures an exploration. Zero values mean "no limit".
@@ -18,6 +20,12 @@ type Limits struct {
 	// same program and messages carry no thread identity — and often
 	// exponentially smaller in the replica count.
 	Symmetry bool
+	// Workers is the number of exploration goroutines used by the
+	// context-aware explorers (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives periodic engine stats snapshots from
+	// the context-aware explorers.
+	Progress func(engine.Stats)
 }
 
 // ErrLimit is reported (wrapped) when exploration stops due to a limit
@@ -39,6 +47,11 @@ type Result struct {
 	// Witness is a violating computation (sequence of events from the
 	// initial state), non-nil iff Unsafe.
 	Witness []Event
+	// Engine carries the engine-level counters (dedup hits, peak frontier,
+	// wall time, workers) when the search ran on the parallel engine.
+	Engine engine.Stats
+	// Err is the context error when the search was cancelled, else nil.
+	Err error
 }
 
 // Explore runs a breadth-first search of the instance's RA state space,

@@ -1,141 +1,149 @@
 package ra
 
 import (
-	"runtime"
+	"context"
 	"sync"
+
+	"paramra/internal/engine"
 )
 
-// ExploreParallel runs the same breadth-first safety search as Explore,
-// fanned out over a worker pool. The visited set and frontier are shared
-// under a mutex with a condition variable for idle workers; termination is
-// detected when the frontier is empty and no worker is expanding a state.
-// Verdicts (and, for exhaustive searches, state counts) coincide with the
-// sequential explorer; witness interleavings may differ between runs.
-//
-// workers ≤ 0 selects GOMAXPROCS.
-func (inst *Instance) ExploreParallel(lim Limits, workers int) Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type backEdge struct {
-		prevKey string
-		ev      Event
-	}
-	type item struct {
-		state *State
-		key   string
-		depth int
-	}
+// backEdge stores, for each visited state, its predecessor key and the
+// incoming event — enough to reconstruct a witness by chain walking.
+type backEdge struct {
+	prevKey string
+	ev      Event
+}
 
+// ExploreContext runs the safety search of Explore on the free-order
+// parallel engine: lim.Workers goroutines share a batched frontier and a
+// sharded visited set. Verdicts — and, for exhaustive searches, state and
+// transition counts — coincide with the sequential explorer for every
+// worker count; witness interleavings may differ between runs (the first
+// violation discovered wins). Cancellation via ctx stops the search with
+// Result.Err = ctx.Err() and Complete = false.
+func (inst *Instance) ExploreContext(ctx context.Context, lim Limits) Result {
 	init := inst.InitState()
-	initKey := init.Key()
+	initKey := inst.stateKey(init, lim)
 
-	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		frontier = []item{{state: init, key: initKey}}
-		visited  = map[string]bool{initKey: true}
-		pred     = map[string]backEdge{}
-		active   = 0
-		states   = 1
-		trans    = 0
-		limited  = false
-		done     = false
-		unsafe   = false
-		witness  []Event
-	)
+	expand := func(s *State, key string, depth int) []engine.Succ[*State, backEdge] {
+		succs := inst.Successors(s)
+		out := make([]engine.Succ[*State, backEdge], 0, len(succs))
+		for _, succ := range succs {
+			if succ.Event.Assert {
+				out = append(out, engine.Succ[*State, backEdge]{Halt: true, Tag: succ.Event})
+				break
+			}
+			out = append(out, engine.Succ[*State, backEdge]{
+				State: succ.State,
+				Key:   inst.stateKey(succ.State, lim),
+				Val:   backEdge{prevKey: key, ev: succ.Event},
+			})
+		}
+		return out
+	}
 
-	buildWitness := func(lastKey string, final Event) []Event {
+	visited, out := engine.Explore(ctx, engine.Config{
+		Workers:   lim.Workers,
+		MaxStates: lim.MaxStates,
+		MaxDepth:  lim.MaxDepth,
+		Progress:  lim.Progress,
+	}, init, initKey, backEdge{}, expand)
+
+	res := Result{
+		Unsafe:      out.Halted,
+		States:      int(out.Stats.States),
+		Transitions: int(out.Stats.Transitions),
+		Complete:    out.Complete,
+		Engine:      out.Stats,
+		Err:         out.Err,
+	}
+	if out.Halted {
+		final, _ := out.HaltTag.(Event)
 		rev := []Event{final}
-		k := lastKey
-		for k != initKey {
-			be, ok := pred[k]
+		for k := out.HaltParent; k != initKey; {
+			be, ok := visited.Get(k)
 			if !ok {
 				break
 			}
 			rev = append(rev, be.ev)
 			k = be.prevKey
 		}
-		out := make([]Event, 0, len(rev))
+		res.Witness = make([]Event, 0, len(rev))
 		for i := len(rev) - 1; i >= 0; i-- {
-			out = append(out, rev[i])
+			res.Witness = append(res.Witness, rev[i])
+		}
+	}
+	return res
+}
+
+// ExploreParallel is ExploreContext with a background context, keeping the
+// historical (lim, workers) signature.
+func (inst *Instance) ExploreParallel(lim Limits, workers int) Result {
+	lim.Workers = workers
+	return inst.ExploreContext(context.Background(), lim)
+}
+
+// FindDeadlocksContext classifies the instance's sink states on the
+// parallel engine. Counts are deterministic (they are properties of the
+// reachable state set); the reported example is canonicalized to the
+// deadlocked state with the smallest key, so it too is identical for every
+// worker count and schedule.
+func (inst *Instance) FindDeadlocksContext(ctx context.Context, lim Limits) DeadlockReport {
+	init := inst.InitState()
+
+	var mu sync.Mutex
+	rep := DeadlockReport{}
+	var exampleKey string
+
+	atExit := func(s *State, ti int) bool {
+		return len(inst.Threads[ti].CFG.Out[s.Threads[ti].PC]) == 0
+	}
+
+	expand := func(s *State, key string, depth int) []engine.Succ[*State, struct{}] {
+		succs := inst.Successors(s)
+		if len(succs) == 0 {
+			var stuck []string
+			for ti := range s.Threads {
+				if !atExit(s, ti) {
+					stuck = append(stuck, inst.Threads[ti].Name)
+				}
+			}
+			mu.Lock()
+			if len(stuck) > 0 {
+				rep.Deadlocks++
+				if exampleKey == "" || key < exampleKey {
+					exampleKey = key
+					rep.Example = s.String()
+					rep.StuckThreads = stuck
+				}
+			} else {
+				rep.Terminal++
+			}
+			mu.Unlock()
+			return nil
+		}
+		out := make([]engine.Succ[*State, struct{}], 0, len(succs))
+		for _, succ := range succs {
+			// Assert transitions terminate their branch without counting as
+			// deadlocks (safety is Explore's job).
+			if succ.Event.Assert {
+				continue
+			}
+			out = append(out, engine.Succ[*State, struct{}]{
+				State: succ.State,
+				Key:   succ.State.Key(),
+			})
 		}
 		return out
 	}
 
-	worker := func() {
-		for {
-			mu.Lock()
-			for len(frontier) == 0 && active > 0 && !done {
-				cond.Wait()
-			}
-			if done || (len(frontier) == 0 && active == 0) {
-				// Wake any remaining waiters and exit.
-				done = true
-				cond.Broadcast()
-				mu.Unlock()
-				return
-			}
-			it := frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
-			active++
-			mu.Unlock()
+	_, out := engine.Explore(ctx, engine.Config{
+		Workers:   lim.Workers,
+		MaxStates: lim.MaxStates,
+		MaxDepth:  lim.MaxDepth,
+		Progress:  lim.Progress,
+	}, init, init.Key(), struct{}{}, expand)
 
-			if lim.MaxDepth > 0 && it.depth >= lim.MaxDepth {
-				mu.Lock()
-				limited = true
-				active--
-				cond.Broadcast()
-				mu.Unlock()
-				continue
-			}
-
-			succs := inst.Successors(it.state)
-
-			mu.Lock()
-			for _, succ := range succs {
-				trans++
-				if succ.Event.Assert && !unsafe {
-					unsafe = true
-					witness = buildWitness(it.key, succ.Event)
-					done = true
-					break
-				}
-				sk := succ.State.Key()
-				if visited[sk] {
-					continue
-				}
-				if lim.MaxStates > 0 && states >= lim.MaxStates {
-					limited = true
-					continue
-				}
-				visited[sk] = true
-				pred[sk] = backEdge{prevKey: it.key, ev: succ.Event}
-				states++
-				frontier = append(frontier, item{state: succ.State, key: sk, depth: it.depth + 1})
-			}
-			active--
-			cond.Broadcast()
-			mu.Unlock()
-		}
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			worker()
-		}()
-	}
-	wg.Wait()
-
-	res := Result{
-		Unsafe:      unsafe,
-		States:      states,
-		Transitions: trans,
-		Complete:    !unsafe && !limited,
-		Witness:     witness,
-	}
-	return res
+	rep.Complete = out.Complete
+	return rep
 }

@@ -70,6 +70,11 @@ type MsgEntry struct {
 type EnvSet struct {
 	Configs map[string]AThread
 	Msgs    map[string]MsgEntry
+	// ConfigOrder lists config keys in insertion order. Saturation worklists
+	// iterate it instead of the Configs map so that first-derivation
+	// provenance (and with it witnesses and §4.3 bounds) is reproducible
+	// across runs and worker counts.
+	ConfigOrder []string
 	// MsgsByVar indexes the env messages by shared variable for loads.
 	MsgsByVar [][]MsgEntry
 	// fp is an order-insensitive fingerprint (xor of per-key FNV hashes),
@@ -89,10 +94,11 @@ func NewEnvSet(numVars int) *EnvSet {
 // Clone copies the set (entries themselves are immutable).
 func (e *EnvSet) Clone() *EnvSet {
 	out := &EnvSet{
-		Configs:   make(map[string]AThread, len(e.Configs)),
-		Msgs:      make(map[string]MsgEntry, len(e.Msgs)),
-		MsgsByVar: make([][]MsgEntry, len(e.MsgsByVar)),
-		fp:        e.fp,
+		Configs:     make(map[string]AThread, len(e.Configs)),
+		Msgs:        make(map[string]MsgEntry, len(e.Msgs)),
+		ConfigOrder: append([]string(nil), e.ConfigOrder...),
+		MsgsByVar:   make([][]MsgEntry, len(e.MsgsByVar)),
+		fp:          e.fp,
 	}
 	for k, v := range e.Configs {
 		out.Configs[k] = v
@@ -119,6 +125,7 @@ func (e *EnvSet) AddConfig(c AThread) bool {
 		return false
 	}
 	e.Configs[k] = c
+	e.ConfigOrder = append(e.ConfigOrder, k)
 	e.fp ^= hashKey("c" + k)
 	return true
 }

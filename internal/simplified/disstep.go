@@ -6,7 +6,8 @@ import (
 
 // disSuccessors enumerates the macro-states reachable by one transition of a
 // dis thread. Env saturation of the successors is the caller's job.
-func (v *Verifier) disSuccessors(st *state) ([]*state, *Violation) {
+func (ex *exec) disSuccessors(st *state) ([]*state, *Violation) {
+	v := ex.v
 	var out []*state
 	emit := func(i int, th AThread, update func(*state)) {
 		ns := st.clone()
@@ -14,7 +15,7 @@ func (v *Verifier) disSuccessors(st *state) ([]*state, *Violation) {
 		if update != nil {
 			update(ns)
 		}
-		v.stats.DisTransitions++
+		ex.stats.DisTransitions++
 		out = append(out, ns)
 	}
 
@@ -60,13 +61,13 @@ func (v *Verifier) disSuccessors(st *state) ([]*state, *Violation) {
 					view := cfg.View.Clone()
 					view[x] = Int(t)
 					msg := AMsg{Var: x, TS: Int(t), Val: d, View: view}
-					v.recordDisMsg(msg, i, cfg.Log)
+					ex.recordDisMsg(msg, i, cfg.Log)
 					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: cfg.Log},
 						func(ns *state) { ns.mem.Put(msg) })
 				}
 
 			case lang.OpCASOp:
-				out = v.disCAS(st, i, cfg, e, out)
+				out = ex.disCAS(st, i, cfg, e, out)
 			}
 		}
 	}
@@ -85,7 +86,8 @@ func (v *Verifier) disSuccessors(st *state) ([]*state, *Violation) {
 //     be lifted into region t-1 just below the slot, and the remaining env
 //     messages relocate out of the gap (timestamp lifting, §3.1), so env
 //     messages never block adjacency.
-func (v *Verifier) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state) []*state {
+func (ex *exec) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state) []*state {
+	v := ex.v
 	x := e.Op.Var
 	expect := v.norm(e.Op.E.Eval(cfg.Regs))
 	newVal := v.norm(e.Op.E2.Eval(cfg.Regs))
@@ -94,7 +96,7 @@ func (v *Verifier) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*sta
 		ns := st.clone()
 		ns.dis[i] = th
 		ns.mem.Put(msg)
-		v.stats.DisTransitions++
+		ex.stats.DisTransitions++
 		out = append(out, ns)
 	}
 
@@ -111,7 +113,7 @@ func (v *Verifier) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*sta
 		view[x] = Int(u + 1)
 		msg := AMsg{Var: x, TS: Int(u + 1), Val: newVal, View: view}
 		log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
-		v.recordDisMsg(msg, i, log)
+		ex.recordDisMsg(msg, i, log)
 		emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)
 	})
 
@@ -133,18 +135,9 @@ func (v *Verifier) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*sta
 			view[x] = Int(t)
 			msg := AMsg{Var: x, TS: Int(t), Val: newVal, View: view}
 			log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
-			v.recordDisMsg(msg, i, log)
+			ex.recordDisMsg(msg, i, log)
 			emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)
 		}
 	}
 	return out
-}
-
-// recordDisMsg stores the provenance of a dis message (first derivation
-// wins, matching genthread of Definition 1).
-func (v *Verifier) recordDisMsg(m AMsg, disIndex int, log *ReadLog) {
-	k := m.Key()
-	if _, ok := v.msgLogs[k]; !ok {
-		v.msgLogs[k] = DisGen{DisIndex: disIndex, Log: log}
-	}
 }

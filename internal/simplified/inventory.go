@@ -1,6 +1,9 @@
 package simplified
 
 import (
+	"context"
+
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
 
@@ -12,10 +15,16 @@ import (
 // Inventory answers all MG queries of §4.1 at once; per-pair Goal queries
 // agree with it (cross-checked in the tests).
 func (v *Verifier) Inventory() (map[lang.VarID]map[lang.Val]bool, Stats, bool) {
-	v.stats = Stats{}
-	v.msgLogs = map[string]DisGen{}
+	return v.InventoryContext(context.Background())
+}
+
+// InventoryContext is Inventory under a context: cancellation stops the
+// search and reports it incomplete. The search runs on the layered parallel
+// engine with Options.Workers expansion goroutines.
+func (v *Verifier) InventoryContext(ctx context.Context) (map[lang.VarID]map[lang.Val]bool, Stats, bool) {
 	// Force MG mode with an unreachable goal so asserts are inert and the
-	// search never exits early.
+	// search never exits early. The engine's expand goroutines only read
+	// opts, so the temporary mutation is race-free.
 	savedGoal := v.opts.Goal
 	v.opts.Goal = &Goal{Var: 0, Val: -1}
 	defer func() { v.opts.Goal = savedGoal }()
@@ -35,34 +44,40 @@ func (v *Verifier) Inventory() (map[lang.VarID]map[lang.Val]bool, Stats, bool) {
 		}
 	}
 
+	global := newExec(v, nil)
 	init := v.initState()
-	v.saturate(init)
+	global.saturate(init)
 	record(init)
 
-	seen := map[string]bool{init.key(): true}
-	queue := []*state{init}
-	v.stats.MacroStates = 1
-	complete := true
-
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
-		succs, _ := v.disSuccessors(st)
+	expand := func(st *state) expOut {
+		ex := newExec(v, global.msgLogs)
+		o := expOut{ex: ex}
+		succs, _ := ex.disSuccessors(st)
 		for _, ns := range succs {
-			v.saturate(ns)
-			k := ns.key()
-			if seen[k] {
-				continue
-			}
-			if v.opts.MaxMacroStates > 0 && v.stats.MacroStates >= v.opts.MaxMacroStates {
-				complete = false
-				continue
-			}
-			seen[k] = true
-			v.stats.MacroStates++
-			record(ns)
-			queue = append(queue, ns)
+			ex.saturate(ns)
+			o.succs = append(o.succs, ns)
+			o.keys = append(o.keys, ns.key())
 		}
+		return o
 	}
-	return inv, v.stats, complete
+	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
+		global.recordSizes(st)
+		global.mergeFrom(o.ex)
+		for j, ns := range o.succs {
+			if adm.Add(o.keys[j], ns) {
+				record(ns)
+			}
+		}
+		return nil
+	}
+
+	out := engine.Layered(ctx, engine.Config{
+		Workers:   v.opts.Workers,
+		MaxStates: v.opts.MaxMacroStates,
+		Progress:  v.opts.Progress,
+	}, init, init.key(), expand, commit)
+
+	stats := global.stats
+	stats.MacroStates = int(out.Stats.States)
+	return inv, stats, out.Complete
 }

@@ -1,0 +1,125 @@
+package simplified
+
+import (
+	"context"
+
+	"paramra/internal/engine"
+)
+
+// expOut is the result of expanding one macro-state: its successors (with
+// pre-computed memo keys), any violation, and the expansion's private exec
+// (stats + provenance overlay) to be merged in commit order.
+type expOut struct {
+	succs     []*state
+	keys      []string
+	viol      *Violation
+	violState *state
+	ex        *exec
+}
+
+// VerifyContext runs the macro-state search on the layered parallel engine.
+// Verdicts, witnesses, statistics and §4.3 bounds are bit-identical to the
+// sequential Verify for every worker count: each layer is expanded
+// concurrently against a frozen provenance map (every expansion works on a
+// private overlay), then the overlays are merged and successors admitted
+// sequentially in frontier order, so the first derivation of every message
+// — and with it every read-log chain — is the same as in a 1-worker run.
+//
+// Cancellation (ctx) is the primary resource limit; Options.MaxMacroStates
+// remains a secondary cap. On cancellation the partial Result carries
+// Err = ctx.Err() and Complete = false.
+func (v *Verifier) VerifyContext(ctx context.Context) Result {
+	global := newExec(v, nil)
+
+	init := v.initState()
+	if viol := global.saturate(init); viol != nil {
+		res := global.unsafeResult(viol, init)
+		res.Stats.MacroStates = 1
+		res.Engine = engine.Stats{States: 1, Workers: 1}
+		return res
+	}
+	if viol := global.checkGoalDis(init); viol != nil {
+		res := global.unsafeResult(viol, init)
+		res.Stats.MacroStates = 1
+		res.Engine = engine.Stats{States: 1, Workers: 1}
+		return res
+	}
+
+	var unsafeRes *Result
+
+	expand := func(st *state) expOut {
+		// Private exec: reads the frozen global provenance, writes locally.
+		// checkGoalDis never needs a same-layer sibling's record — any dis
+		// message in st's memory was stored either on st's own path (already
+		// merged into the global map when st was admitted in an earlier
+		// layer) or by this very expansion.
+		ex := newExec(v, global.msgLogs)
+		o := expOut{ex: ex}
+		succs, viol := ex.disSuccessors(st)
+		if viol != nil {
+			o.viol, o.violState = viol, st
+			return o
+		}
+		for _, ns := range succs {
+			if viol := ex.saturate(ns); viol != nil {
+				o.viol, o.violState = viol, ns
+				return o
+			}
+			if viol := ex.checkGoalDis(ns); viol != nil {
+				o.viol, o.violState = viol, ns
+				return o
+			}
+			o.succs = append(o.succs, ns)
+			o.keys = append(o.keys, ns.key())
+		}
+		return o
+	}
+
+	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
+		global.recordSizes(st)
+		global.mergeFrom(o.ex)
+		// Successors discovered before a violation are admitted first: the
+		// sequential loop admits each saturated successor before examining
+		// the next one, so stats stay bit-identical on UNSAFE runs too.
+		for j, ns := range o.succs {
+			adm.Add(o.keys[j], ns)
+		}
+		if o.viol != nil {
+			// Re-resolve provenance against the merged map so an earlier
+			// commit's first derivation wins, exactly as sequentially.
+			viol := o.viol
+			if viol.GoalMsg != nil && !viol.ByEnv {
+				gen := global.lookupGen(viol.GoalMsg.Key())
+				viol.DisIndex, viol.Log = gen.DisIndex, gen.Log
+			}
+			r := global.unsafeResult(viol, o.violState)
+			unsafeRes = &r
+			return &r
+		}
+		return nil
+	}
+
+	out := engine.Layered(ctx, engine.Config{
+		Workers:   v.opts.Workers,
+		MaxStates: v.opts.MaxMacroStates,
+		Progress:  v.opts.Progress,
+	}, init, init.key(), expand, commit)
+
+	if unsafeRes != nil {
+		res := *unsafeRes
+		res.Stats.MacroStates = int(out.Stats.States)
+		res.Engine = out.Stats
+		res.Engine.Transitions = int64(res.Stats.DisTransitions)
+		return res
+	}
+	res := Result{
+		Unsafe:   false,
+		Complete: out.Complete,
+		Stats:    global.stats,
+		Err:      out.Err,
+	}
+	res.Stats.MacroStates = int(out.Stats.States)
+	res.Engine = out.Stats
+	res.Engine.Transitions = int64(res.Stats.DisTransitions)
+	return res
+}

@@ -38,12 +38,14 @@ func (v *Verifier) loadTargets(st *state, vw AView, x lang.VarID) []loadTarget {
 // saturate closes the env part of st under env transitions, mutating
 // st.env. It returns a non-nil Violation when an env thread can reach an
 // `assert false` or generate the goal message.
-func (v *Verifier) saturate(st *state) *Violation {
+func (ex *exec) saturate(st *state) *Violation {
+	v := ex.v
 	if v.envCFG == nil {
 		return nil
 	}
-	// Worklist of configuration keys. Adding a message re-enqueues every
-	// configuration, since any of them may now load it.
+	// Worklist of configuration keys, seeded and re-seeded in ConfigOrder so
+	// the first derivation of each config/message is the same for every run
+	// and worker count (stable provenance ⇒ stable witnesses and bounds).
 	var work []string
 	inWork := map[string]bool{}
 	push := func(k string) {
@@ -52,11 +54,13 @@ func (v *Verifier) saturate(st *state) *Violation {
 			work = append(work, k)
 		}
 	}
-	for k := range st.env.Configs {
+	for _, k := range st.env.ConfigOrder {
 		push(k)
 	}
+	// Adding a message re-enqueues every configuration, since any of them
+	// may now load it.
 	pushAll := func() {
-		for k := range st.env.Configs {
+		for _, k := range st.env.ConfigOrder {
 			push(k)
 		}
 	}
@@ -76,7 +80,7 @@ func (v *Verifier) saturate(st *state) *Violation {
 			continue
 		}
 		for _, e := range v.envCFG.Out[cfg.PC] {
-			v.stats.SaturationSteps++
+			ex.stats.SaturationSteps++
 			switch e.Op.Kind {
 			case lang.OpNop:
 				addConfig(AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log})

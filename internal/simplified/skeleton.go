@@ -50,13 +50,12 @@ type Skeleton struct {
 // once). It returns the skeletons and whether enumeration was exhaustive
 // under the maxPaths/MaxMacroStates caps.
 func (v *Verifier) Skeletons(maxPaths int) ([]Skeleton, bool) {
-	v.stats = Stats{}
-	v.msgLogs = map[string]DisGen{}
+	ex := newExec(v, nil)
 
 	init := v.initState()
 	// Saturation may already hit an env assert; skeleton consumers detect
 	// that via the bad() rules, so we ignore the violation here.
-	v.saturate(init)
+	ex.saturate(init)
 
 	var out []Skeleton
 	complete := true
@@ -83,7 +82,7 @@ func (v *Verifier) Skeletons(maxPaths int) ([]Skeleton, bool) {
 		}
 		progressed := false
 		for _, ts := range succs {
-			v.saturate(ts.state)
+			ex.saturate(ts.state)
 			k := ts.state.key()
 			if seen[k] {
 				continue

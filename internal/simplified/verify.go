@@ -3,7 +3,9 @@ package simplified
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
 
@@ -29,7 +31,9 @@ type Goal struct {
 
 // Options configures verification.
 type Options struct {
-	// MaxMacroStates caps the macro-state search (0 = unlimited).
+	// MaxMacroStates caps the macro-state search (0 = unlimited). With
+	// VerifyContext, the context deadline is the primary limit and this is
+	// a secondary cap.
 	MaxMacroStates int
 	// ExtraSlots widens the per-variable integer-timestamp budget beyond the
 	// computed 2·S_v+2 bound (useful for experiments on budget sensitivity).
@@ -37,6 +41,13 @@ type Options struct {
 	// Goal, when non-nil, switches from assert-reachability to the Message
 	// Generation problem for the given (variable, value) pair.
 	Goal *Goal
+	// Workers is the number of expansion goroutines used by VerifyContext
+	// (<= 0 selects GOMAXPROCS). Verdicts, witnesses and §4.3 bounds are
+	// identical for every worker count (see the layered engine).
+	Workers int
+	// Progress, when non-nil, receives periodic engine stats snapshots
+	// during VerifyContext.
+	Progress func(engine.Stats)
 }
 
 // Stats reports work done by the verifier.
@@ -50,6 +61,19 @@ type Stats struct {
 	EnvMsgs    int
 	// SaturationSteps counts env transition applications across saturations.
 	SaturationSteps int
+}
+
+// merge folds per-expansion stats into the run totals: counters add,
+// high-water marks take the maximum.
+func (s *Stats) merge(o Stats) {
+	s.DisTransitions += o.DisTransitions
+	s.SaturationSteps += o.SaturationSteps
+	if o.EnvConfigs > s.EnvConfigs {
+		s.EnvConfigs = o.EnvConfigs
+	}
+	if o.EnvMsgs > s.EnvMsgs {
+		s.EnvMsgs = o.EnvMsgs
+	}
 }
 
 // Violation describes how the safety violation (or goal message) arises.
@@ -88,6 +112,11 @@ type Result struct {
 	Complete  bool
 	Stats     Stats
 	Violation *Violation
+	// Engine carries the engine-level counters (dedup hits, peak frontier,
+	// wall time, workers) of the run.
+	Engine engine.Stats
+	// Err is the context error when VerifyContext was cancelled, else nil.
+	Err error
 }
 
 // Verifier decides parameterized safety for systems in the class
@@ -98,10 +127,6 @@ type Verifier struct {
 	disCFG []*lang.CFG
 	budget []int // per variable: usable integer timestamps are 1..budget[v]
 	opts   Options
-
-	// Search-global bookkeeping (reset per Verify call).
-	stats   Stats
-	msgLogs map[string]DisGen
 }
 
 // New validates the system against the decidable class and prepares a
@@ -172,75 +197,89 @@ func (v *Verifier) initState() *state {
 	return st
 }
 
-// Verify runs the macro-state search: saturate env behaviour, branch over
-// dis transitions, repeat.
-func (v *Verifier) Verify() Result {
-	v.stats = Stats{}
-	v.msgLogs = map[string]DisGen{}
-
-	init := v.initState()
-	if viol := v.saturate(init); viol != nil {
-		return v.unsafeResult(viol, init)
-	}
-	if viol := v.checkGoalDis(init); viol != nil {
-		return v.unsafeResult(viol, init)
-	}
-
-	seen := map[string]bool{init.key(): true}
-	queue := []*state{init}
-	v.stats.MacroStates = 1
-	limited := false
-
-	for len(queue) > 0 {
-		st := queue[0]
-		queue = queue[1:]
-		v.recordSizes(st)
-
-		succs, viol := v.disSuccessors(st)
-		if viol != nil {
-			return v.unsafeResult(viol, st)
-		}
-		for _, ns := range succs {
-			if viol := v.saturate(ns); viol != nil {
-				return v.unsafeResult(viol, ns)
-			}
-			if viol := v.checkGoalDis(ns); viol != nil {
-				return v.unsafeResult(viol, ns)
-			}
-			k := ns.key()
-			if seen[k] {
-				continue
-			}
-			if v.opts.MaxMacroStates > 0 && v.stats.MacroStates >= v.opts.MaxMacroStates {
-				limited = true
-				continue
-			}
-			seen[k] = true
-			v.stats.MacroStates++
-			queue = append(queue, ns)
-		}
-	}
-	return Result{Unsafe: false, Complete: !limited, Stats: v.stats}
+// exec is the mutable context of one expansion: per-expansion statistics
+// plus a dis-message provenance overlay. The sequential engine uses a
+// single exec for the whole search (base == nil, msgLogs is the global
+// map); the parallel engine gives every macro-state expansion its own exec
+// whose base is the frozen global map, and merges the overlay back in
+// deterministic frontier order between layers.
+type exec struct {
+	v     *Verifier
+	stats Stats
+	// msgLogs holds provenance recorded by this exec; msgOrder lists its
+	// keys in recording order (so merges replay first-derivation-wins
+	// deterministically).
+	msgLogs  map[string]DisGen
+	msgOrder []string
+	// base is the read-only global provenance map (nil for the sequential
+	// engine, where msgLogs is global).
+	base map[string]DisGen
 }
 
-func (v *Verifier) recordSizes(st *state) {
-	if n := len(st.env.Configs); n > v.stats.EnvConfigs {
-		v.stats.EnvConfigs = n
+func newExec(v *Verifier, base map[string]DisGen) *exec {
+	return &exec{v: v, msgLogs: map[string]DisGen{}, base: base}
+}
+
+// lookupGen resolves the provenance of a dis message key.
+func (ex *exec) lookupGen(k string) DisGen {
+	if g, ok := ex.msgLogs[k]; ok {
+		return g
 	}
-	if n := len(st.env.Msgs); n > v.stats.EnvMsgs {
-		v.stats.EnvMsgs = n
+	return ex.base[k]
+}
+
+// hasGen reports whether provenance for k is already recorded.
+func (ex *exec) hasGen(k string) bool {
+	if _, ok := ex.msgLogs[k]; ok {
+		return true
+	}
+	_, ok := ex.base[k]
+	return ok
+}
+
+// recordDisMsg stores the provenance of a dis message (first derivation
+// wins, matching genthread of Definition 1).
+func (ex *exec) recordDisMsg(m AMsg, disIndex int, log *ReadLog) {
+	k := m.Key()
+	if ex.hasGen(k) {
+		return
+	}
+	ex.msgLogs[k] = DisGen{DisIndex: disIndex, Log: log}
+	ex.msgOrder = append(ex.msgOrder, k)
+}
+
+// mergeFrom folds another exec's provenance overlay and stats into ex, in
+// the donor's recording order (first derivation wins).
+func (ex *exec) mergeFrom(o *exec) {
+	ex.stats.merge(o.stats)
+	for _, k := range o.msgOrder {
+		if ex.hasGen(k) {
+			continue
+		}
+		ex.msgLogs[k] = o.msgLogs[k]
+		ex.msgOrder = append(ex.msgOrder, k)
 	}
 }
 
-func (v *Verifier) unsafeResult(viol *Violation, st *state) Result {
-	v.recordSizes(st)
+func (ex *exec) recordSizes(st *state) {
+	if n := len(st.env.Configs); n > ex.stats.EnvConfigs {
+		ex.stats.EnvConfigs = n
+	}
+	if n := len(st.env.Msgs); n > ex.stats.EnvMsgs {
+		ex.stats.EnvMsgs = n
+	}
+}
+
+// unsafeResult finalizes an UNSAFE verdict found at state st.
+func (ex *exec) unsafeResult(viol *Violation, st *state) Result {
+	ex.recordSizes(st)
 	viol.Env = st.env
 	viol.Mem = st.mem
-	viol.DisMsgLogs = v.msgLogs
+	viol.DisMsgLogs = ex.msgLogs
 	for _, d := range st.dis {
 		viol.DisLogs = append(viol.DisLogs, d.Log)
 	}
-	return Result{Unsafe: true, Complete: true, Stats: v.stats, Violation: viol}
+	return Result{Unsafe: true, Complete: true, Stats: ex.stats, Violation: viol}
 }
 
 // goalHit checks an individual message against the MG goal.
@@ -250,17 +289,81 @@ func (v *Verifier) goalHit(m AMsg) bool {
 
 // checkGoalDis scans dis memory for the goal message (init messages count:
 // a goal equal to the initial value is trivially generated).
-func (v *Verifier) checkGoalDis(st *state) *Violation {
-	if v.opts.Goal == nil {
+func (ex *exec) checkGoalDis(st *state) *Violation {
+	if ex.v.opts.Goal == nil {
 		return nil
 	}
 	var hit *Violation
-	st.mem.Each(v.opts.Goal.Var, func(m AMsg) {
-		if hit == nil && v.goalHit(m) {
+	st.mem.Each(ex.v.opts.Goal.Var, func(m AMsg) {
+		if hit == nil && ex.v.goalHit(m) {
 			mc := m
-			gen := v.msgLogs[m.Key()]
+			gen := ex.lookupGen(m.Key())
 			hit = &Violation{ByEnv: false, DisIndex: gen.DisIndex, Log: gen.Log, GoalMsg: &mc}
 		}
 	})
 	return hit
+}
+
+// Verify runs the sequential macro-state search: saturate env behaviour,
+// branch over dis transitions, repeat. It is the reference engine the
+// parallel VerifyContext is differentially tested against.
+func (v *Verifier) Verify() Result {
+	start := time.Now()
+	ex := newExec(v, nil)
+
+	init := v.initState()
+	if viol := ex.saturate(init); viol != nil {
+		return v.sealSequential(ex.unsafeResult(viol, init), ex, start)
+	}
+	if viol := ex.checkGoalDis(init); viol != nil {
+		return v.sealSequential(ex.unsafeResult(viol, init), ex, start)
+	}
+
+	seen := map[string]bool{init.key(): true}
+	queue := []*state{init}
+	ex.stats.MacroStates = 1
+	limited := false
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		ex.recordSizes(st)
+
+		succs, viol := ex.disSuccessors(st)
+		if viol != nil {
+			return v.sealSequential(ex.unsafeResult(viol, st), ex, start)
+		}
+		for _, ns := range succs {
+			if viol := ex.saturate(ns); viol != nil {
+				return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+			}
+			if viol := ex.checkGoalDis(ns); viol != nil {
+				return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+			}
+			k := ns.key()
+			if seen[k] {
+				continue
+			}
+			if v.opts.MaxMacroStates > 0 && ex.stats.MacroStates >= v.opts.MaxMacroStates {
+				limited = true
+				continue
+			}
+			seen[k] = true
+			ex.stats.MacroStates++
+			queue = append(queue, ns)
+		}
+	}
+	res := Result{Unsafe: false, Complete: !limited, Stats: ex.stats}
+	return v.sealSequential(res, ex, start)
+}
+
+// sealSequential fills the engine-stat mirror of a sequential run.
+func (v *Verifier) sealSequential(res Result, ex *exec, start time.Time) Result {
+	res.Engine = engine.Stats{
+		States:      int64(res.Stats.MacroStates),
+		Transitions: int64(res.Stats.DisTransitions),
+		Wall:        time.Since(start),
+		Workers:     1,
+	}
+	return res
 }

@@ -1,13 +1,20 @@
 package paramra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"paramra/internal/analysis"
+	"paramra/internal/datalog"
 	"paramra/internal/depgraph"
 	"paramra/internal/encode"
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 	"paramra/internal/ra"
 	"paramra/internal/simplified"
@@ -22,8 +29,6 @@ type (
 	Program = lang.Program
 	// SystemClass is the paper-notation classification of a system.
 	SystemClass = lang.SystemClass
-	// Stats reports verifier work.
-	Stats = simplified.Stats
 	// DependencyGraph is the Definition 1 dependency graph of a violation.
 	DependencyGraph = depgraph.Graph
 )
@@ -98,10 +103,18 @@ type Goal struct {
 	Val int
 }
 
-// Options configures Verify.
+// Options configures the verification entry points. The zero value is a
+// sensible default: unlimited search, GOMAXPROCS workers, no progress
+// reporting.
 type Options struct {
-	// MaxMacroStates caps the search (0 = unlimited).
+	// MaxMacroStates caps the macro-state search of the fixpoint backend
+	// (0 = unlimited). The context deadline is the primary resource limit;
+	// this is a secondary cap.
 	MaxMacroStates int
+	// MaxStates caps concrete-instance exploration (VerifyInstance,
+	// ConfirmViolation, FindDeadlocks; 0 = unlimited — beware, loops make
+	// concrete state spaces infinite in general).
+	MaxStates int
 	// Goal, when non-nil, asks Message Generation instead of assert
 	// reachability.
 	Goal *Goal
@@ -115,6 +128,82 @@ type Options struct {
 	Datalog bool
 	// MaxSkeletons caps dis-run enumeration for the Datalog backend.
 	MaxSkeletons int
+	// Parallelism is the number of worker goroutines (0 = GOMAXPROCS).
+	// Verdicts, witnesses and §4.3 bounds of the fixpoint backend are
+	// identical for every value.
+	Parallelism int
+	// Progress, when non-nil, receives periodic statistics snapshots from a
+	// dedicated goroutine while a search runs.
+	Progress func(Stats)
+}
+
+// Stats reports verifier work. Each backend populates its own field group
+// (plus the shared engine group); see the package documentation for the
+// exact matrix.
+type Stats struct {
+	// Fixpoint backend (simplified semantics).
+	MacroStates     int
+	DisTransitions  int
+	EnvConfigs      int
+	EnvMsgs         int
+	SaturationSteps int
+
+	// Concrete backend (full RA semantics of a fixed instance).
+	States      int
+	Transitions int
+
+	// Datalog backend (makeP, Theorem 4.1). FixpointRounds and DatalogAtoms
+	// sum over the evaluated query instances; under parallelism with an
+	// UNSAFE early exit the sums cover the instances evaluated before the
+	// first hit.
+	Skeletons      int
+	DatalogFacts   int
+	DatalogRules   int
+	FixpointRounds int
+	DatalogAtoms   int
+
+	// Shared parallel-engine counters.
+	DedupHits    int64
+	PeakFrontier int64
+	Wall         time.Duration
+	Workers      int
+}
+
+// fromEngine maps engine-level counters into the shared group.
+func (s *Stats) fromEngine(es engine.Stats) {
+	s.DedupHits = es.DedupHits
+	s.PeakFrontier = es.PeakFrontier
+	s.Wall = es.Wall
+	s.Workers = es.Workers
+}
+
+// fixpointProgress adapts a Stats progress callback for the fixpoint
+// backend's engine.
+func fixpointProgress(p func(Stats)) func(engine.Stats) {
+	if p == nil {
+		return nil
+	}
+	return func(es engine.Stats) {
+		var s Stats
+		s.MacroStates = int(es.States)
+		s.fromEngine(es)
+		p(s)
+	}
+}
+
+// concreteProgress adapts a Stats progress callback for the concrete
+// backend's engine.
+func concreteProgress(p func(Stats)) func(engine.Stats) {
+	if p == nil {
+		return nil
+	}
+	return func(es engine.Stats) {
+		var s Stats
+		s.States = int(es.States)
+		s.Transitions = int(es.Transitions)
+		s.fromEngine(es)
+		p(s)
+	}
 }
 
 // Result is the verification outcome.
@@ -129,7 +218,7 @@ type Result struct {
 	// Underapprox is true when dis loops were unrolled, so a SAFE verdict
 	// only covers the unrolled behaviours.
 	Underapprox bool
-	// Stats reports verifier work (fixpoint backend only).
+	// Stats reports verifier work (all backends; see Stats).
 	Stats Stats
 	// EnvThreadBound is the §4.3 cost bound on the number of env threads
 	// sufficient to reproduce the violation (-1 when not applicable).
@@ -142,8 +231,10 @@ type Result struct {
 	Witness []string
 }
 
-// Verify decides parameterized safety for the system.
-func Verify(sys *System, opts Options) (Result, error) {
+// Verify decides parameterized safety for the system. The context carries
+// the primary resource limit: on cancellation or deadline the partial
+// Result (Complete = false) is returned together with the context error.
+func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 	res := Result{EnvThreadBound: -1}
 	work := sys
 	if opts.UnrollDis > 0 {
@@ -162,7 +253,7 @@ func Verify(sys *System, opts Options) (Result, error) {
 	res.Class = lang.Classify(work)
 
 	if opts.Datalog {
-		return verifyDatalog(work, opts, res)
+		return verifyDatalog(ctx, work, opts, res)
 	}
 
 	var goal *simplified.Goal
@@ -176,14 +267,26 @@ func Verify(sys *System, opts Options) (Result, error) {
 	ver, err := simplified.New(work, simplified.Options{
 		MaxMacroStates: opts.MaxMacroStates,
 		Goal:           goal,
+		Workers:        opts.Parallelism,
+		Progress:       fixpointProgress(opts.Progress),
 	})
 	if err != nil {
 		return res, err
 	}
-	out := ver.Verify()
+	out := ver.VerifyContext(ctx)
 	res.Unsafe = out.Unsafe
 	res.Complete = out.Complete
-	res.Stats = out.Stats
+	res.Stats = Stats{
+		MacroStates:     out.Stats.MacroStates,
+		DisTransitions:  out.Stats.DisTransitions,
+		EnvConfigs:      out.Stats.EnvConfigs,
+		EnvMsgs:         out.Stats.EnvMsgs,
+		SaturationSteps: out.Stats.SaturationSteps,
+	}
+	res.Stats.fromEngine(out.Engine)
+	if out.Err != nil {
+		return res, out.Err
+	}
 	if out.Unsafe && out.Violation != nil {
 		res.Witness = out.Violation.Log.Keys()
 		if g, err := depgraph.FromViolation(work, out.Violation); err == nil {
@@ -194,7 +297,11 @@ func Verify(sys *System, opts Options) (Result, error) {
 	return res, nil
 }
 
-func verifyDatalog(sys *System, opts Options, res Result) (Result, error) {
+// verifyDatalog runs the makeP → Datalog backend: one query instance per
+// dis-run skeleton, evaluated ∃-style (first derivable goal wins). The
+// instances are independent, so they are evaluated by Parallelism workers;
+// the verdict is deterministic regardless.
+func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (Result, error) {
 	if opts.Goal != nil {
 		return res, errors.New("paramra: the Datalog backend supports assert-reachability only")
 	}
@@ -202,23 +309,105 @@ func verifyDatalog(sys *System, opts Options, res Result) (Result, error) {
 	if maxSk == 0 {
 		maxSk = 100_000
 	}
+	start := time.Now()
 	ps, complete, err := encode.All(sys, maxSk)
 	if err != nil {
 		return res, err
 	}
-	res.Unsafe = encode.Unsafe(ps)
+	res.Stats.Skeletons = len(ps)
+	for _, p := range ps {
+		for _, r := range p.Prog.Rules {
+			if r.IsFact() {
+				res.Stats.DatalogFacts++
+			} else {
+				res.Stats.DatalogRules++
+			}
+		}
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next      atomic.Int64
+		unsafeHit atomic.Bool
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) || cctx.Err() != nil {
+					return
+				}
+				hit, st := datalog.QueryStats(ps[i].Prog, ps[i].Goal)
+				mu.Lock()
+				res.Stats.FixpointRounds += st.Rounds
+				res.Stats.DatalogAtoms += st.Atoms
+				mu.Unlock()
+				if hit {
+					unsafeHit.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Stats.Wall = time.Since(start)
+	res.Stats.Workers = workers
+	res.Unsafe = unsafeHit.Load()
 	res.Complete = res.Unsafe || complete
+	if err := ctx.Err(); err != nil && !res.Unsafe {
+		res.Complete = false
+		return res, err
+	}
 	return res, nil
 }
+
+// ConfirmError reports a failed ConfirmViolation search. It is returned
+// (wrapped in the error interface) when no concrete instance within the
+// tried env-thread bound could be confirmed; given Theorem 3.4 this
+// indicates the caps were too small, not a false alarm.
+type ConfirmError struct {
+	// BoundTried is the largest env-thread count searched (the §4.3 bound
+	// capped at the caller's maxN).
+	BoundTried int64
+	// StateCapHit is true when at least one instance search was truncated
+	// by Options.MaxStates, so raising the state cap may confirm.
+	StateCapHit bool
+	// Err is the underlying context error when the search was cancelled.
+	Err error
+}
+
+func (e *ConfirmError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("paramra: confirmation interrupted within %d env threads: %v", e.BoundTried, e.Err)
+	}
+	if e.StateCapHit {
+		return fmt.Sprintf("paramra: no confirmation within %d env threads (state cap hit; raise maxStates)", e.BoundTried)
+	}
+	return fmt.Sprintf("paramra: no confirmation within %d env threads (raise maxN)", e.BoundTried)
+}
+
+func (e *ConfirmError) Unwrap() error { return e.Err }
 
 // ConfirmViolation independently validates an UNSAFE verdict: it searches
 // for a concrete instance (under the full RA semantics of Figure 2) that
 // exhibits the violation, trying env thread counts up to the §4.3 cost
 // bound capped at maxN. It returns the confirming thread count and the
-// interleaving witness, or an error when no instance within the cap could
-// be fully explored and confirmed (which, given Theorem 3.4, indicates the
-// bound cap or the state cap was too small — not a false alarm).
-func ConfirmViolation(sys *System, res Result, maxN, maxStates int) (int, string, error) {
+// interleaving witness; on failure the error is a *ConfirmError carrying
+// the tried bound and whether the state cap truncated a search.
+func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, opts Options) (int, string, error) {
 	if !res.Unsafe {
 		return 0, "", errors.New("paramra: result is not a violation")
 	}
@@ -235,18 +424,22 @@ func ConfirmViolation(sys *System, res Result, maxN, maxStates int) (int, string
 		if err != nil {
 			return 0, "", err
 		}
-		out := inst.Explore(ra.Limits{MaxStates: maxStates})
+		out := inst.ExploreContext(ctx, ra.Limits{
+			MaxStates: opts.MaxStates,
+			Workers:   opts.Parallelism,
+			Progress:  concreteProgress(opts.Progress),
+		})
 		if out.Unsafe {
 			return n, ra.FormatWitness(out.Witness), nil
+		}
+		if out.Err != nil {
+			return 0, "", &ConfirmError{BoundTried: hi, StateCapHit: limitHit, Err: out.Err}
 		}
 		if !out.Complete {
 			limitHit = true
 		}
 	}
-	if limitHit {
-		return 0, "", fmt.Errorf("paramra: no confirmation within %d env threads (state cap hit; raise maxStates)", hi)
-	}
-	return 0, "", fmt.Errorf("paramra: no confirmation within %d env threads (raise maxN)", hi)
+	return 0, "", &ConfirmError{BoundTried: hi, StateCapHit: limitHit}
 }
 
 // DeadlockResult classifies the sink states of a fixed instance.
@@ -265,13 +458,22 @@ type DeadlockResult struct {
 }
 
 // FindDeadlocks explores the fixed instance with nEnv env threads under the
-// concrete RA semantics and classifies its sink states.
-func FindDeadlocks(sys *System, nEnv, maxStates int) (DeadlockResult, error) {
+// concrete RA semantics and classifies its sink states. Counts (and the
+// reported example, canonicalized to the smallest state key) are identical
+// for every Options.Parallelism.
+func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (DeadlockResult, error) {
 	inst, err := ra.NewInstance(sys, nEnv)
 	if err != nil {
 		return DeadlockResult{}, err
 	}
-	rep := inst.FindDeadlocks(ra.Limits{MaxStates: maxStates})
+	rep := inst.FindDeadlocksContext(ctx, ra.Limits{
+		MaxStates: opts.MaxStates,
+		Workers:   opts.Parallelism,
+		Progress:  concreteProgress(opts.Progress),
+	})
+	if err := ctx.Err(); err != nil {
+		return DeadlockResult{}, err
+	}
 	return DeadlockResult{
 		Deadlocks: rep.Deadlocks, Terminal: rep.Terminal, Complete: rep.Complete,
 		Example: rep.Example, StuckThreads: rep.StuckThreads,
@@ -281,12 +483,19 @@ func FindDeadlocks(sys *System, nEnv, maxStates int) (DeadlockResult, error) {
 // Inventory computes the full Message Generation relation of §4.1: for
 // every shared variable, the set of values some generatable message
 // carries. Keys are variable names; asserts are inert during the analysis.
-func Inventory(sys *System, opts Options) (map[string][]int, error) {
-	v, err := simplified.New(sys, simplified.Options{MaxMacroStates: opts.MaxMacroStates})
+func Inventory(ctx context.Context, sys *System, opts Options) (map[string][]int, error) {
+	v, err := simplified.New(sys, simplified.Options{
+		MaxMacroStates: opts.MaxMacroStates,
+		Workers:        opts.Parallelism,
+		Progress:       fixpointProgress(opts.Progress),
+	})
 	if err != nil {
 		return nil, err
 	}
-	inv, _, complete := v.Inventory()
+	inv, _, complete := v.InventoryContext(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !complete {
 		return nil, errors.New("paramra: inventory search hit the state cap")
 	}
@@ -309,23 +518,35 @@ type InstanceResult struct {
 	Unsafe   bool
 	Complete bool
 	States   int
+	// Stats carries the concrete and engine counter groups.
+	Stats Stats
 	// Witness is a violating interleaving rendered one event per line.
 	Witness string
 }
 
 // VerifyInstance explores the concrete RA state space of the instance with
-// nEnv environment threads (maxStates 0 = unlimited — beware, loops make
-// the space infinite in general).
-func VerifyInstance(sys *System, nEnv, maxStates int) (InstanceResult, error) {
+// nEnv environment threads, bounded by Options.MaxStates and the context.
+func VerifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (InstanceResult, error) {
 	inst, err := ra.NewInstance(sys, nEnv)
 	if err != nil {
 		return InstanceResult{}, err
 	}
-	out := inst.Explore(ra.Limits{MaxStates: maxStates})
-	return InstanceResult{
+	out := inst.ExploreContext(ctx, ra.Limits{
+		MaxStates: opts.MaxStates,
+		Workers:   opts.Parallelism,
+		Progress:  concreteProgress(opts.Progress),
+	})
+	res := InstanceResult{
 		Unsafe:   out.Unsafe,
 		Complete: out.Complete,
 		States:   out.States,
 		Witness:  ra.FormatWitness(out.Witness),
-	}, nil
+	}
+	res.Stats.States = out.States
+	res.Stats.Transitions = out.Transitions
+	res.Stats.fromEngine(out.Engine)
+	if out.Err != nil {
+		return res, out.Err
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package paramra_test
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func TestVerifyUnsafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; asser
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +66,14 @@ func TestVerifyDatalogBackendAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{Datalog: true})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{Datalog: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Unsafe {
 		t.Fatal("Datalog backend disagrees with fixpoint")
 	}
-	if _, err := paramra.Verify(sys, paramra.Options{Datalog: true, Goal: &paramra.Goal{Var: "x", Val: 2}}); err == nil {
+	if _, err := paramra.Verify(context.Background(), sys, paramra.Options{Datalog: true, Goal: &paramra.Goal{Var: "x", Val: 2}}); err == nil {
 		t.Error("Datalog backend should reject goal queries")
 	}
 }
@@ -82,21 +83,21 @@ func TestVerifyGoal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 2}})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Unsafe {
 		t.Error("message (x,2) should be generatable")
 	}
-	res, err = paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 3}})
+	res, err = paramra.Verify(context.Background(), sys, paramra.Options{Goal: &paramra.Goal{Var: "x", Val: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Unsafe {
 		t.Error("message (x,3) should not be generatable")
 	}
-	if _, err := paramra.Verify(sys, paramra.Options{Goal: &paramra.Goal{Var: "zz", Val: 0}}); err == nil {
+	if _, err := paramra.Verify(context.Background(), sys, paramra.Options{Goal: &paramra.Goal{Var: "zz", Val: 0}}); err == nil {
 		t.Error("unknown goal variable accepted")
 	}
 }
@@ -110,10 +111,10 @@ thread d { regs s; while s != 2 { s = load x }; assert false }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := paramra.Verify(sys, paramra.Options{}); !errors.Is(err, paramra.ErrDisCyclic) {
+	if _, err := paramra.Verify(context.Background(), sys, paramra.Options{}); !errors.Is(err, paramra.ErrDisCyclic) {
 		t.Fatalf("looping dis should be rejected without UnrollDis: %v", err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{UnrollDis: 3})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{UnrollDis: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ thread e { cas x 0 1 }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := paramra.Verify(sys, paramra.Options{}); !errors.Is(err, paramra.ErrEnvCAS) {
+	if _, err := paramra.Verify(context.Background(), sys, paramra.Options{}); !errors.Is(err, paramra.ErrEnvCAS) {
 		t.Fatalf("env CAS should be rejected: %v", err)
 	}
 }
@@ -140,14 +141,14 @@ func TestVerifyInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.VerifyInstance(sys, 0, 100_000)
+	res, err := paramra.VerifyInstance(context.Background(), sys, 0, paramra.Options{MaxStates: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Unsafe {
 		t.Error("0 env threads: safe expected")
 	}
-	res, err = paramra.VerifyInstance(sys, 1, 100_000)
+	res, err = paramra.VerifyInstance(context.Background(), sys, 1, paramra.Options{MaxStates: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestConfirmViolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := paramra.Verify(sys, paramra.Options{})
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, witness, err := paramra.ConfirmViolation(sys, res, 4, 200_000)
+	n, witness, err := paramra.ConfirmViolation(context.Background(), sys, res, 4, paramra.Options{MaxStates: 200_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,11 +188,11 @@ thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; asser
 	if err != nil {
 		t.Fatal(err)
 	}
-	safeRes, err := paramra.Verify(safeSys, paramra.Options{})
+	safeRes, err := paramra.Verify(context.Background(), safeSys, paramra.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := paramra.ConfirmViolation(safeSys, safeRes, 2, 100_000); err == nil {
+	if _, _, err := paramra.ConfirmViolation(context.Background(), safeSys, safeRes, 2, paramra.Options{MaxStates: 100_000}); err == nil {
 		t.Error("safe result accepted for confirmation")
 	}
 }
@@ -230,7 +231,7 @@ thread waiter { regs g; g = load go; assume g == 1 }
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := paramra.FindDeadlocks(sys, 1, 100_000)
+	rep, err := paramra.FindDeadlocks(context.Background(), sys, 1, paramra.Options{MaxStates: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ thread t { store x 1 }
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err = paramra.FindDeadlocks(okSys, 0, 100_000)
+	rep, err = paramra.FindDeadlocks(context.Background(), okSys, 0, paramra.Options{MaxStates: 100_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestInventoryFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inv, err := paramra.Inventory(sys, paramra.Options{})
+	inv, err := paramra.Inventory(context.Background(), sys, paramra.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

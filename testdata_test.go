@@ -1,6 +1,7 @@
 package paramra_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,7 +44,7 @@ func TestShippedSystems(t *testing.T) {
 			if !known {
 				t.Fatalf("no expected verdict recorded for %s — update testdataVerdicts", name)
 			}
-			res, err := paramra.Verify(sys, paramra.Options{})
+			res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
 			if err != nil {
 				t.Fatalf("verify: %v", err)
 			}
@@ -74,7 +75,7 @@ func TestShippedSystemsSliceDifferential(t *testing.T) {
 				t.Fatalf("parse: %v", err)
 			}
 			sliced, _ := paramra.Slice(sys)
-			res, err := paramra.Verify(sliced, paramra.Options{})
+			res, err := paramra.Verify(context.Background(), sliced, paramra.Options{})
 			if err != nil {
 				t.Fatalf("verify sliced: %v", err)
 			}
