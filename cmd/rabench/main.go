@@ -1,9 +1,11 @@
 // Command rabench regenerates the paper's tables and figures and the
-// repository's experiment suite (see EXPERIMENTS.md for the index).
+// repository's experiment suite (see EXPERIMENTS.md for the index), and
+// merges observability artifacts into machine-readable run reports.
 //
 // Usage:
 //
 //	rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
+//	rabench report trace.jsonl [metrics.json]
 package main
 
 import (
@@ -11,39 +13,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
+	"time"
 
 	"paramra/internal/bench"
+	"paramra/internal/obs"
 )
 
 var (
-	workers  = flag.Int("j", 0, "worker goroutines for the parallel experiment (0 = GOMAXPROCS)")
-	timeout  = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 10m")
 	baseline = flag.String("baseline", "", "parallel experiment: also write the rows to this JSON file")
+	obsf     *obs.Flags
 )
 
-// runCtx carries the SIGINT/-timeout context to the experiments.
-var runCtx = context.Background()
+// runCtx carries the SIGINT/-timeout context to the experiments; runSpan is
+// the tool-level trace span the per-experiment spans nest under.
+var (
+	runCtx  = context.Background()
+	runSpan *obs.Span
+)
+
+const usage = "usage: rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
+	"       rabench report trace.jsonl [metrics.json]\n"
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
+	obsf = obs.RegisterFlags(flag.CommandLine)
+	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	runCtx = ctx
 
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
+	if what == "report" {
+		return report(flag.Args()[1:])
+	}
+
+	ctx, stop := obsf.Context()
+	defer stop()
+	runCtx = ctx
+	sess, err := obsf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rabench:", err)
+		return 2
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rabench:", err)
+		}
+	}()
+	runSpan = sess.Tracer.Start("rabench", nil)
+	defer runSpan.End()
+	bench.SetInstrumentation(bench.Instrumentation{Trace: runSpan, Metrics: sess.Metrics})
+
 	run := map[string]func() error{
 		"table1":    table1,
 		"corpus":    corpus,
@@ -60,9 +84,16 @@ func run() int {
 		"slice":     slice_,
 		"parallel":  parallel,
 	}
+	// timed wraps one experiment in a child span named after it.
+	timed := func(name string, f func() error) error {
+		span := runSpan.Child(name)
+		err := f()
+		span.End()
+		return err
+	}
 	if what == "all" {
 		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel"} {
-			if err := run[name](); err != nil {
+			if err := timed(name, run[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
 				return 1
 			}
@@ -72,12 +103,40 @@ func run() int {
 	}
 	f, ok := run[what]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "usage: rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n")
+		fmt.Fprint(os.Stderr, usage)
 		return 2
 	}
-	if err := f(); err != nil {
+	if err := timed(what, f); err != nil {
 		fmt.Fprintf(os.Stderr, "rabench %s: %v\n", what, err)
 		return 1
+	}
+	return 0
+}
+
+// report merges a -trace-out JSONL file and an optional -metrics-out JSON
+// snapshot into one machine-readable run report on stdout.
+func report(args []string) int {
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprint(os.Stderr, usage)
+		return 2
+	}
+	trace := args[0]
+	metrics := ""
+	if len(args) == 2 {
+		metrics = args[1]
+	}
+	rep, err := bench.BuildRunReport(trace, metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rabench report:", err)
+		return 2
+	}
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rabench report:", err)
+		return 2
+	}
+	for _, p := range rep.TopPhases(3) {
+		fmt.Fprintf(os.Stderr, "rabench report: %-24s %4d span(s)  total %s\n",
+			p.Name, p.Count, time.Duration(p.TotalNs).Round(time.Microsecond))
 	}
 	return 0
 }
@@ -85,8 +144,8 @@ func run() int {
 // parallel measures the layered engine's scaling over worker counts.
 func parallel() error {
 	counts := []int{1, 2, 4, 8}
-	if *workers > 0 {
-		counts = []int{1, *workers}
+	if obsf.Workers > 0 {
+		counts = []int{1, obsf.Workers}
 	}
 	rows, err := bench.ParallelExperiment(runCtx, counts)
 	if err != nil {

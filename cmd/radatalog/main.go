@@ -16,16 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paramra/internal/analysis"
 	"paramra/internal/datalog"
 	"paramra/internal/encode"
 	"paramra/internal/lang"
+	"paramra/internal/obs"
 )
 
 func main() {
@@ -39,22 +40,31 @@ func run() int {
 		stats        = flag.Bool("stats", false, "print per-instance rule/atom counts")
 		cacheBound   = flag.Int("cache", 0, ".dl mode: decide queries under the Cache Datalog bound ⊢_k")
 		doSlice      = flag.Bool("slice", false, ".ra mode: run the verdict-preserving slicer before encoding")
-		workers      = flag.Int("j", 0, "query instances evaluated concurrently (0 = GOMAXPROCS); the verdict is deterministic")
-		timeout      = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
 	)
+	obsf := obs.RegisterFlags(flag.CommandLine)
+	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: radatalog [flags] system.ra | program.dl")
 		flag.PrintDefaults()
 		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := obsf.Context()
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	sess, err := obsf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radatalog:", err)
+		return 2
 	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "radatalog:", err)
+		}
+	}()
+	root := sess.Tracer.Start("radatalog", nil)
+	defer root.End()
+	root.SetAttr("file", flag.Arg(0))
+
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "radatalog:", err)
@@ -63,17 +73,24 @@ func run() int {
 	if strings.HasSuffix(flag.Arg(0), ".dl") {
 		return runDatalogFile(string(data), *cacheBound, *dump)
 	}
+	pspan := root.Child("parse")
 	sys, err := lang.ParseSystem(string(data))
+	pspan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "radatalog:", err)
 		return 2
 	}
 	if *doSlice {
+		sspan := root.Child("slice")
 		var st analysis.SliceStats
 		sys, st = analysis.Slice(sys, analysis.SliceOptions{})
+		sspan.End()
 		fmt.Printf("slice:     %s\n", st)
 	}
+	espan := root.Child("skeleton-enumeration")
 	ps, complete, err := encode.All(sys, *maxSkeletons)
+	espan.SetAttr("skeletons", len(ps))
+	espan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "radatalog:", err)
 		return 2
@@ -107,7 +124,7 @@ func run() int {
 	} else {
 		// The instances are independent; evaluate them on a worker pool,
 		// first hit wins (the verdict does not depend on which).
-		unsafe, err = evalParallel(ctx, ps, *workers)
+		unsafe, err = evalParallel(ctx, ps, obsf.Workers, root, sess.Metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "radatalog: interrupted:", err)
 			return 2
@@ -122,13 +139,23 @@ func run() int {
 }
 
 // evalParallel evaluates the ∃-over-skeletons semantics with a worker pool;
-// remaining instances are cancelled once one query succeeds.
-func evalParallel(ctx context.Context, ps []*encode.Problem, workers int) (bool, error) {
+// remaining instances are cancelled once one query succeeds. The span and
+// registry are optional (nil = no instrumentation).
+func evalParallel(ctx context.Context, ps []*encode.Problem, workers int, parent *obs.Span, m *obs.Registry) (bool, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ps) {
+	if workers > len(ps) && len(ps) > 0 {
 		workers = len(ps)
+	}
+	span := parent.Child("datalog-eval")
+	var cInst, cRounds *obs.Counter
+	var roundHook datalog.RoundHook
+	if m != nil {
+		cInst = m.Counter("paramra_datalog_instances_total", "Datalog query instances evaluated")
+		cRounds = m.Counter("paramra_datalog_rounds_total", "semi-naive fixpoint rounds across instances")
+		hRound := m.Histogram("paramra_datalog_round_ns", "wall time per semi-naive delta round (ns)")
+		roundHook = func(d time.Duration) { hRound.Observe(int64(d)) }
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -146,7 +173,10 @@ func evalParallel(ctx context.Context, ps []*encode.Problem, workers int) (bool,
 				if i >= len(ps) || cctx.Err() != nil {
 					return
 				}
-				if datalog.Query(ps[i].Prog, ps[i].Goal) {
+				ok, st := datalog.QueryStatsHook(ps[i].Prog, ps[i].Goal, roundHook)
+				cInst.Inc()
+				cRounds.Add(int64(st.Rounds))
+				if ok {
 					hit.Store(true)
 					cancel()
 				}
@@ -154,6 +184,11 @@ func evalParallel(ctx context.Context, ps []*encode.Problem, workers int) (bool,
 		}()
 	}
 	wg.Wait()
+	if span != nil {
+		span.SetAttr("workers", workers)
+		span.SetAttr("unsafe", hit.Load())
+		span.End()
+	}
 	if err := ctx.Err(); err != nil && !hit.Load() {
 		return false, err
 	}

@@ -9,13 +9,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 
 	"paramra"
+	"paramra/internal/obs"
 )
 
 func main() {
@@ -28,28 +27,45 @@ func run() int {
 		maxStates = flag.Int("max-states", 1_000_000, "state cap (0 = unlimited)")
 		sweep     = flag.Int("sweep", 0, "explore instances with 0..N env threads and report each")
 		deadlocks = flag.Bool("deadlocks", false, "classify sink states (terminal vs stuck threads) instead of checking safety")
-		workers   = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
 	)
+	obsf := obs.RegisterFlags(flag.CommandLine)
+	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: raexplore [flags] system.ra")
 		flag.PrintDefaults()
 		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := obsf.Context()
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	sys, err := paramra.ParseFile(flag.Arg(0))
+	sess, err := obsf.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raexplore:", err)
 		return 2
 	}
-	opts := paramra.Options{MaxStates: *maxStates, Parallelism: *workers}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "raexplore:", err)
+		}
+	}()
+	root := sess.Tracer.Start("raexplore", nil)
+	defer root.End()
+	root.SetAttr("file", flag.Arg(0))
+
+	pspan := root.Child("parse")
+	sys, err := paramra.ParseFile(flag.Arg(0))
+	pspan.End()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raexplore:", err)
+		return 2
+	}
+	opts := paramra.Options{
+		MaxStates:   *maxStates,
+		Parallelism: obsf.Workers,
+		Tracer:      sess.Tracer,
+		TraceSpan:   root,
+		Metrics:     sess.Metrics,
+	}
 	if *deadlocks {
 		rep, err := paramra.FindDeadlocks(ctx, sys, *nEnv, opts)
 		if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ratqbf 'forall u0 exists e1 forall u1 : (u0 | ~e1) & (e1 | u1)'
+//	ratqbf [-j N] [-timeout D] 'forall u0 exists e1 forall u1 : (u0 | ~e1) & (e1 | u1)'
 //	ratqbf -random -n 2 -clauses 3 -seed 7
 package main
 
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"paramra/internal/lang"
+	"paramra/internal/obs"
 	"paramra/internal/simplified"
 	"paramra/internal/tqbf"
 )
@@ -33,6 +34,8 @@ func run() int {
 		seed    = flag.Int64("seed", 1, "random seed")
 		dump    = flag.Bool("dump", false, "print the generated PureRA system")
 	)
+	obsf := obs.RegisterFlags(flag.CommandLine)
+	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
 
 	var q *tqbf.QBF
@@ -51,12 +54,29 @@ func run() int {
 		flag.PrintDefaults()
 		return 2
 	}
+	ctx, stop := obsf.Context()
+	defer stop()
+	sess, err := obsf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratqbf:", err)
+		return 2
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ratqbf:", err)
+		}
+	}()
+	root := sess.Tracer.Start("ratqbf", nil)
+	defer root.End()
+
 	q = q.Normalize()
 	fmt.Printf("formula:  %s\n", q)
 	truth := q.Eval()
 	fmt.Printf("QBF eval: %v\n", truth)
 
+	rspan := root.Child("reduce")
 	sys, err := tqbf.Reduce(q)
+	rspan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratqbf:", err)
 		return 2
@@ -66,12 +86,20 @@ func run() int {
 	if *dump {
 		fmt.Println(strings.TrimSpace(lang.Print(sys)))
 	}
-	v, err := simplified.New(sys, simplified.Options{})
+	v, err := simplified.New(sys, simplified.Options{
+		Workers: obsf.Workers,
+		Trace:   root,
+		Metrics: sess.Metrics,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratqbf:", err)
 		return 2
 	}
-	res := v.Verify()
+	res := v.VerifyContext(ctx)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "ratqbf: interrupted (%v); verdict unknown\n", res.Err)
+		return 2
+	}
 	fmt.Printf("verifier: unsafe=%v (env-configs=%d, env-msgs=%d, saturation-steps=%d)\n",
 		res.Unsafe, res.Stats.EnvConfigs, res.Stats.EnvMsgs, res.Stats.SaturationSteps)
 	if res.Unsafe != truth {

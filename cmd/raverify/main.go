@@ -7,19 +7,21 @@
 //
 // The input syntax is documented in the paramra package. The exit code is 0
 // for SAFE, 1 for UNSAFE, and 2 on errors. SIGINT (and -timeout) cancel the
-// verification cleanly through its context.
+// verification cleanly through its context. The shared observability flags
+// (-trace-out, -metrics-addr, -metrics-out, -pprof-addr, -cpuprofile,
+// -memprofile) record a phase-span trace, expose live metrics, and profile
+// the run; see internal/obs.
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"paramra"
+	"paramra/internal/obs"
 )
 
 // jsonReport is the machine-readable output shape (-json).
@@ -56,25 +58,35 @@ func run() int {
 		jsonOut        = flag.Bool("json", false, "emit a machine-readable JSON report")
 		confirm        = flag.Bool("confirm", false, "on UNSAFE, confirm with a concrete instance and print its interleaving")
 		doSlice        = flag.Bool("slice", false, "run the verdict-preserving slicer before verification")
-		workers        = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS); verdicts are identical for every value")
-		timeout        = flag.Duration("timeout", 0, "overall time limit (0 = none), e.g. 30s")
 		progress       = flag.Bool("progress", false, "report search progress to stderr while verifying")
 	)
+	obsf := obs.RegisterFlags(flag.CommandLine)
+	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: raverify [flags] system.ra")
 		flag.PrintDefaults()
 		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := obsf.Context()
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	sess, err := obsf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raverify:", err)
+		return 2
 	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "raverify:", err)
+		}
+	}()
+	root := sess.Tracer.Start("raverify", nil)
+	defer root.End()
+	root.SetAttr("file", flag.Arg(0))
 
+	pspan := root.Child("parse")
 	sys, err := paramra.ParseFile(flag.Arg(0))
+	pspan.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raverify:", err)
 		return 2
@@ -90,13 +102,18 @@ func run() int {
 		if *goalVar != "" {
 			keep = append(keep, *goalVar)
 		}
+		sspan := root.Child("slice")
 		sys, sliceStats = paramra.Slice(sys, keep...)
+		sspan.End()
 	}
 	opts := paramra.Options{
 		MaxMacroStates: *maxStates,
 		UnrollDis:      *unroll,
 		Datalog:        *datalogBackend,
-		Parallelism:    *workers,
+		Parallelism:    obsf.Workers,
+		Tracer:         sess.Tracer,
+		TraceSpan:      root,
+		Metrics:        sess.Metrics,
 	}
 	if *goalVar != "" {
 		opts.Goal = &paramra.Goal{Var: *goalVar, Val: *goalVal}
@@ -178,7 +195,10 @@ func run() int {
 	if *confirm && res.Unsafe {
 		n, witness, err := paramra.ConfirmViolation(ctx, sys, res, 8, paramra.Options{
 			MaxStates:   2_000_000,
-			Parallelism: *workers,
+			Parallelism: obsf.Workers,
+			Tracer:      sess.Tracer,
+			TraceSpan:   root,
+			Metrics:     sess.Metrics,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "raverify: confirmation failed:", err)

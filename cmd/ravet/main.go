@@ -20,6 +20,7 @@ import (
 
 	"paramra"
 	"paramra/internal/analysis"
+	"paramra/internal/obs"
 )
 
 func main() {
@@ -31,21 +32,41 @@ func run() int {
 		footprint = flag.Bool("footprint", false, "also print each thread's per-variable load/store/CAS footprint")
 		slicePrev = flag.Bool("slice", false, "also print what the verdict-preserving slicer would remove")
 	)
+	obsf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ravet [flags] system.ra ...")
 		flag.PrintDefaults()
 		return 2
 	}
+	sess, err := obsf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ravet:", err)
+		return 2
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ravet:", err)
+		}
+	}()
+	root := sess.Tracer.Start("ravet", nil)
+	defer root.End()
+
 	code := 0
 	for _, path := range flag.Args() {
+		fspan := root.Child("vet")
+		fspan.SetAttr("file", path)
 		sys, err := paramra.ParseFile(path)
 		if err != nil {
+			fspan.End()
 			fmt.Fprintln(os.Stderr, err)
 			code = 2
 			continue
 		}
-		for _, d := range paramra.Analyze(sys) {
+		diags := paramra.Analyze(sys)
+		fspan.SetAttr("diagnostics", len(diags))
+		fspan.End()
+		for _, d := range diags {
 			d.File = path
 			fmt.Println(d)
 			if code == 0 {

@@ -21,7 +21,10 @@ type CorpusReport struct {
 
 // RunEntry verifies a single corpus entry.
 func RunEntry(e Entry) (CorpusReport, error) {
-	v, err := simplified.New(e.System(), simplified.Options{})
+	v, err := simplified.New(e.System(), simplified.Options{
+		Trace:   instr.Trace,
+		Metrics: instr.Metrics,
+	})
 	if err != nil {
 		return CorpusReport{}, fmt.Errorf("%s: %w", e.Name, err)
 	}

@@ -1,0 +1,20 @@
+package bench
+
+import "paramra/internal/obs"
+
+// Instrumentation is the optional observability context rabench threads
+// into the experiments: a parent span for per-run phase spans and a metrics
+// registry for the engine's gauges and histograms. The zero value disables
+// both (every instrumentation call degrades to a pointer-check no-op).
+type Instrumentation struct {
+	Trace   *obs.Span
+	Metrics *obs.Registry
+}
+
+// instr is the process-wide instrumentation, set once by rabench before the
+// experiments start.
+var instr Instrumentation
+
+// SetInstrumentation installs the observability context consulted by the
+// experiments. Not safe to call concurrently with a running experiment.
+func SetInstrumentation(i Instrumentation) { instr = i }

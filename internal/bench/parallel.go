@@ -51,7 +51,11 @@ func ParallelExperiment(ctx context.Context, workerCounts []int) ([]ParallelRow,
 	for _, e := range parallelEntries() {
 		base := time.Duration(0)
 		for _, j := range workerCounts {
-			v, err := simplified.New(e.System(), simplified.Options{Workers: j})
+			v, err := simplified.New(e.System(), simplified.Options{
+				Workers: j,
+				Trace:   instr.Trace,
+				Metrics: instr.Metrics,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", e.Name, err)
 			}

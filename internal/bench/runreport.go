@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"paramra/internal/obs"
+)
+
+// RunReport merges a JSONL phase-span trace (-trace-out) and a metrics
+// snapshot (-metrics-out) from one tool run into a single machine-readable
+// structure. `rabench report` prints it as JSON.
+type RunReport struct {
+	TraceFile   string `json:"traceFile,omitempty"`
+	MetricsFile string `json:"metricsFile,omitempty"`
+	// Spans is the total number of spans in the trace.
+	Spans int `json:"spans,omitempty"`
+	// WallNs is the duration of the trace's root span(s): the span of the
+	// whole tool run.
+	WallNs int64 `json:"wallNs,omitempty"`
+	// Phases aggregates the spans by name, in order of first appearance.
+	Phases []PhaseSummary `json:"phases,omitempty"`
+	// Metrics is the decoded metrics snapshot (counters, gauges, histogram
+	// summaries), keyed by metric name.
+	Metrics map[string]any `json:"metrics,omitempty"`
+}
+
+// PhaseSummary aggregates all spans sharing one name.
+type PhaseSummary struct {
+	Name    string `json:"name"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"totalNs"`
+	MinNs   int64  `json:"minNs"`
+	MaxNs   int64  `json:"maxNs"`
+}
+
+// BuildRunReport reads the trace and/or metrics file (either may be empty)
+// and merges them. The trace is schema-validated while parsing.
+func BuildRunReport(tracePath, metricsPath string) (*RunReport, error) {
+	rep := &RunReport{TraceFile: tracePath, MetricsFile: metricsPath}
+	if tracePath == "" && metricsPath == "" {
+		return nil, fmt.Errorf("bench: report needs a trace and/or a metrics file")
+	}
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		spans, err := obs.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", tracePath, err)
+		}
+		rep.Spans = len(spans)
+		byName := map[string]*PhaseSummary{}
+		var order []string
+		for _, s := range spans {
+			if s.Parent == 0 {
+				rep.WallNs += int64(s.Dur())
+			}
+			p, ok := byName[s.Name]
+			if !ok {
+				p = &PhaseSummary{Name: s.Name, MinNs: int64(s.Dur())}
+				byName[s.Name] = p
+				order = append(order, s.Name)
+			}
+			d := int64(s.Dur())
+			p.Count++
+			p.TotalNs += d
+			if d < p.MinNs {
+				p.MinNs = d
+			}
+			if d > p.MaxNs {
+				p.MaxNs = d
+			}
+		}
+		for _, name := range order {
+			rep.Phases = append(rep.Phases, *byName[name])
+		}
+	}
+	if metricsPath != "" {
+		data, err := os.ReadFile(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &rep.Metrics); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", metricsPath, err)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report with stable formatting (metrics keys are
+// sorted by encoding/json; phases keep first-appearance order).
+func (r *RunReport) WriteJSON(w interface{ Write([]byte) (int, error) }) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// TopPhases returns the n phases with the largest total duration (for the
+// human-readable summary line of `rabench report`).
+func (r *RunReport) TopPhases(n int) []PhaseSummary {
+	out := append([]PhaseSummary(nil), r.Phases...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

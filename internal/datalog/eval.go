@@ -1,5 +1,7 @@
 package datalog
 
+import "time"
+
 // Bottom-up evaluation. EvalNaive recomputes all rules until fixpoint;
 // EvalSemiNaive only joins against atoms derived in the previous round.
 // Both return the set of derivable ground atoms; Query answers Prog ⊢ g.
@@ -158,22 +160,27 @@ type EvalStats struct {
 	Atoms int
 }
 
+// RoundHook observes the wall time of each semi-naive delta round. Hooks
+// keep the evaluator decoupled from any metrics package; a nil hook costs
+// nothing (no clock reads).
+type RoundHook func(d time.Duration)
+
 // EvalSemiNaive computes the same fixpoint, joining each round only against
 // atoms derived in the previous round (each body position takes a turn as
 // the delta position).
 func EvalSemiNaive(p *Program) *DB {
-	db, _ := evalSemiNaiveFrom(p, nil)
+	db, _ := evalSemiNaiveFrom(p, nil, nil)
 	return db
 }
 
 // EvalSemiNaiveStats is EvalSemiNaive with evaluation statistics.
 func EvalSemiNaiveStats(p *Program) (*DB, EvalStats) {
-	return evalSemiNaiveFrom(p, nil)
+	return evalSemiNaiveFrom(p, nil, nil)
 }
 
 // evalSemiNaiveFrom seeds the evaluation with extra ground atoms (used for
 // EDB facts kept outside the program).
-func evalSemiNaiveFrom(p *Program, seed *DB) (*DB, EvalStats) {
+func evalSemiNaiveFrom(p *Program, seed *DB, hook RoundHook) (*DB, EvalStats) {
 	db := NewDB(p)
 	delta := NewDB(p)
 	if seed != nil {
@@ -196,6 +203,10 @@ func evalSemiNaiveFrom(p *Program, seed *DB) (*DB, EvalStats) {
 	}
 	for delta.Size() > 0 {
 		stats.Rounds++
+		var roundStart time.Time
+		if hook != nil {
+			roundStart = time.Now()
+		}
 		next := NewDB(p)
 		for _, r := range p.Rules {
 			if r.IsFact() {
@@ -214,6 +225,9 @@ func evalSemiNaiveFrom(p *Program, seed *DB) (*DB, EvalStats) {
 			db.Add(g)
 		}
 		delta = next
+		if hook != nil {
+			hook(time.Since(roundStart))
+		}
 	}
 	stats.Atoms = db.Size()
 	return db, stats
@@ -226,6 +240,12 @@ func Query(p *Program, g GroundAtom) bool {
 
 // QueryStats is Query with evaluation statistics.
 func QueryStats(p *Program, g GroundAtom) (bool, EvalStats) {
-	db, stats := evalSemiNaiveFrom(p, nil)
+	db, stats := evalSemiNaiveFrom(p, nil, nil)
+	return db.Has(g), stats
+}
+
+// QueryStatsHook is QueryStats with a per-round duration observer.
+func QueryStatsHook(p *Program, g GroundAtom, hook RoundHook) (bool, EvalStats) {
+	db, stats := evalSemiNaiveFrom(p, nil, hook)
 	return db.Has(g), stats
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paramra/internal/obs"
 )
 
 // Config tunes an exploration run.
@@ -23,6 +25,19 @@ type Config struct {
 	Progress func(Stats)
 	// ProgressEvery is the progress callback interval (0 = 250ms).
 	ProgressEvery time.Duration
+	// Trace, when non-nil, is the parent span under which the engine
+	// records its run span (named SpanName, default "explore"/"layered")
+	// and, for Layered, one child span per BFS layer. Layer spans are
+	// opened from the sequential layer loop, so their IDs are
+	// deterministic at every worker count.
+	Trace *obs.Span
+	// SpanName overrides the run span's name.
+	SpanName string
+	// Metrics, when non-nil, receives live engine gauges and histograms
+	// (states, queue depth, batch-wait and layer latencies, visited-shard
+	// occupancy). With a nil registry every instrumentation site is a
+	// single pointer check.
+	Metrics *obs.Registry
 }
 
 func (cfg Config) workers() int {
@@ -120,33 +135,97 @@ func (c *counters) snapshot(workers int, start time.Time) Stats {
 	}
 }
 
-// startProgress launches the progress ticker; the returned stop function
-// must be called once the run is over (it emits a final snapshot).
-func startProgress(cfg Config, cnt *counters, workers int, start time.Time) (stop func()) {
-	if cfg.Progress == nil {
-		return func() {}
+// monitor runs the progress ticker and mirrors live counters into the
+// metrics registry. It is nil when both are disabled, and every method is
+// nil-safe.
+type monitor struct {
+	progress func(Stats)
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// Resolved registry handles (nil when metrics are disabled).
+	gStates, gTransitions, gDedup, gPeak *obs.Gauge
+	gQueue, gShardMax, gShardsUsed       *obs.Gauge
+}
+
+// publish mirrors a stats snapshot into the registry gauges.
+func (m *monitor) publish(s Stats, queueLen func() int64, shardStats func() (int64, int64)) {
+	m.gStates.Set(s.States)
+	m.gTransitions.Set(s.Transitions)
+	m.gDedup.Set(s.DedupHits)
+	m.gPeak.Set(s.PeakFrontier)
+	if queueLen != nil {
+		m.gQueue.Set(queueLen())
 	}
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
+	if shardStats != nil {
+		mx, used := shardStats()
+		m.gShardMax.Set(mx)
+		m.gShardsUsed.Set(used)
+	}
+}
+
+// startMonitor launches the observation goroutine when progress or metrics
+// are enabled. queueLen and shardStats are optional live probes (sampled at
+// ticker rate, never in the hot path); they must be safe for concurrent
+// use. Call stop with the run's final Stats: it emits that exact snapshot
+// as the last progress callback, so the terminal Progress values always
+// equal the returned Outcome.Stats.
+func startMonitor(cfg Config, cnt *counters, workers int, start time.Time,
+	queueLen func() int64, shardStats func() (int64, int64)) *monitor {
+	if cfg.Progress == nil && cfg.Metrics == nil {
+		return nil
+	}
+	m := &monitor{progress: cfg.Progress, done: make(chan struct{})}
+	if r := cfg.Metrics; r != nil {
+		m.gStates = r.Gauge("paramra_engine_states", "states admitted to the visited set (current run)")
+		m.gTransitions = r.Gauge("paramra_engine_transitions", "successor edges examined (current run)")
+		m.gDedup = r.Gauge("paramra_engine_dedup_hits", "successors dropped as already visited (current run)")
+		m.gPeak = r.Gauge("paramra_engine_peak_frontier", "largest frontier observed (current run)")
+		m.gQueue = r.Gauge("paramra_engine_queue_depth", "shared frontier queue length (current run)")
+		m.gShardMax = r.Gauge("paramra_engine_visited_shard_max", "largest visited-set shard (current run)")
+		m.gShardsUsed = r.Gauge("paramra_engine_visited_shards_nonempty", "non-empty visited-set shards (current run)")
+	}
+	m.wg.Add(1)
 	go func() {
-		defer wg.Done()
+		defer m.wg.Done()
 		t := time.NewTicker(cfg.progressEvery())
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
-				cfg.Progress(cnt.snapshot(workers, start))
-			case <-done:
+				s := cnt.snapshot(workers, start)
+				m.publish(s, queueLen, shardStats)
+				if m.progress != nil {
+					m.progress(s)
+				}
+			case <-m.done:
 				return
 			}
 		}
 	}()
-	return func() {
-		close(done)
-		wg.Wait()
-		cfg.Progress(cnt.snapshot(workers, start))
+	return m
+}
+
+// stop halts the ticker and emits final as the terminal snapshot (both to
+// the registry and to the progress callback). Nil-safe.
+func (m *monitor) stop(final Stats, queueLen func() int64, shardStats func() (int64, int64)) {
+	if m == nil {
+		return
 	}
+	close(m.done)
+	m.wg.Wait()
+	m.publish(final, queueLen, shardStats)
+	if m.progress != nil {
+		m.progress(final)
+	}
+}
+
+// spanName picks the run span's name.
+func (cfg Config) spanName(def string) string {
+	if cfg.SpanName != "" {
+		return cfg.SpanName
+	}
+	return def
 }
 
 // Succ is one successor produced by an expansion callback.
@@ -234,7 +313,22 @@ func Explore[S any, V any](
 		}()
 	}
 
-	stopProgress := startProgress(cfg, cnt, workers, start)
+	span := cfg.Trace.Child(cfg.spanName("explore"))
+	var hBatchWait *obs.Histogram
+	if cfg.Metrics != nil {
+		hBatchWait = cfg.Metrics.Histogram("paramra_engine_batch_wait_ns",
+			"time a worker waits to refill its batch from the shared queue (ns)")
+	}
+	queueLen := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return int64(len(global))
+	}
+	shardStats := func() (int64, int64) {
+		mx, used := visited.ShardStats()
+		return int64(mx), int64(used)
+	}
+	mon := startMonitor(cfg, cnt, workers, start, queueLen, shardStats)
 
 	recordHalt := func(parentKey string, tag any) {
 		mu.Lock()
@@ -257,6 +351,10 @@ func Explore[S any, V any](
 				return
 			}
 			if len(local) == 0 {
+				var waitStart time.Time
+				if hBatchWait != nil {
+					waitStart = time.Now()
+				}
 				mu.Lock()
 				for len(global) == 0 && pending.Load() > 0 && !stopped.Load() {
 					waiting++
@@ -275,6 +373,9 @@ func Explore[S any, V any](
 				local = append(local, global[len(global)-n:]...)
 				global = global[:len(global)-n]
 				mu.Unlock()
+				if hBatchWait != nil {
+					hBatchWait.Observe(int64(time.Since(waitStart)))
+				}
 				continue
 			}
 
@@ -345,10 +446,14 @@ func Explore[S any, V any](
 	wg.Wait()
 	close(cancelDone)
 	cancelWG.Wait()
-	stopProgress()
+	// One snapshot serves as both the terminal progress emission and the
+	// returned stats, so the last Progress callback always equals
+	// Outcome.Stats.
+	final := cnt.snapshot(workers, start)
+	mon.stop(final, queueLen, shardStats)
 
 	out := Outcome{
-		Stats:      cnt.snapshot(workers, start),
+		Stats:      final,
 		Halted:     halted,
 		HaltParent: haltKey,
 		HaltTag:    haltTag,
@@ -358,5 +463,19 @@ func Explore[S any, V any](
 		out.Err = ctx.Err()
 	}
 	out.Complete = !out.Halted && !out.Capped && out.Err == nil
+	if span != nil {
+		mx, used := visited.ShardStats()
+		span.SetAttr("states", final.States)
+		span.SetAttr("transitions", final.Transitions)
+		span.SetAttr("dedup_hits", final.DedupHits)
+		span.SetAttr("peak_frontier", final.PeakFrontier)
+		span.SetAttr("workers", workers)
+		span.SetAttr("halted", out.Halted)
+		span.SetAttr("capped", out.Capped)
+		span.SetAttr("complete", out.Complete)
+		span.SetAttr("shard_max", mx)
+		span.SetAttr("shards_nonempty", used)
+		span.End()
+	}
 	return visited, out
 }

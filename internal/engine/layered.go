@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paramra/internal/obs"
 )
 
 // Admitter is handed to Layered commit callbacks to enqueue successor
@@ -65,18 +67,47 @@ func Layered[S any, E any](
 	cnt.states.Store(1)
 	cnt.bumpPeak(1)
 
-	stopProgress := startProgress(cfg, cnt, workers, start)
-	defer stopProgress()
+	span := cfg.Trace.Child(cfg.spanName("layered"))
+	var hLayer *obs.Histogram
+	if cfg.Metrics != nil {
+		hLayer = cfg.Metrics.Histogram("paramra_engine_layer_ns",
+			"wall time per BFS layer: parallel expansion plus sequential commit (ns)")
+	}
+	shardStats := func() (int64, int64) {
+		mx, used := adm.visited.ShardStats()
+		return int64(mx), int64(used)
+	}
+	mon := startMonitor(cfg, cnt, workers, start, nil, shardStats)
 
+	// The layer span is opened from this sequential loop (never from the
+	// parallel expansion), so span IDs are deterministic at any -j.
+	var curLayer *obs.Span
 	finish := func(haltTag any, err error) Outcome {
+		final := cnt.snapshot(workers, start)
+		mon.stop(final, nil, shardStats)
 		out := Outcome{
-			Stats:   cnt.snapshot(workers, start),
+			Stats:   final,
 			Halted:  haltTag != nil,
 			HaltTag: haltTag,
 			Capped:  adm.capped,
 			Err:     err,
 		}
 		out.Complete = !out.Halted && !out.Capped && out.Err == nil
+		curLayer.End()
+		if span != nil {
+			mx, used := adm.visited.ShardStats()
+			span.SetAttr("states", final.States)
+			span.SetAttr("transitions", final.Transitions)
+			span.SetAttr("dedup_hits", final.DedupHits)
+			span.SetAttr("peak_frontier", final.PeakFrontier)
+			span.SetAttr("workers", workers)
+			span.SetAttr("halted", out.Halted)
+			span.SetAttr("capped", out.Capped)
+			span.SetAttr("complete", out.Complete)
+			span.SetAttr("shard_max", mx)
+			span.SetAttr("shards_nonempty", used)
+			span.End()
+		}
 		return out
 	}
 
@@ -92,6 +123,16 @@ func Layered[S any, E any](
 		}
 		cnt.bumpPeak(int64(len(layer)))
 
+		var layerStart time.Time
+		if hLayer != nil {
+			layerStart = time.Now()
+		}
+		if span != nil {
+			curLayer = span.Child("layer")
+			curLayer.SetAttr("depth", depth)
+			curLayer.SetAttr("size", len(layer))
+		}
+
 		exps := parMap(ctx, workers, layer, expand)
 		if err := ctxErr(ctx); err != nil {
 			return finish(nil, err)
@@ -102,6 +143,14 @@ func Layered[S any, E any](
 			if tag := commit(i, layer[i], e, adm); tag != nil {
 				return finish(tag, nil)
 			}
+		}
+		if hLayer != nil {
+			hLayer.Observe(int64(time.Since(layerStart)))
+		}
+		if curLayer != nil {
+			curLayer.SetAttr("states", int(cnt.states.Load()))
+			curLayer.End()
+			curLayer = nil
 		}
 		layer = adm.next
 		depth++

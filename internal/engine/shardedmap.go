@@ -97,3 +97,21 @@ func (sm *ShardedMap[V]) Len() int {
 	}
 	return n
 }
+
+// ShardStats reports occupancy balance for observability: the size of the
+// largest shard and the number of non-empty shards. A max far above
+// len/shardCount (with many empty shards) indicates key-hash skew.
+func (sm *ShardedMap[V]) ShardStats() (maxLen, nonEmpty int) {
+	for i := range sm.shards {
+		sm.shards[i].mu.Lock()
+		n := len(sm.shards[i].m)
+		sm.shards[i].mu.Unlock()
+		if n > maxLen {
+			maxLen = n
+		}
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	return maxLen, nonEmpty
+}

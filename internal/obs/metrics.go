@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing race-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a race-safe instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Max raises the gauge to n if n is larger (a high-water mark). Nil-safe.
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. Nil-safe.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of log-scale histogram buckets: bucket i counts
+// observations whose value has bit length i, i.e. v ∈ [2^(i-1), 2^i), with
+// bucket 0 for v ≤ 0. 64-bit values always fit.
+const histBuckets = 65
+
+// Histogram is a race-safe log₂-scale histogram (power-of-two buckets), the
+// right shape for latencies and sizes spanning many orders of magnitude at
+// a fixed 65-slot memory cost.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations. Nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values. Nil-safe.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Get-or-create accessors make
+// it safe to resolve the same name from several subsystems; the exposition
+// methods render Prometheus text, expvar-style JSON, or a plain JSON
+// snapshot. All methods are race-safe and nil-safe (a nil registry hands
+// out nil metrics, whose methods are no-ops).
+type Registry struct {
+	mu      sync.Mutex
+	names   []string // registration order
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// lookup returns the entry for name, creating it with mk on first use. A
+// kind clash (same name registered as a different metric type) panics: it
+// is a programming error, matching expvar's behavior.
+func (r *Registry) lookup(name, help string, kind metricKind, mk func(*entry)) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	mk(e)
+	r.entries[name] = e
+	r.names = append(r.names, name)
+	return e
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil-safe.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, func(e *entry) { e.h = &Histogram{} }).h
+}
+
+// snapshotEntries copies the entry list under the lock; the atomic values
+// are read lock-free afterwards.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.entries[n])
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (histograms as cumulative le-labeled power-of-two buckets).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, e := range r.snapshotEntries() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value())
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i := 0; i < histBuckets; i++ {
+				n := e.h.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				// Bucket i holds values < 2^i (bit length ≤ i ⇒ v ≤ 2^i - 1).
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", e.name, uint64(1)<<uint(i), cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+				e.name, e.h.Count(), e.name, e.h.Sum(), e.name, e.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is the JSON shape of a histogram snapshot.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound -> count
+}
+
+// Snapshot returns the current values as a flat map: counters and gauges as
+// int64, histograms as {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := map[string]any{}
+	for _, e := range r.snapshotEntries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindHistogram:
+			hj := histJSON{Count: e.h.Count(), Sum: e.h.Sum()}
+			for i := 0; i < histBuckets; i++ {
+				if n := e.h.buckets[i].Load(); n > 0 {
+					if hj.Buckets == nil {
+						hj.Buckets = map[string]int64{}
+					}
+					hj.Buckets[fmt.Sprint(uint64(1)<<uint(i))] = n
+				}
+			}
+			out[e.name] = hj
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON with sorted keys (the
+// shape consumed by `rabench report`).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// json.Marshal emits map keys sorted, so the snapshot is deterministic.
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Handler serves the registry: Prometheus text at any path, the JSON
+// snapshot when the request path ends in ".json".
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "no registry", http.StatusNotFound)
+			return
+		}
+		if len(req.URL.Path) >= 5 && req.URL.Path[len(req.URL.Path)-5:] == ".json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+}

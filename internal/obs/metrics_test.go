@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("paramra_test_total", "a counter").Add(42)
+	r.Gauge("paramra_test_depth", "a gauge").Set(7)
+	h := r.Histogram("paramra_test_ns", "a histogram")
+	h.Observe(1) // bucket le="2"
+	h.Observe(3) // bucket le="4"
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE paramra_test_total counter",
+		"paramra_test_total 42",
+		"# TYPE paramra_test_depth gauge",
+		"paramra_test_depth 7",
+		"# TYPE paramra_test_ns histogram",
+		`paramra_test_ns_bucket{le="2"} 1`,
+		`paramra_test_ns_bucket{le="4"} 3`,
+		`paramra_test_ns_bucket{le="+Inf"} 3`,
+		"paramra_test_ns_sum 7",
+		"paramra_test_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryGetOrCreateAndNil(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c", "") != r.Counter("c", "") {
+		t.Error("Counter not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+
+	var nilReg *Registry
+	nilReg.Counter("x", "").Inc()
+	nilReg.Gauge("x", "").Set(1)
+	nilReg.Histogram("x", "").Observe(1)
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	if err := nilReg.WritePrometheus(io.Discard); err != nil {
+		t.Error(err)
+	}
+
+	r.Gauge("c", "") // same name, different kind: panics
+}
+
+// TestRegistryRace hammers one registry from 8 goroutines — counters,
+// gauges, histograms, and concurrent exposition — under the race detector.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("race_total", "")
+			ga := r.Gauge("race_depth", "")
+			h := r.Histogram("race_ns", "")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Set(int64(i))
+				ga.Max(int64(i * g))
+				h.Observe(int64(i % 1024))
+				// Interleave get-or-create of a fresh name with exposition.
+				r.Counter(fmt.Sprintf("race_g%d_total", g), "").Add(1)
+				if i%256 == 0 {
+					_ = r.WritePrometheus(io.Discard)
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("race_total", "").Value(); got != goroutines*iters {
+		t.Errorf("race_total = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("race_ns", "").Count(); got != goroutines*iters {
+		t.Errorf("race_ns count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)    // bucket 0 (le="1")
+	h.Observe(-5)   // bucket 0
+	h.Observe(1)    // le="2"
+	h.Observe(1024) // le="2048"
+	if h.Count() != 4 || h.Sum() != 1020 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	r := NewRegistry()
+	rh := r.Histogram("h", "")
+	rh.Observe(0)
+	rh.Observe(1024)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, want := range []string{`h_bucket{le="1"} 1`, `h_bucket{le="2048"} 2`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Add(5)
+	stop, addr, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "served_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Errorf("/metrics.json not JSON: %v", err)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "paramra") {
+		t.Errorf("/debug/vars missing paramra expvar:\n%s", body)
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	stop, addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanRecord is one reconstructed span of a parsed trace.
+type SpanRecord struct {
+	ID     int64
+	Parent int64 // 0 for root spans
+	Name   string
+	Start  int64 // monotonic ns
+	End    int64
+	Attrs  map[string]any
+}
+
+// Dur is the span's duration in nanoseconds.
+func (s SpanRecord) Dur() int64 { return s.End - s.Start }
+
+// ParseTrace reads a JSONL trace and reconstructs its spans, enforcing the
+// schema along the way:
+//
+//   - every line is a JSON object with ev ∈ {"b","e"}, id ≥ 1, t ≥ 0;
+//   - timestamps are non-decreasing across the file;
+//   - "b" events carry a non-empty name, a fresh id, and a parent that is 0
+//     or a previously started span;
+//   - "e" events close a span that was started and not yet ended;
+//   - at EOF every started span has ended.
+//
+// The returned spans are sorted by ID (= start order).
+func ParseTrace(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	open := map[int64]*SpanRecord{}
+	done := map[int64]*SpanRecord{}
+	var order []int64
+	var lastT int64
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: invalid JSON: %w", line, err)
+		}
+		if ev.ID < 1 {
+			return nil, fmt.Errorf("trace line %d: id %d < 1", line, ev.ID)
+		}
+		if ev.T < 0 {
+			return nil, fmt.Errorf("trace line %d: negative timestamp %d", line, ev.T)
+		}
+		if ev.T < lastT {
+			return nil, fmt.Errorf("trace line %d: timestamp %d decreases (previous %d)", line, ev.T, lastT)
+		}
+		lastT = ev.T
+		switch ev.Ev {
+		case "b":
+			if ev.Name == "" {
+				return nil, fmt.Errorf("trace line %d: span %d has no name", line, ev.ID)
+			}
+			if _, ok := open[ev.ID]; ok {
+				return nil, fmt.Errorf("trace line %d: span %d started twice", line, ev.ID)
+			}
+			if _, ok := done[ev.ID]; ok {
+				return nil, fmt.Errorf("trace line %d: span %d restarted after end", line, ev.ID)
+			}
+			if ev.Parent != 0 {
+				_, inOpen := open[ev.Parent]
+				_, inDone := done[ev.Parent]
+				if !inOpen && !inDone {
+					return nil, fmt.Errorf("trace line %d: span %d has unknown parent %d", line, ev.ID, ev.Parent)
+				}
+			}
+			open[ev.ID] = &SpanRecord{ID: ev.ID, Parent: ev.Parent, Name: ev.Name, Start: ev.T}
+			order = append(order, ev.ID)
+		case "e":
+			s, ok := open[ev.ID]
+			if !ok {
+				return nil, fmt.Errorf("trace line %d: end of unknown or already-ended span %d", line, ev.ID)
+			}
+			s.End = ev.T
+			s.Attrs = ev.Attrs
+			delete(open, ev.ID)
+			done[ev.ID] = s
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown event kind %q", line, ev.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(open) > 0 {
+		ids := make([]int64, 0, len(open))
+		for id := range open {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return nil, fmt.Errorf("trace: %d span(s) never ended (first: %d %q)", len(open), ids[0], open[ids[0]].Name)
+	}
+	out := make([]SpanRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *done[id])
+	}
+	return out, nil
+}
+
+// ValidateTrace checks a JSONL trace against the schema (see ParseTrace).
+func ValidateTrace(r io.Reader) error {
+	_, err := ParseTrace(r)
+	return err
+}

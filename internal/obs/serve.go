@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar name: expvar.Publish panics on
+// duplicates, and tests may open several sessions in one process.
+var publishOnce sync.Once
+
+// publishExpvar exposes the registry's snapshot under the expvar name
+// "paramra" (visible at /debug/vars on any expvar-serving listener).
+func publishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("paramra", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// ServeMetrics starts an HTTP listener on addr exposing the registry in
+// Prometheus text format at /metrics, as JSON at /metrics.json, and via
+// expvar at /debug/vars. It returns the shutdown function and the bound
+// address (useful with ":0").
+func ServeMetrics(addr string, r *Registry) (stop func(), bound string, err error) {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	return serve(addr, mux)
+}
+
+// ServePprof starts a net/http/pprof listener on addr (profiles at
+// /debug/pprof/). It returns the shutdown function and the bound address.
+func ServePprof(addr string) (stop func(), bound string, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serve(addr, mux)
+}
+
+// serve binds addr and serves mux in the background until stop is called.
+func serve(addr string, mux *http.ServeMux) (stop func(), bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return func() {
+		_ = srv.Close()
+		<-done
+	}, ln.Addr().String(), nil
+}

@@ -1,0 +1,156 @@
+// Package obs is the repository's observability layer: a hierarchical
+// phase-span tracer emitting JSONL events, a race-safe metrics registry
+// with Prometheus text, expvar and JSON exposition, and profiling hooks.
+// It is stdlib-only and built around a strict nil fast path: every method
+// on a nil *Tracer, *Span or *Registry is a no-op behind a single pointer
+// check, so fully disabled observability costs one predictable branch per
+// call site.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceEvent is one JSONL line of a trace. "b" begins a span, "e" ends it.
+// Timestamps are monotonic nanoseconds since the tracer was created, read
+// under the writer lock, so the event stream is non-decreasing in T.
+type traceEvent struct {
+	Ev     string         `json:"ev"`             // "b" | "e"
+	ID     int64          `json:"id"`             // span id, 1-based per tracer
+	Parent int64          `json:"par,omitempty"`  // parent span id (0 = root)
+	Name   string         `json:"name,omitempty"` // span name ("b" only)
+	T      int64          `json:"t"`              // monotonic ns since tracer start
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records hierarchical phase spans as JSONL events. Span IDs are a
+// per-tracer sequence, so any code path that starts spans in a fixed order
+// (the pipeline phases, the layered engine's sequential layer loop) gets
+// identical IDs on every run and at every worker count. The tracer is safe
+// for concurrent use; individual spans are too (attrs are mutex-guarded).
+type Tracer struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	next int64
+	now  func() int64
+	err  error // first write/encode error, sticky
+}
+
+// NewTracer writes JSONL trace events to w, timestamped with monotonic
+// nanoseconds since this call.
+func NewTracer(w io.Writer) *Tracer {
+	start := time.Now()
+	return NewTracerClock(w, func() int64 { return int64(time.Since(start)) })
+}
+
+// NewTracerClock is NewTracer with an injected clock (monotonic,
+// nanoseconds). Tests use a deterministic counter clock to produce
+// byte-identical golden traces.
+func NewTracerClock(w io.Writer, now func() int64) *Tracer {
+	return &Tracer{bw: bufio.NewWriter(w), now: now}
+}
+
+// emit writes one event; the clock is read under the lock so T is
+// non-decreasing across the whole file.
+func (t *Tracer) emit(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	ev.T = t.now()
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(data, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Start begins a span. parent nil makes a root span. Nil-safe: on a nil
+// tracer it returns nil, and every method of a nil *Span is a no-op.
+func (t *Tracer) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.mu.Unlock()
+	s := &Span{t: t, id: id}
+	var par int64
+	if parent != nil {
+		par = parent.id
+	}
+	t.emit(traceEvent{Ev: "b", ID: id, Parent: par, Name: name})
+	return s
+}
+
+// Flush drains buffered events to the underlying writer and returns the
+// first error encountered by the tracer (write, encode, or flush).
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Span is one phase of a run. End emits the "e" event carrying the attrs
+// accumulated via SetAttr; a span must be ended exactly once (extra Ends
+// are dropped).
+type Span struct {
+	t     *Tracer
+	id    int64
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Child starts a sub-span. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.Start(name, s)
+}
+
+// SetAttr attaches a key/value to the span's end event. Values must be
+// JSON-encodable; keep them to counts and small strings. Nil-safe.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End closes the span, emitting its end event. Nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.emit(traceEvent{Ev: "e", ID: s.id, Attrs: attrs})
+}

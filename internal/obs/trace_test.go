@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// counterClock returns a deterministic monotonic clock: 1, 2, 3, ...
+func counterClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func TestTracerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracerClock(&buf, counterClock())
+	root := tr.Start("run", nil)
+	parse := root.Child("parse")
+	parse.SetAttr("bytes", 123)
+	parse.End()
+	verify := root.Child("verify")
+	fix := verify.Child("fixpoint")
+	fix.SetAttr("macro_states", 7)
+	fix.End()
+	verify.End()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	want := strings.Join([]string{
+		`{"ev":"b","id":1,"name":"run","t":1}`,
+		`{"ev":"b","id":2,"par":1,"name":"parse","t":2}`,
+		`{"ev":"e","id":2,"t":3,"attrs":{"bytes":123}}`,
+		`{"ev":"b","id":3,"par":1,"name":"verify","t":4}`,
+		`{"ev":"b","id":4,"par":3,"name":"fixpoint","t":5}`,
+		`{"ev":"e","id":4,"t":6,"attrs":{"macro_states":7}}`,
+		`{"ev":"e","id":3,"t":7}`,
+		`{"ev":"e","id":1,"t":8}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("trace mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	spans, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[3].Name != "fixpoint" || spans[3].Parent != 3 || spans[3].Dur() != 1 {
+		t.Errorf("fixpoint span wrong: %+v", spans[3])
+	}
+}
+
+func TestTracerNilFastPath(t *testing.T) {
+	// Every method on a nil tracer/span must be a no-op, not a panic: this
+	// is the disabled-observability contract of the whole pipeline.
+	var tr *Tracer
+	s := tr.Start("x", nil)
+	if s != nil {
+		t.Fatalf("nil tracer returned a span")
+	}
+	c := s.Child("y")
+	if c != nil {
+		t.Fatalf("nil span returned a child")
+	}
+	s.SetAttr("k", 1)
+	s.End()
+	s.End()
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+}
+
+func TestTracerEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracerClock(&buf, counterClock())
+	s := tr.Start("once", nil)
+	s.End()
+	s.End()
+	tr.Flush()
+	if n := strings.Count(buf.String(), `"ev":"e"`); n != 1 {
+		t.Errorf("double End emitted %d end events, want 1", n)
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":          "nope\n",
+		"unknown kind":      `{"ev":"x","id":1,"t":1}` + "\n",
+		"zero id":           `{"ev":"b","id":0,"name":"a","t":1}` + "\n",
+		"missing name":      `{"ev":"b","id":1,"t":1}` + "\n",
+		"unknown parent":    `{"ev":"b","id":1,"par":9,"name":"a","t":1}` + "\n",
+		"decreasing time":   `{"ev":"b","id":1,"name":"a","t":5}` + "\n" + `{"ev":"e","id":1,"t":4}` + "\n",
+		"end unknown":       `{"ev":"e","id":3,"t":1}` + "\n",
+		"double start":      `{"ev":"b","id":1,"name":"a","t":1}` + "\n" + `{"ev":"b","id":1,"name":"a","t":2}` + "\n",
+		"unterminated":      `{"ev":"b","id":1,"name":"a","t":1}` + "\n",
+		"restart after end": `{"ev":"b","id":1,"name":"a","t":1}` + "\n" + `{"ev":"e","id":1,"t":2}` + "\n" + `{"ev":"b","id":1,"name":"a","t":3}` + "\n",
+	}
+	for name, trace := range cases {
+		if err := ValidateTrace(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace:\n%s", name, trace)
+		}
+	}
+	ok := `{"ev":"b","id":1,"name":"a","t":1}` + "\n" + `{"ev":"e","id":1,"t":2,"attrs":{"n":1}}` + "\n"
+	if err := ValidateTrace(strings.NewReader(ok)); err != nil {
+		t.Errorf("validator rejected a valid trace: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"paramra/internal/engine"
+	"paramra/internal/obs"
 )
 
 // Limits bounds and configures an exploration. Zero values mean "no limit".
@@ -26,6 +27,12 @@ type Limits struct {
 	// Progress, when non-nil, receives periodic engine stats snapshots from
 	// the context-aware explorers.
 	Progress func(engine.Stats)
+	// Trace, when non-nil, is the parent span under which the context-aware
+	// explorers record their engine run span ("concrete-explore" or
+	// "deadlock-scan").
+	Trace *obs.Span
+	// Metrics, when non-nil, receives the engine's gauges and histograms.
+	Metrics *obs.Registry
 }
 
 // ErrLimit is reported (wrapped) when exploration stops due to a limit

@@ -47,6 +47,9 @@ func (inst *Instance) ExploreContext(ctx context.Context, lim Limits) Result {
 		MaxStates: lim.MaxStates,
 		MaxDepth:  lim.MaxDepth,
 		Progress:  lim.Progress,
+		Trace:     lim.Trace,
+		SpanName:  "concrete-explore",
+		Metrics:   lim.Metrics,
 	}, init, initKey, backEdge{}, expand)
 
 	res := Result{
@@ -142,6 +145,9 @@ func (inst *Instance) FindDeadlocksContext(ctx context.Context, lim Limits) Dead
 		MaxStates: lim.MaxStates,
 		MaxDepth:  lim.MaxDepth,
 		Progress:  lim.Progress,
+		Trace:     lim.Trace,
+		SpanName:  "deadlock-scan",
+		Metrics:   lim.Metrics,
 	}, init, init.Key(), struct{}{}, expand)
 
 	rep.Complete = out.Complete

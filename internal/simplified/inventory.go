@@ -63,6 +63,7 @@ func (v *Verifier) InventoryContext(ctx context.Context) (map[lang.VarID]map[lan
 	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
 		global.recordSizes(st)
 		global.mergeFrom(o.ex)
+		adm.AddTransitions(int64(o.ex.stats.DisTransitions))
 		for j, ns := range o.succs {
 			if adm.Add(o.keys[j], ns) {
 				record(ns)
@@ -75,6 +76,9 @@ func (v *Verifier) InventoryContext(ctx context.Context) (map[lang.VarID]map[lan
 		Workers:   v.opts.Workers,
 		MaxStates: v.opts.MaxMacroStates,
 		Progress:  v.opts.Progress,
+		Trace:     v.opts.Trace,
+		SpanName:  "inventory",
+		Metrics:   v.opts.Metrics,
 	}, init, init.key(), expand, commit)
 
 	stats := global.stats

@@ -2,8 +2,11 @@ package simplified
 
 import (
 	"context"
+	"runtime"
+	"time"
 
 	"paramra/internal/engine"
+	"paramra/internal/obs"
 )
 
 // expOut is the result of expanding one macro-state: its successors (with
@@ -28,21 +31,78 @@ type expOut struct {
 // Cancellation (ctx) is the primary resource limit; Options.MaxMacroStates
 // remains a secondary cap. On cancellation the partial Result carries
 // Err = ctx.Err() and Complete = false.
+//
+// Engine.Wall and Engine.Workers are populated on every return path,
+// including violations found while saturating the initial state.
 func (v *Verifier) VerifyContext(ctx context.Context) Result {
-	global := newExec(v, nil)
+	start := time.Now()
+	workers := v.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	init := v.initState()
-	if viol := global.saturate(init); viol != nil {
-		res := global.unsafeResult(viol, init)
-		res.Stats.MacroStates = 1
-		res.Engine = engine.Stats{States: 1, Workers: 1}
+	span := v.opts.Trace.Child("fixpoint")
+	finish := func(res Result) Result {
+		if span != nil {
+			span.SetAttr("macro_states", res.Stats.MacroStates)
+			span.SetAttr("dis_transitions", res.Stats.DisTransitions)
+			span.SetAttr("env_configs", res.Stats.EnvConfigs)
+			span.SetAttr("env_msgs", res.Stats.EnvMsgs)
+			span.SetAttr("saturation_steps", res.Stats.SaturationSteps)
+			span.SetAttr("unsafe", res.Unsafe)
+			span.SetAttr("complete", res.Complete)
+			span.End()
+		}
 		return res
 	}
-	if viol := global.checkGoalDis(init); viol != nil {
-		res := global.unsafeResult(viol, init)
+
+	var hSat *obs.Histogram
+	var gCfg, gMsgs *obs.Gauge
+	if m := v.opts.Metrics; m != nil {
+		hSat = m.Histogram("paramra_fixpoint_saturate_ns",
+			"wall time per env-set saturation to fixpoint (ns)")
+		gCfg = m.Gauge("paramra_fixpoint_env_configs",
+			"high-water mark of abstract env configurations in a macro-state")
+		gMsgs = m.Gauge("paramra_fixpoint_env_msgs",
+			"high-water mark of abstract env messages in a macro-state")
+	}
+	// saturate wraps exec.saturate with an optional latency observation; it
+	// is called concurrently from expansion workers (Observe is atomic).
+	saturate := func(ex *exec, st *state) *Violation {
+		if hSat == nil {
+			return ex.saturate(st)
+		}
+		t0 := time.Now()
+		viol := ex.saturate(st)
+		hSat.Observe(int64(time.Since(t0)))
+		return viol
+	}
+
+	global := newExec(v, nil)
+	init := v.initState()
+
+	satSpan := span.Child("init-saturate")
+	initViol := saturate(global, init)
+	if satSpan != nil {
+		satSpan.SetAttr("env_configs", len(init.env.Configs))
+		satSpan.SetAttr("env_msgs", len(init.env.Msgs))
+		satSpan.End()
+	}
+
+	early := func(res Result) Result {
 		res.Stats.MacroStates = 1
-		res.Engine = engine.Stats{States: 1, Workers: 1}
-		return res
+		res.Engine = engine.Stats{
+			States:  1,
+			Wall:    time.Since(start),
+			Workers: workers,
+		}
+		return finish(res)
+	}
+	if initViol != nil {
+		return early(global.unsafeResult(initViol, init))
+	}
+	if viol := global.checkGoalDis(init); viol != nil {
+		return early(global.unsafeResult(viol, init))
 	}
 
 	var unsafeRes *Result
@@ -61,7 +121,7 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 			return o
 		}
 		for _, ns := range succs {
-			if viol := ex.saturate(ns); viol != nil {
+			if viol := saturate(ex, ns); viol != nil {
 				o.viol, o.violState = viol, ns
 				return o
 			}
@@ -78,6 +138,9 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
 		global.recordSizes(st)
 		global.mergeFrom(o.ex)
+		adm.AddTransitions(int64(o.ex.stats.DisTransitions))
+		gCfg.Max(int64(global.stats.EnvConfigs))
+		gMsgs.Max(int64(global.stats.EnvMsgs))
 		// Successors discovered before a violation are admitted first: the
 		// sequential loop admits each saturated successor before examining
 		// the next one, so stats stay bit-identical on UNSAFE runs too.
@@ -103,6 +166,8 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 		Workers:   v.opts.Workers,
 		MaxStates: v.opts.MaxMacroStates,
 		Progress:  v.opts.Progress,
+		Trace:     span,
+		Metrics:   v.opts.Metrics,
 	}, init, init.key(), expand, commit)
 
 	if unsafeRes != nil {
@@ -110,7 +175,7 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 		res.Stats.MacroStates = int(out.Stats.States)
 		res.Engine = out.Stats
 		res.Engine.Transitions = int64(res.Stats.DisTransitions)
-		return res
+		return finish(res)
 	}
 	res := Result{
 		Unsafe:   false,
@@ -121,5 +186,5 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 	res.Stats.MacroStates = int(out.Stats.States)
 	res.Engine = out.Stats
 	res.Engine.Transitions = int64(res.Stats.DisTransitions)
-	return res
+	return finish(res)
 }

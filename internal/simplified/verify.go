@@ -7,6 +7,7 @@ import (
 
 	"paramra/internal/engine"
 	"paramra/internal/lang"
+	"paramra/internal/obs"
 )
 
 // Errors returned by New.
@@ -48,6 +49,16 @@ type Options struct {
 	// Progress, when non-nil, receives periodic engine stats snapshots
 	// during VerifyContext.
 	Progress func(engine.Stats)
+	// Trace, when non-nil, is the parent span under which the verifier
+	// records its phase spans: well-formedness (New), fixpoint,
+	// init-saturate, and the engine's per-layer spans. All spans are
+	// opened from sequential code, so IDs are deterministic at any
+	// worker count.
+	Trace *obs.Span
+	// Metrics, when non-nil, receives verifier metrics (saturation
+	// latencies and step counts, env-set high-water marks) on top of the
+	// engine's gauges. Nil disables them at a pointer check per site.
+	Metrics *obs.Registry
 }
 
 // Stats reports work done by the verifier.
@@ -132,6 +143,8 @@ type Verifier struct {
 // New validates the system against the decidable class and prepares a
 // verifier.
 func New(sys *lang.System, opts Options) (*Verifier, error) {
+	span := opts.Trace.Child("well-formedness")
+	defer span.End()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,11 +168,20 @@ func New(sys *lang.System, opts Options) (*Verifier, error) {
 		}
 	}
 	v.budget = make([]int, nv)
+	maxBudget := 0
 	for i := range v.budget {
 		// 2·S_v + 2 integer slots: any single run's order/adjacency pattern
 		// of S_v dis stores embeds into {1..2·S_v+1} (greedy: plain stores
 		// leave one free slot behind them for potential CAS successors).
 		v.budget[i] = 2*storeSum[i] + 2 + opts.ExtraSlots
+		if v.budget[i] > maxBudget {
+			maxBudget = v.budget[i]
+		}
+	}
+	if span != nil {
+		span.SetAttr("dis_threads", len(sys.Dis))
+		span.SetAttr("vars", nv)
+		span.SetAttr("max_ts_budget", maxBudget)
 	}
 	return v, nil
 }

@@ -16,6 +16,7 @@ import (
 	"paramra/internal/encode"
 	"paramra/internal/engine"
 	"paramra/internal/lang"
+	"paramra/internal/obs"
 	"paramra/internal/ra"
 	"paramra/internal/simplified"
 )
@@ -133,8 +134,30 @@ type Options struct {
 	// identical for every value.
 	Parallelism int
 	// Progress, when non-nil, receives periodic statistics snapshots from a
-	// dedicated goroutine while a search runs.
+	// dedicated goroutine while a search runs. The last emission, sent just
+	// before the entry point returns, is exactly the returned Stats.
 	Progress func(Stats)
+	// Tracer, when non-nil, records the run's phase spans — parse is the
+	// caller's, then well-formedness, unroll, fixpoint/datalog/concrete
+	// search, engine layers — as JSONL events (see internal/obs and the
+	// -trace-out CLI flag). Span IDs are deterministic at any Parallelism.
+	Tracer *obs.Tracer
+	// TraceSpan, when non-nil, nests the entry point's root span under an
+	// existing parent (e.g. a CLI-level span) instead of starting a new
+	// trace root on Tracer.
+	TraceSpan *obs.Span
+	// Metrics, when non-nil, receives live counters, gauges and histograms
+	// of the run (exposed in Prometheus/expvar form via -metrics-addr).
+	Metrics *obs.Registry
+}
+
+// beginSpan opens an entry point's root span: a child of TraceSpan when
+// set, else a new root on Tracer. Both nil yields a nil (no-op) span.
+func (o Options) beginSpan(name string) *obs.Span {
+	if o.TraceSpan != nil {
+		return o.TraceSpan.Child(name)
+	}
+	return o.Tracer.Start(name, nil)
 }
 
 // Stats reports verifier work. Each backend populates its own field group
@@ -235,6 +258,19 @@ type Result struct {
 // the primary resource limit: on cancellation or deadline the partial
 // Result (Complete = false) is returned together with the context error.
 func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
+	res, err := verify(ctx, sys, opts)
+	// The terminal Progress emission is exactly the returned Stats, for
+	// every backend and on every path (including errors).
+	if opts.Progress != nil {
+		opts.Progress(res.Stats)
+	}
+	return res, err
+}
+
+func verify(ctx context.Context, sys *System, opts Options) (Result, error) {
+	span := opts.beginSpan("verify")
+	defer span.End()
+
 	res := Result{EnvThreadBound: -1}
 	work := sys
 	if opts.UnrollDis > 0 {
@@ -246,14 +282,35 @@ func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 			}
 		}
 		if needs {
+			us := span.Child("unroll")
 			work = lang.UnrollSystem(sys, opts.UnrollDis)
+			if us != nil {
+				us.SetAttr("k", opts.UnrollDis)
+				us.End()
+			}
 			res.Underapprox = true
 		}
 	}
 	res.Class = lang.Classify(work)
+	if span != nil {
+		span.SetAttr("class", res.Class.String())
+		if opts.Datalog {
+			span.SetAttr("backend", "datalog")
+		} else {
+			span.SetAttr("backend", "fixpoint")
+		}
+	}
+	seal := func(r Result) Result {
+		if span != nil {
+			span.SetAttr("unsafe", r.Unsafe)
+			span.SetAttr("complete", r.Complete)
+		}
+		return r
+	}
 
 	if opts.Datalog {
-		return verifyDatalog(ctx, work, opts, res)
+		r, err := verifyDatalog(ctx, work, opts, res, span)
+		return seal(r), err
 	}
 
 	var goal *simplified.Goal
@@ -269,6 +326,8 @@ func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 		Goal:           goal,
 		Workers:        opts.Parallelism,
 		Progress:       fixpointProgress(opts.Progress),
+		Trace:          span,
+		Metrics:        opts.Metrics,
 	})
 	if err != nil {
 		return res, err
@@ -285,7 +344,7 @@ func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 	}
 	res.Stats.fromEngine(out.Engine)
 	if out.Err != nil {
-		return res, out.Err
+		return seal(res), out.Err
 	}
 	if out.Unsafe && out.Violation != nil {
 		res.Witness = out.Violation.Log.Keys()
@@ -294,14 +353,15 @@ func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 			res.EnvThreadBound = g.CostGoal()
 		}
 	}
-	return res, nil
+	return seal(res), nil
 }
 
 // verifyDatalog runs the makeP → Datalog backend: one query instance per
 // dis-run skeleton, evaluated ∃-style (first derivable goal wins). The
 // instances are independent, so they are evaluated by Parallelism workers;
-// the verdict is deterministic regardless.
-func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (Result, error) {
+// the verdict is deterministic regardless. Stats.Wall and Stats.Workers are
+// populated on every path, including encoding errors and cancellation.
+func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, span *obs.Span) (Result, error) {
 	if opts.Goal != nil {
 		return res, errors.New("paramra: the Datalog backend supports assert-reachability only")
 	}
@@ -310,9 +370,27 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (
 		maxSk = 100_000
 	}
 	start := time.Now()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seal := func(r Result) Result {
+		r.Stats.Wall = time.Since(start)
+		r.Stats.Workers = workers
+		return r
+	}
+	dspan := span.Child("datalog")
+	defer dspan.End()
+
+	enc := dspan.Child("skeleton-enumeration")
 	ps, complete, err := encode.All(sys, maxSk)
+	if enc != nil {
+		enc.SetAttr("skeletons", len(ps))
+		enc.SetAttr("complete", complete)
+		enc.End()
+	}
 	if err != nil {
-		return res, err
+		return seal(res), err
 	}
 	res.Stats.Skeletons = len(ps)
 	for _, p := range ps {
@@ -325,20 +403,63 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (
 		}
 	}
 
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ps) {
+	if workers > len(ps) && len(ps) > 0 {
 		workers = len(ps)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var hInst, hRound *obs.Histogram
+	var cInst, cRounds, cAtoms *obs.Counter
+	if m := opts.Metrics; m != nil {
+		hInst = m.Histogram("paramra_datalog_instance_ns",
+			"wall time per Datalog query instance (ns)")
+		hRound = m.Histogram("paramra_datalog_round_ns",
+			"wall time per semi-naive delta round (ns)")
+		cInst = m.Counter("paramra_datalog_instances_total",
+			"Datalog query instances evaluated")
+		cRounds = m.Counter("paramra_datalog_rounds_total",
+			"semi-naive fixpoint rounds across instances")
+		cAtoms = m.Counter("paramra_datalog_atoms_total",
+			"ground atoms derived across instances")
+	}
+	var roundHook datalog.RoundHook
+	if hRound != nil {
+		roundHook = func(d time.Duration) { hRound.Observe(int64(d)) }
+	}
+
+	// Live counters for the progress ticker; folded into res.Stats after
+	// the workers join.
+	var rounds, atoms, instances atomic.Int64
+	snapshot := func() Stats {
+		s := res.Stats
+		s.FixpointRounds = int(rounds.Load())
+		s.DatalogAtoms = int(atoms.Load())
+		s.Wall = time.Since(start)
+		s.Workers = workers
+		return s
+	}
+	var stopProg chan struct{}
+	if opts.Progress != nil {
+		stopProg = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProg:
+					return
+				case <-tick.C:
+					opts.Progress(snapshot())
+				}
+			}
+		}()
+	}
+
+	eval := dspan.Child("datalog-eval")
 	var (
 		next      atomic.Int64
 		unsafeHit atomic.Bool
-		mu        sync.Mutex
 		wg        sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
@@ -350,11 +471,20 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (
 				if i >= len(ps) || cctx.Err() != nil {
 					return
 				}
-				hit, st := datalog.QueryStats(ps[i].Prog, ps[i].Goal)
-				mu.Lock()
-				res.Stats.FixpointRounds += st.Rounds
-				res.Stats.DatalogAtoms += st.Atoms
-				mu.Unlock()
+				var t0 time.Time
+				if hInst != nil {
+					t0 = time.Now()
+				}
+				hit, st := datalog.QueryStatsHook(ps[i].Prog, ps[i].Goal, roundHook)
+				if hInst != nil {
+					hInst.Observe(int64(time.Since(t0)))
+				}
+				rounds.Add(int64(st.Rounds))
+				atoms.Add(int64(st.Atoms))
+				instances.Add(1)
+				cInst.Inc()
+				cRounds.Add(int64(st.Rounds))
+				cAtoms.Add(int64(st.Atoms))
 				if hit {
 					unsafeHit.Store(true)
 					cancel()
@@ -363,15 +493,26 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result) (
 		}()
 	}
 	wg.Wait()
-	res.Stats.Wall = time.Since(start)
-	res.Stats.Workers = workers
+	if stopProg != nil {
+		close(stopProg)
+	}
+	res.Stats.FixpointRounds = int(rounds.Load())
+	res.Stats.DatalogAtoms = int(atoms.Load())
 	res.Unsafe = unsafeHit.Load()
 	res.Complete = res.Unsafe || complete
+	if eval != nil {
+		eval.SetAttr("instances_evaluated", instances.Load())
+		eval.SetAttr("rounds", res.Stats.FixpointRounds)
+		eval.SetAttr("atoms", res.Stats.DatalogAtoms)
+		eval.SetAttr("workers", workers)
+		eval.SetAttr("unsafe", res.Unsafe)
+		eval.End()
+	}
 	if err := ctx.Err(); err != nil && !res.Unsafe {
 		res.Complete = false
-		return res, err
+		return seal(res), err
 	}
-	return res, nil
+	return seal(res), nil
 }
 
 // ConfirmError reports a failed ConfirmViolation search. It is returned
@@ -418,6 +559,11 @@ func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, op
 	if sys.Env == nil {
 		hi = 0
 	}
+	span := opts.beginSpan("confirm-violation")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("env_thread_bound", hi)
+	}
 	limitHit := false
 	for n := 0; n <= int(hi); n++ {
 		inst, err := ra.NewInstance(sys, n)
@@ -428,8 +574,13 @@ func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, op
 			MaxStates: opts.MaxStates,
 			Workers:   opts.Parallelism,
 			Progress:  concreteProgress(opts.Progress),
+			Trace:     span,
+			Metrics:   opts.Metrics,
 		})
 		if out.Unsafe {
+			if span != nil {
+				span.SetAttr("confirmed_env_threads", n)
+			}
 			return n, ra.FormatWitness(out.Witness), nil
 		}
 		if out.Err != nil {
@@ -466,10 +617,14 @@ func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (De
 	if err != nil {
 		return DeadlockResult{}, err
 	}
+	span := opts.beginSpan("find-deadlocks")
+	defer span.End()
 	rep := inst.FindDeadlocksContext(ctx, ra.Limits{
 		MaxStates: opts.MaxStates,
 		Workers:   opts.Parallelism,
 		Progress:  concreteProgress(opts.Progress),
+		Trace:     span,
+		Metrics:   opts.Metrics,
 	})
 	if err := ctx.Err(); err != nil {
 		return DeadlockResult{}, err
@@ -484,10 +639,14 @@ func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (De
 // every shared variable, the set of values some generatable message
 // carries. Keys are variable names; asserts are inert during the analysis.
 func Inventory(ctx context.Context, sys *System, opts Options) (map[string][]int, error) {
+	span := opts.beginSpan("inventory")
+	defer span.End()
 	v, err := simplified.New(sys, simplified.Options{
 		MaxMacroStates: opts.MaxMacroStates,
 		Workers:        opts.Parallelism,
 		Progress:       fixpointProgress(opts.Progress),
+		Trace:          span,
+		Metrics:        opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -526,15 +685,31 @@ type InstanceResult struct {
 
 // VerifyInstance explores the concrete RA state space of the instance with
 // nEnv environment threads, bounded by Options.MaxStates and the context.
+// As with Verify, the last Progress emission is exactly the returned Stats.
 func VerifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (InstanceResult, error) {
+	res, err := verifyInstance(ctx, sys, nEnv, opts)
+	if opts.Progress != nil {
+		opts.Progress(res.Stats)
+	}
+	return res, err
+}
+
+func verifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (InstanceResult, error) {
 	inst, err := ra.NewInstance(sys, nEnv)
 	if err != nil {
 		return InstanceResult{}, err
+	}
+	span := opts.beginSpan("verify-instance")
+	defer span.End()
+	if span != nil {
+		span.SetAttr("env_threads", nEnv)
 	}
 	out := inst.ExploreContext(ctx, ra.Limits{
 		MaxStates: opts.MaxStates,
 		Workers:   opts.Parallelism,
 		Progress:  concreteProgress(opts.Progress),
+		Trace:     span,
+		Metrics:   opts.Metrics,
 	})
 	res := InstanceResult{
 		Unsafe:   out.Unsafe,
@@ -545,6 +720,10 @@ func VerifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (I
 	res.Stats.States = out.States
 	res.Stats.Transitions = out.Transitions
 	res.Stats.fromEngine(out.Engine)
+	if span != nil {
+		span.SetAttr("unsafe", res.Unsafe)
+		span.SetAttr("complete", res.Complete)
+	}
 	if out.Err != nil {
 		return res, out.Err
 	}
