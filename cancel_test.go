@@ -1,0 +1,85 @@
+package paramra_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"paramra"
+)
+
+// TestCancellationErrorShape pins the uniform cancellation contract of every
+// backend: a cancelled context yields an error wrapping context.Canceled —
+// never a spurious SAFE verdict — with the incomplete flag set and
+// Stats.Wall populated.
+func TestCancellationErrorShape(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	t.Run("fixpoint", func(t *testing.T) {
+		res, err := paramra.Verify(ctx, sys, paramra.Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res.Complete {
+			t.Error("cancelled run reported a complete verdict")
+		}
+		if res.Stats.Wall <= 0 {
+			t.Errorf("Stats.Wall = %v, want > 0", res.Stats.Wall)
+		}
+	})
+
+	t.Run("datalog", func(t *testing.T) {
+		res, err := paramra.Verify(ctx, sys, paramra.Options{Datalog: true})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res.Complete {
+			t.Error("cancelled run reported a complete verdict")
+		}
+		if res.Stats.Wall <= 0 {
+			t.Errorf("Stats.Wall = %v, want > 0", res.Stats.Wall)
+		}
+	})
+
+	t.Run("concrete", func(t *testing.T) {
+		res, err := paramra.VerifyInstance(ctx, sys, 1, paramra.Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res.Complete {
+			t.Error("cancelled run reported a complete verdict")
+		}
+		if res.Stats.Wall <= 0 {
+			t.Errorf("Stats.Wall = %v, want > 0", res.Stats.Wall)
+		}
+	})
+
+	t.Run("confirm", func(t *testing.T) {
+		// ConfirmViolation needs an UNSAFE result to confirm; compute it
+		// uncancelled, then cancel the confirmation itself.
+		res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
+		if err != nil || !res.Unsafe {
+			t.Fatalf("setup: unsafe=%v err=%v", res.Unsafe, err)
+		}
+		_, _, err = paramra.ConfirmViolation(ctx, sys, res, 4, paramra.Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		var ce *paramra.ConfirmError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %T, want *ConfirmError", err)
+		}
+	})
+
+	t.Run("deadlocks", func(t *testing.T) {
+		_, err := paramra.FindDeadlocks(ctx, sys, 1, paramra.Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+}

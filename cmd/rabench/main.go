@@ -6,16 +6,22 @@
 //
 //	rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
 //	rabench report trace.jsonl [metrics.json]
+//	rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"paramra/internal/bench"
+	"paramra/internal/fuzzgen"
+	"paramra/internal/lang"
 	"paramra/internal/obs"
 )
 
@@ -32,7 +38,8 @@ var (
 )
 
 const usage = "usage: rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
-	"       rabench report trace.jsonl [metrics.json]\n"
+	"       rabench report trace.jsonl [metrics.json]\n" +
+	"       rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]\n"
 
 func main() {
 	os.Exit(run())
@@ -67,6 +74,18 @@ func run() int {
 	runSpan = sess.Tracer.Start("rabench", nil)
 	defer runSpan.End()
 	bench.SetInstrumentation(bench.Instrumentation{Trace: runSpan, Metrics: sess.Metrics})
+
+	if what == "fuzz" {
+		if err := fuzz(flag.Args()[1:], sess.Metrics); err != nil {
+			if errors.Is(err, errFuzzUsage) {
+				fmt.Fprintln(os.Stderr, "rabench fuzz:", err)
+				return 2
+			}
+			fmt.Fprintln(os.Stderr, "rabench fuzz:", err)
+			return 1
+		}
+		return 0
+	}
 
 	run := map[string]func() error{
 		"table1":    table1,
@@ -139,6 +158,96 @@ func report(args []string) int {
 			p.Name, p.Count, time.Duration(p.TotalNs).Round(time.Microsecond))
 	}
 	return 0
+}
+
+// errFuzzUsage marks bad fuzz invocations (exit 2, like every other
+// usage error) as opposed to campaign findings (exit 1).
+var errFuzzUsage = errors.New("usage error")
+
+// fuzz runs a differential fuzzing campaign: random systems through every
+// backend, cross-checked, disagreements shrunk to minimal repros. A non-nil
+// error (and exit 1) reports unresolved disagreements — the campaign is a
+// correctness gate, not just a report.
+func fuzz(args []string, metrics *obs.Registry) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 500, "number of systems to generate and cross-check")
+	profile := fs.String("profile", "default", "system shape: "+strings.Join(fuzzgen.ProfileNames(), "|"))
+	seedBase := fs.Int64("seed-base", 0, "first seed of the campaign (seeds are seed-base..seed-base+seeds-1)")
+	reproDir := fs.String("repro-dir", "", "persist shrunk disagreements as commented .ra files under this directory")
+	seedTimeout := fs.Duration("seed-timeout", 10*time.Second, "oracle budget per seed (a seed hitting it is inconclusive, not a failure)")
+	selftest := fs.Bool("selftest", false, "inject a lying Datalog backend to prove the harness detects and minimizes disagreements")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errFuzzUsage, err)
+	}
+	prof, ok := fuzzgen.ProfileByName(*profile)
+	if !ok {
+		return fmt.Errorf("%w: unknown profile %q (have %s)", errFuzzUsage, *profile, strings.Join(fuzzgen.ProfileNames(), ", "))
+	}
+
+	var check fuzzgen.CheckOptions
+	if *selftest {
+		check.InjectFault = func(backend string, _ *lang.System, unsafe bool) bool {
+			if backend == fuzzgen.BackendDatalog {
+				return !unsafe
+			}
+			return unsafe
+		}
+		// The injected fault makes the concrete backends disagree too;
+		// narrowing to fixpoint-vs-datalog keeps the selftest fast.
+		check.NoConcrete = true
+		check.NoDeadlocks = true
+	}
+
+	res, err := fuzzgen.Campaign(runCtx, fuzzgen.CampaignOptions{
+		Seeds:       *seeds,
+		SeedBase:    *seedBase,
+		Profile:     prof,
+		Check:       check,
+		SeedTimeout: *seedTimeout,
+		ReproDir:    *reproDir,
+		Log:         os.Stderr,
+		Trace:       runSpan,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fuzz: %d/%d seeds checked (profile %s), %d disagreement(s), %d timed out\n",
+		res.Seeds, *seeds, prof.Name, res.Disagreed, res.TimedOut)
+	classes := make([]string, 0, len(res.ByClass))
+	for c := range res.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("  %5d  %s\n", res.ByClass[c], c)
+	}
+	for _, r := range res.Repros {
+		fmt.Printf("repro: seed %d kind %s -> %d threads / %d stmts%s\n",
+			r.Seed, r.Kind, r.Threads, r.Stmts, reproPath(r.Path))
+	}
+	if res.Cancelled {
+		return fmt.Errorf("campaign cancelled after %d seeds", res.Seeds)
+	}
+	if *selftest {
+		if res.Disagreed == 0 {
+			return fmt.Errorf("selftest: injected fault produced no disagreement")
+		}
+		fmt.Println("selftest: injected fault detected and shrunk")
+		return nil
+	}
+	if res.Disagreed > 0 {
+		return fmt.Errorf("%d unresolved disagreement(s)", res.Disagreed)
+	}
+	return nil
+}
+
+func reproPath(p string) string {
+	if p == "" {
+		return ""
+	}
+	return " -> " + p
 }
 
 // parallel measures the layered engine's scaling over worker counts.

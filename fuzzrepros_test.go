@@ -1,0 +1,31 @@
+package paramra_test
+
+import (
+	"context"
+	"testing"
+
+	"paramra/internal/fuzzgen"
+)
+
+// TestFuzzReprosStayFixed replays every shrunk repro the differential fuzzer
+// has found (testdata/fuzz-repros/). Each file is a minimized system on which
+// the backends once disagreed; after the fix all backends must agree, and a
+// regression re-introducing the bug shows up as a disagreement here without
+// having to re-run a fuzz campaign.
+func TestFuzzReprosStayFixed(t *testing.T) {
+	repros, err := fuzzgen.LoadRepros("testdata/fuzz-repros")
+	if err != nil {
+		t.Fatalf("LoadRepros: %v", err)
+	}
+	if len(repros) == 0 {
+		t.Fatal("no repros found: testdata/fuzz-repros should hold the shrunk systems of previously fixed bugs")
+	}
+	for _, r := range repros {
+		t.Run(r.Path, func(t *testing.T) {
+			rep := fuzzgen.Check(context.Background(), r.System, fuzzgen.CheckOptions{})
+			for _, d := range rep.Disagreements {
+				t.Errorf("backends disagree again (%s): %s", d.Kind, d.Detail)
+			}
+		})
+	}
+}

@@ -156,13 +156,27 @@ type VarValues struct {
 	vals []map[lang.Val]bool
 }
 
+// normVal reduces a value into the domain [0, dom), matching the norm
+// applied by both execution engines at assignment/store/CAS boundaries
+// (internal/ra, internal/simplified).
+func normVal(v lang.Val, dom int) lang.Val {
+	d := lang.Val(dom)
+	if d <= 0 {
+		return v
+	}
+	return ((v % d) + d) % d
+}
+
 // CanHold reports whether variable v can ever hold value d (an
-// over-approximation: true may be spurious, false is definite).
+// over-approximation: true may be spurious, false is definite). d is
+// normalized into the domain first: the engines reduce every stored or
+// CAS-expected value mod Dom, so e.g. expecting 2 in domain 2 really
+// expects 0.
 func (vv *VarValues) CanHold(v lang.VarID, d lang.Val) bool {
 	if int(v) < 0 || int(v) >= len(vv.vals) {
 		return true
 	}
-	return vv.any[v] || vv.vals[v][d]
+	return vv.any[v] || vv.vals[v][normVal(d, vv.Dom)]
 }
 
 // PossibleVarValues scans every thread of the system once.
@@ -177,7 +191,7 @@ func PossibleVarValues(sys *lang.System) *VarValues {
 	}
 	record := func(v lang.VarID, e lang.Expr) {
 		if c, ok := e.(lang.ConstExpr); ok {
-			vv.vals[v][c.V] = true
+			vv.vals[v][normVal(c.V, sys.Dom)] = true
 		} else {
 			vv.any[v] = true
 		}
@@ -247,7 +261,9 @@ func PropagateConsts(g *lang.CFG, sys *lang.System, vv *VarValues) *ConstProp {
 			case lang.OpAssign:
 				out := in.clone()
 				if v, ok := constEval(e.Op.E, in.regs); ok {
-					out.regs[e.Op.Reg] = constVal{kind: cConst, val: v}
+					// The engines norm assigned values into the domain;
+					// tracking the raw value would diverge from execution.
+					out.regs[e.Op.Reg] = constVal{kind: cConst, val: normVal(v, sys.Dom)}
 				} else {
 					out.regs[e.Op.Reg] = constVal{kind: cTop}
 				}

@@ -242,3 +242,58 @@ func TestSolveBackwardBoundary(t *testing.T) {
 		t.Error("a is defined before use on every path; not live at entry")
 	}
 }
+
+// TestVarValuesNormalization: the engines reduce every stored, assigned and
+// CAS-expected value mod Dom, so the analyses must compare normalized
+// values. `cas x (1+1) 0` in domain 2 expects norm(2) = 0 — the initial
+// value — and genuinely succeeds; treating it as impossible changed
+// verdicts (found by the differential fuzzer, seed 883, and fixed along
+// with assigned-constant tracking).
+func TestVarValuesNormalization(t *testing.T) {
+	sys := mustSystem(t, `system s { vars x; domain 2; dis d }
+thread d {
+  cas x (1 + 1) 0
+  assert false
+}`)
+	vv := PossibleVarValues(sys)
+	if !vv.CanHold(0, 2) {
+		t.Error("CanHold(x, 2) = false; 2 normalizes to 0, which x holds initially")
+	}
+	if vv.CanHold(0, -1) {
+		t.Error("CanHold(x, -1) = true; -1 normalizes to 1, which nothing ever writes")
+	}
+	g := lang.Compile(sys.Dis[0])
+	cp := PropagateConsts(g, sys, vv)
+	for _, edges := range g.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpAssertFail && !cp.Reachable(e.From) {
+				t.Error("assert after a norm-feasible CAS reported unreachable")
+			}
+		}
+	}
+
+	// Stored constants are normalized too: store x (-1) writes 1 in
+	// domain 2, so expecting 1 (or 3, ≡ 1) is feasible.
+	sys2 := mustSystem(t, `system s { vars x; domain 2; env t }
+thread t { store x (0 - 1) }`)
+	vv2 := PossibleVarValues(sys2)
+	if !vv2.CanHold(0, 1) || !vv2.CanHold(0, 3) {
+		t.Error("store of -1 must make values ≡ 1 (mod 2) feasible")
+	}
+
+	// Assigned registers track the normalized value: a = 1+1 is 0 in
+	// domain 2.
+	sys3 := mustSystem(t, `system s { vars x; domain 2; env t }
+thread t { regs a; a = 1 + 1; store x a }`)
+	g3 := lang.Compile(sys3.Env)
+	cp3 := PropagateConsts(g3, sys3, PossibleVarValues(sys3))
+	for _, edges := range g3.Out {
+		for _, e := range edges {
+			if e.Op.Kind == lang.OpStore {
+				if v, ok := cp3.EvalAt(e.From, lang.Reg(0)); !ok || v != 0 {
+					t.Errorf("a = 1+1 tracked as (%d, %v), want constant 0 (normalized)", v, ok)
+				}
+			}
+		}
+	}
+}

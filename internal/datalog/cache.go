@@ -82,8 +82,9 @@ func QueryCacheEDB(p *Program, g GroundAtom, k int, edb *DB) bool {
 		}
 		for _, r := range p.Rules {
 			b := newBinding(r.NumVars)
-			joinRule(r, curDB, nil, -1, b, 0, func(h GroundAtom) {
+			joinRule(r, curDB, nil, -1, b, 0, func(h GroundAtom) bool {
 				derived = append(derived, h)
+				return true
 			})
 		}
 		for _, h := range derived {

@@ -1,6 +1,10 @@
 package datalog
 
-import "time"
+import (
+	"context"
+	"sort"
+	"time"
+)
 
 // Bottom-up evaluation. EvalNaive recomputes all rules until fixpoint;
 // EvalSemiNaive only joins against atoms derived in the previous round.
@@ -38,13 +42,28 @@ func (db *DB) Add(g GroundAtom) bool {
 // Size returns the number of atoms.
 func (db *DB) Size() int { return len(db.set) }
 
-// All returns every derived atom (shared backing; callers must not mutate).
+// All returns every derived atom sorted by canonical key, so fact dumps and
+// derivation listings are byte-stable across runs (the backing map iterates
+// in random order). Callers must not mutate the atoms.
 func (db *DB) All() []GroundAtom {
-	out := make([]GroundAtom, 0, len(db.set))
-	for _, g := range db.set {
-		out = append(out, g)
+	keys := make([]string, 0, len(db.set))
+	for k := range db.set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GroundAtom, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, db.set[k])
 	}
 	return out
+}
+
+// each visits every atom in unspecified order; the evaluator's internal
+// loops use it to skip All's sort.
+func (db *DB) each(f func(GroundAtom)) {
+	for _, g := range db.set {
+		f(g)
+	}
 }
 
 // ByPred returns the derived atoms with the given predicate.
@@ -101,11 +120,12 @@ func instantiate(a Atom, b binding) GroundAtom {
 
 // joinRule finds all instantiations of rule r whose body atoms are in db,
 // requiring (when deltaAt ≥ 0) that body atom deltaAt matches within delta,
-// and calls yield for each derived head.
-func joinRule(r Rule, db *DB, delta *DB, deltaAt int, b binding, pos int, yield func(GroundAtom)) {
+// and calls yield for each derived head. A false return from yield aborts
+// the join (used for cancellation); joinRule reports whether it ran to
+// completion.
+func joinRule(r Rule, db *DB, delta *DB, deltaAt int, b binding, pos int, yield func(GroundAtom) bool) bool {
 	if pos == len(r.Body) {
-		yield(instantiate(r.Head, b))
-		return
+		return yield(instantiate(r.Head, b))
 	}
 	src := db
 	if pos == deltaAt {
@@ -115,12 +135,15 @@ func joinRule(r Rule, db *DB, delta *DB, deltaAt int, b binding, pos int, yield 
 	for _, g := range src.ByPred(r.Body[pos].Pred) {
 		undo = undo[:0]
 		if match(r.Body[pos], g, b, &undo) {
-			joinRule(r, db, delta, deltaAt, b, pos+1, yield)
+			if !joinRule(r, db, delta, deltaAt, b, pos+1, yield) {
+				return false
+			}
 		}
 		for _, v := range undo {
 			b[v] = unbound
 		}
 	}
+	return true
 }
 
 func newBinding(n int) binding {
@@ -139,10 +162,11 @@ func EvalNaive(p *Program) *DB {
 		changed := false
 		for _, r := range p.Rules {
 			b := newBinding(r.NumVars)
-			joinRule(r, db, nil, -1, b, 0, func(g GroundAtom) {
+			joinRule(r, db, nil, -1, b, 0, func(g GroundAtom) bool {
 				if db.Add(g) {
 					changed = true
 				}
+				return true
 			})
 		}
 		if !changed {
@@ -181,14 +205,29 @@ func EvalSemiNaiveStats(p *Program) (*DB, EvalStats) {
 // evalSemiNaiveFrom seeds the evaluation with extra ground atoms (used for
 // EDB facts kept outside the program).
 func evalSemiNaiveFrom(p *Program, seed *DB, hook RoundHook) (*DB, EvalStats) {
+	db, stats, _ := evalSemiNaiveCtx(context.Background(), p, seed, hook)
+	return db, stats
+}
+
+// cancelCheckStride bounds how many derivations a join may produce between
+// context checks: small enough that a single exploding join stays
+// responsive, large enough that ctx.Err is off the hot path.
+const cancelCheckStride = 4096
+
+// evalSemiNaiveCtx is the context-aware core. It checks ctx between rounds,
+// between rules, and every cancelCheckStride derivations inside a join, so
+// even a single pathological rule evaluation stops promptly. On
+// cancellation it returns the partial database together with ctx's error;
+// the caller must not treat the partial result as a verdict.
+func evalSemiNaiveCtx(ctx context.Context, p *Program, seed *DB, hook RoundHook) (*DB, EvalStats, error) {
 	db := NewDB(p)
 	delta := NewDB(p)
 	if seed != nil {
-		for _, g := range seed.All() {
+		seed.each(func(g GroundAtom) {
 			if db.Add(g) {
 				delta.Add(g)
 			}
-		}
+		})
 	}
 	stats := EvalStats{Rounds: 1}
 	// Round 0: facts.
@@ -201,7 +240,12 @@ func evalSemiNaiveFrom(p *Program, seed *DB, hook RoundHook) (*DB, EvalStats) {
 			delta.Add(g)
 		}
 	}
+	derivations := 0
 	for delta.Size() > 0 {
+		if err := ctx.Err(); err != nil {
+			stats.Atoms = db.Size()
+			return db, stats, err
+		}
 		stats.Rounds++
 		var roundStart time.Time
 		if hook != nil {
@@ -212,25 +256,36 @@ func evalSemiNaiveFrom(p *Program, seed *DB, hook RoundHook) (*DB, EvalStats) {
 			if r.IsFact() {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				stats.Atoms = db.Size()
+				return db, stats, err
+			}
 			for dAt := 0; dAt < len(r.Body); dAt++ {
 				b := newBinding(r.NumVars)
-				joinRule(r, db, delta, dAt, b, 0, func(g GroundAtom) {
-					if !db.Has(g) && next.Add(g) {
-						// added to next; commit below
+				completed := joinRule(r, db, delta, dAt, b, 0, func(g GroundAtom) bool {
+					if !db.Has(g) {
+						next.Add(g)
 					}
+					derivations++
+					if derivations%cancelCheckStride == 0 && ctx.Err() != nil {
+						return false
+					}
+					return true
 				})
+				if !completed {
+					stats.Atoms = db.Size()
+					return db, stats, ctx.Err()
+				}
 			}
 		}
-		for _, g := range next.All() {
-			db.Add(g)
-		}
+		next.each(func(g GroundAtom) { db.Add(g) })
 		delta = next
 		if hook != nil {
 			hook(time.Since(roundStart))
 		}
 	}
 	stats.Atoms = db.Size()
-	return db, stats
+	return db, stats, nil
 }
 
 // Query reports whether Prog ⊢ g, using semi-naive evaluation.
@@ -248,4 +303,12 @@ func QueryStats(p *Program, g GroundAtom) (bool, EvalStats) {
 func QueryStatsHook(p *Program, g GroundAtom, hook RoundHook) (bool, EvalStats) {
 	db, stats := evalSemiNaiveFrom(p, nil, hook)
 	return db.Has(g), stats
+}
+
+// QueryCtx answers Prog ⊢ g under a context: cancellation aborts the
+// evaluation mid-round and surfaces ctx's error. A true answer found before
+// cancellation is still valid; false with a non-nil error means "unknown".
+func QueryCtx(ctx context.Context, p *Program, g GroundAtom, hook RoundHook) (bool, EvalStats, error) {
+	db, stats, err := evalSemiNaiveCtx(ctx, p, nil, hook)
+	return db.Has(g), stats, err
 }

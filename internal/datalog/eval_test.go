@@ -58,6 +58,34 @@ func TestTransitiveClosure(t *testing.T) {
 	}
 }
 
+// TestAllGoldenOrder pins the exact output sequence of DB.All: sorted by
+// canonical key, independent of insertion or map-iteration order, so fact
+// dumps and derivation listings are byte-stable across runs.
+func TestAllGoldenOrder(t *testing.T) {
+	p, _ := tc(t, []string{"a", "b", "c"}, [][2]string{{"b", "c"}, {"a", "b"}})
+	want := []string{
+		// edge is pred 0, path is pred 1; constants intern in declaration
+		// order: a=0, b=1, c=2.
+		"0(0,1)", // edge(a,b)
+		"0(1,2)", // edge(b,c)
+		"1(0,1)", // path(a,b)
+		"1(0,2)", // path(a,c)
+		"1(1,2)", // path(b,c)
+	}
+	for round := 0; round < 20; round++ {
+		db := EvalSemiNaive(p)
+		got := db.All()
+		if len(got) != len(want) {
+			t.Fatalf("All() returned %d atoms, want %d", len(got), len(want))
+		}
+		for i, g := range got {
+			if g.Key() != want[i] {
+				t.Fatalf("round %d: All()[%d] = %s, want %s", round, i, g.Key(), want[i])
+			}
+		}
+	}
+}
+
 func TestNaiveEqualsSemiNaive(t *testing.T) {
 	p, _ := tc(t, []string{"a", "b", "c", "d", "e"},
 		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"c", "d"}, {"e", "a"}})

@@ -49,7 +49,7 @@ func (g *Graph) Compacted() *Graph {
 		}
 		src := g.Nodes[k]
 		n := &Node{Key: src.Key, Kind: src.Kind, Var: src.Var, Val: src.Val, TS: src.TS,
-			Deps: map[string]int{}}
+			ByEnv: src.ByEnv, Deps: map[string]int{}}
 		out.Nodes[k] = n
 		for dep, rc := range src.Deps {
 			r := redirect(dep)

@@ -53,6 +53,10 @@ type Node struct {
 	Var  lang.VarID
 	Val  lang.Val
 	TS   simplified.ATime
+	// ByEnv marks a virtual goal node whose violating transition was fired
+	// by an env thread: that thread is not part of any instance's dis
+	// threads, so it contributes the same +1 to the cost as an env message.
+	ByEnv bool
 	// Deps maps dependency keys to read counts rc(this, dep).
 	Deps map[string]int
 }
@@ -137,8 +141,7 @@ func FromViolation(sys *lang.System, viol *simplified.Violation) (*Graph, error)
 		}
 		g.Goal = k
 	} else {
-		kind := GoalNode
-		g.Nodes[goalKey] = &Node{Key: goalKey, Kind: kind, Deps: logCounts(viol.Log)}
+		g.Nodes[goalKey] = &Node{Key: goalKey, Kind: GoalNode, ByEnv: viol.ByEnv, Deps: logCounts(viol.Log)}
 		g.Goal = goalKey
 	}
 
@@ -220,7 +223,9 @@ func (g *Graph) Compact() bool {
 //	cost(env)  = 1 + Σ rc·cost(dep)
 //	cost(dis)  = Σ rc·cost(dep)
 //
-// A virtual goal node costs like its generating thread kind. Costs can be
+// A virtual goal node costs like its generating thread kind: an assert
+// fired by an env thread (Node.ByEnv) pays the same +1 as an env message,
+// since that thread exists in no instance's dis part. Costs can be
 // exponential in the graph depth; values saturate at MaxCost.
 func (g *Graph) Cost(key string) int64 {
 	memo := map[string]int64{}
@@ -235,7 +240,7 @@ func (g *Graph) Cost(key string) int64 {
 		for dep, rc := range n.Deps {
 			sum = satAdd(sum, satMul(int64(rc), c(dep)))
 		}
-		if n.Kind == EnvMsg {
+		if n.Kind == EnvMsg || n.ByEnv {
 			sum = satAdd(sum, 1)
 		}
 		memo[k] = sum

@@ -1,0 +1,303 @@
+package fuzzgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"paramra/internal/lang"
+	"paramra/internal/obs"
+)
+
+// CampaignOptions configures one fuzzing campaign.
+type CampaignOptions struct {
+	// Seeds is the number of systems to generate and check (default 100).
+	Seeds int
+	// SeedBase offsets the seed sequence: seeds SeedBase..SeedBase+Seeds-1.
+	SeedBase int64
+	// Profile shapes the generated systems (default DefaultProfile).
+	Profile Profile
+	// Check bounds the differential oracle.
+	Check CheckOptions
+	// ShrinkChecks caps predicate calls per shrink (default ShrinkOptions').
+	ShrinkChecks int
+	// SeedTimeout bounds the oracle run of each individual seed (default
+	// 10s; < 0 disables). A seed hitting the bound is counted in TimedOut
+	// and compared as inconclusive — the oracle suppresses comparisons
+	// against cancelled backends — so one pathological seed cannot stall
+	// the campaign.
+	SeedTimeout time.Duration
+	// ReproDir, when non-empty, receives one .ra file per shrunk
+	// disagreement (created if missing).
+	ReproDir string
+	// Log receives one line per disagreement and a progress line every
+	// 100 seeds; nil discards.
+	Log io.Writer
+	// Trace / Metrics thread the campaign through the observability layer;
+	// both may be nil.
+	Trace   *obs.Span
+	Metrics *obs.Registry
+}
+
+// Repro is one minimized disagreement.
+type Repro struct {
+	Seed    int64
+	Profile string
+	Kind    string
+	Detail  string
+	System  *lang.System
+	Path    string // file under ReproDir, "" when not persisted
+	Threads int
+	Stmts   int
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Seeds     int // seeds checked (< requested when cancelled)
+	Disagreed int // seeds with at least one disagreement
+	Repros    []Repro
+	ByClass   map[string]int // system-class histogram of checked seeds
+	TimedOut  int            // seeds whose oracle run hit SeedTimeout
+	Cancelled bool
+}
+
+// Campaign generates Seeds systems, cross-checks each through the oracle,
+// and shrinks every disagreement to a minimal repro. It returns a non-nil
+// result even when cancelled mid-run; the only error source is repro
+// persistence.
+func Campaign(ctx context.Context, opts CampaignOptions) (*CampaignResult, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 100
+	}
+	if opts.Profile.Name == "" {
+		opts.Profile = DefaultProfile()
+	}
+	if opts.SeedTimeout == 0 {
+		opts.SeedTimeout = 10 * time.Second
+	}
+	// seedCtx bounds one oracle run without cancelling the campaign.
+	seedCtx := func() (context.Context, context.CancelFunc) {
+		if opts.SeedTimeout < 0 {
+			return ctx, func() {}
+		}
+		return context.WithTimeout(ctx, opts.SeedTimeout)
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	span := opts.Trace.Child("fuzz-campaign")
+	if span != nil {
+		span.SetAttr("seeds", opts.Seeds)
+		span.SetAttr("profile", opts.Profile.Name)
+	}
+	var cSeeds, cDisagree, cShrinkChecks *obs.Counter
+	if m := opts.Metrics; m != nil {
+		cSeeds = m.Counter("paramra_fuzz_seeds_total", "systems generated and cross-checked")
+		cDisagree = m.Counter("paramra_fuzz_disagreements_total", "seeds with at least one cross-backend disagreement")
+		cShrinkChecks = m.Counter("paramra_fuzz_shrink_checks_total", "oracle runs spent minimizing disagreements")
+	}
+
+	res := &CampaignResult{ByClass: map[string]int{}}
+	for i := 0; i < opts.Seeds; i++ {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
+		seed := opts.SeedBase + int64(i)
+		sys := Generate(seed, opts.Profile)
+		sctx, cancel := seedCtx()
+		rep := Check(sctx, sys, opts.Check)
+		timedOut := sctx.Err() != nil && ctx.Err() == nil
+		cancel()
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
+		if timedOut {
+			res.TimedOut++
+			logf("fuzz: seed %d (%s): timed out after %v, inconclusive", seed, describe(sys), opts.SeedTimeout)
+		}
+		res.Seeds++
+		res.ByClass[rep.Class]++
+		cSeeds.Inc()
+		if rep.Agree() {
+			if (i+1)%100 == 0 {
+				logf("fuzz: %d/%d seeds checked, %d disagreements", i+1, opts.Seeds, res.Disagreed)
+			}
+			continue
+		}
+
+		res.Disagreed++
+		cDisagree.Inc()
+		d := rep.Disagreements[0]
+		logf("fuzz: seed %d (%s): DISAGREEMENT %s", seed, describe(sys), d)
+
+		r, err := shrinkDisagreement(ctx, seedCtx, span, cShrinkChecks, sys, d.Kind, seed, opts)
+		if err != nil {
+			return res, err
+		}
+		res.Repros = append(res.Repros, r)
+		logf("fuzz: seed %d shrunk to %d threads / %d stmts%s", seed, r.Threads, r.Stmts, pathSuffix(r.Path))
+	}
+	if span != nil {
+		span.SetAttr("checked", res.Seeds)
+		span.SetAttr("disagreed", res.Disagreed)
+		span.End()
+	}
+	return res, nil
+}
+
+func pathSuffix(p string) string {
+	if p == "" {
+		return ""
+	}
+	return " -> " + p
+}
+
+// shrinkDisagreement minimizes sys while the oracle keeps reporting a
+// disagreement of the same kind, then persists the result. Each oracle run
+// gets its own SeedTimeout budget (a candidate hitting it simply fails the
+// predicate, steering the shrink elsewhere).
+func shrinkDisagreement(ctx context.Context, seedCtx func() (context.Context, context.CancelFunc), parent *obs.Span, checks *obs.Counter, sys *lang.System, kind string, seed int64, opts CampaignOptions) (Repro, error) {
+	span := parent.Child("shrink")
+	if span != nil {
+		span.SetAttr("seed", seed)
+		span.SetAttr("kind", kind)
+	}
+	check := func(cand *lang.System) *Report {
+		sctx, cancel := seedCtx()
+		defer cancel()
+		return Check(sctx, cand, opts.Check)
+	}
+	pred := func(cand *lang.System) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		checks.Inc()
+		for _, d := range check(cand).Disagreements {
+			if d.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(sys, pred, ShrinkOptions{MaxChecks: opts.ShrinkChecks})
+
+	// Re-derive the detail from the minimized system for the repro header.
+	detail := ""
+	for _, d := range check(min).Disagreements {
+		if d.Kind == kind {
+			detail = d.Detail
+			break
+		}
+	}
+	r := Repro{
+		Seed:    seed,
+		Profile: opts.Profile.Name,
+		Kind:    kind,
+		Detail:  detail,
+		System:  min,
+		Threads: len(min.Threads()),
+		Stmts:   StmtCount(min),
+	}
+	if span != nil {
+		span.SetAttr("threads", r.Threads)
+		span.SetAttr("stmts", r.Stmts)
+		span.End()
+	}
+	if opts.ReproDir != "" {
+		path, err := WriteRepro(opts.ReproDir, r)
+		if err != nil {
+			return r, err
+		}
+		r.Path = path
+	}
+	return r, nil
+}
+
+// WriteRepro persists one repro as a commented .ra file under dir and
+// returns its path. The file re-parses with lang.ParseSystem (the header
+// lines are comments) so the regression suite can replay it directly.
+func WriteRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s_seed%d.ra", sanitize(r.Kind), r.Seed)
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fuzzgen repro (do not edit: regenerate with rabench fuzz)\n")
+	fmt.Fprintf(&b, "# seed: %d profile: %s\n", r.Seed, r.Profile)
+	fmt.Fprintf(&b, "# kind: %s\n", r.Kind)
+	for _, line := range strings.Split(r.Detail, "\n") {
+		fmt.Fprintf(&b, "# detail: %s\n", line)
+	}
+	b.WriteString(lang.Print(r.System))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitize maps a disagreement kind to a filename fragment.
+func sanitize(kind string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, kind)
+}
+
+// LoadRepros parses every .ra file under dir (sorted by name). A missing
+// directory yields an empty slice: the corpus starts empty and only gains
+// files when a real bug is found and fixed.
+func LoadRepros(dir string) ([]Repro, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ra") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Repro
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sys, err := lang.ParseSystem(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		r := Repro{System: sys, Path: filepath.Join(dir, name), Threads: len(sys.Threads()), Stmts: StmtCount(sys)}
+		for _, line := range strings.Split(string(src), "\n") {
+			if rest, ok := strings.CutPrefix(line, "# kind: "); ok {
+				r.Kind = strings.TrimSpace(rest)
+			}
+			if rest, ok := strings.CutPrefix(line, "# seed: "); ok {
+				fmt.Sscanf(rest, "%d", &r.Seed)
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+// Package fuzzgen is the cross-backend differential fuzzer: a seeded
+// generator of well-formed systems (Generate), an oracle that runs each
+// system through every verification backend and cross-checks the verdicts
+// (Check), a delta-debugging shrinker that minimizes disagreeing systems
+// (Shrink), and a campaign driver tying them together (Campaign).
+//
+// Theorem 3.4 makes the simplified-semantics fixpoint, the makeP → Datalog
+// pipeline, and bounded concrete RA exploration three independent answers to
+// the same safety question; the slicer adds a fourth verdict-preserving
+// transformation. Any disagreement between them is a bug in this repository,
+// and the fuzzer's job is to find it, minimize it, and turn it into a
+// one-file repro under testdata/fuzz-repros.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"paramra/internal/lang"
+)
+
+// Profile tunes the shape of generated systems. The zero value is not
+// useful; start from DefaultProfile or ProfileByName.
+type Profile struct {
+	// Name identifies the profile in logs and repro headers.
+	Name string
+	// MaxVars / MaxDom bound the shared-variable count (>= 1) and the
+	// data-domain size (>= 2).
+	MaxVars int
+	MaxDom  int
+	// MaxDis bounds the number of distinguished threads (possibly 0).
+	MaxDis int
+	// Env enables generation of an environment thread. At least one thread
+	// is always generated, so MaxDis == 0 forces Env.
+	Env bool
+	// CAS enables compare-and-swap statements in dis threads.
+	CAS bool
+	// EnvCAS enables CAS in the env thread. Such systems are outside the
+	// decidable class (Theorem 1.1); the oracle checks that every symbolic
+	// backend rejects them identically.
+	EnvCAS bool
+	// Loops enables loop/while in dis threads. The symbolic backends
+	// require acyclic dis programs, so the oracle unrolls such systems
+	// (CheckOptions.UnrollDis) before comparing verdicts.
+	Loops bool
+	// EnvLoops enables loop/while in the env thread (handled exactly by
+	// every backend).
+	EnvLoops bool
+	// Arith enables +, -, * and the full comparison set in expressions;
+	// without it expressions stay in the ==/!=-over-constants fragment.
+	Arith bool
+	// MaxRegs bounds per-thread register counts (>= 1).
+	MaxRegs int
+	// MaxDepth bounds statement nesting (choice/loop/while/if).
+	MaxDepth int
+	// MaxStmts bounds the statements of one block.
+	MaxStmts int
+	// StmtBudget caps the total leaf statements of one program.
+	StmtBudget int
+}
+
+// DefaultProfile exercises the full decidable class: env(nocas) plus
+// acyclic dis threads with CAS, assume/assert, if/choice and register
+// arithmetic. Sizes are small enough that all backends finish quickly.
+func DefaultProfile() Profile {
+	return Profile{
+		Name: "default", MaxVars: 3, MaxDom: 3, MaxDis: 2, Env: true,
+		CAS: true, EnvLoops: true, Arith: true,
+		MaxRegs: 3, MaxDepth: 2, MaxStmts: 4, StmtBudget: 12,
+	}
+}
+
+// profiles is the named-profile table surfaced by `rabench fuzz -profile`.
+func profiles() []Profile {
+	def := DefaultProfile()
+	small := def
+	small.Name, small.MaxVars, small.MaxDis, small.MaxDepth, small.MaxStmts, small.StmtBudget =
+		"small", 2, 1, 1, 3, 6
+	loops := def
+	loops.Name, loops.Loops = "loops", true
+	envcas := def
+	envcas.Name, envcas.EnvCAS = "envcas", true
+	big := def
+	big.Name, big.MaxVars, big.MaxDom, big.MaxDis, big.MaxStmts, big.StmtBudget =
+		"big", 4, 4, 3, 5, 20
+	nocas := def
+	nocas.Name, nocas.CAS = "nocas", false
+	return []Profile{def, small, loops, envcas, big, nocas}
+}
+
+// ProfileByName resolves a named profile; the boolean reports success.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ProfileNames lists the available profile names.
+func ProfileNames() []string {
+	var out []string
+	for _, p := range profiles() {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileForIndex maps an arbitrary byte onto a profile; used by the native
+// fuzz targets to let the fuzzing engine pick the feature mix.
+func ProfileForIndex(i byte) Profile {
+	ps := profiles()
+	return ps[int(i)%len(ps)]
+}
+
+// gen carries one generation's context.
+type gen struct {
+	rng    *rand.Rand
+	prof   Profile
+	dom    int
+	vars   []string
+	budget int // remaining leaf statements for the current program
+}
+
+// Generate produces a deterministic, well-formed system from the seed: the
+// result always passes (*lang.System).Validate. The same (seed, profile)
+// pair yields the same system on every run and platform.
+func Generate(seed int64, prof Profile) *lang.System {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), prof: prof}
+
+	nv := 1 + g.rng.Intn(max(prof.MaxVars, 1))
+	for i := 0; i < nv; i++ {
+		g.vars = append(g.vars, fmt.Sprintf("v%d", i))
+	}
+	g.dom = 2
+	if prof.MaxDom > 2 {
+		g.dom = 2 + g.rng.Intn(prof.MaxDom-1)
+	}
+
+	// Negative seeds (the native fuzz targets feed arbitrary int64s) must
+	// still yield a parseable identifier, so the sign becomes a letter.
+	name := fmt.Sprintf("fuzz_%s_%d", prof.Name, seed)
+	if seed < 0 {
+		name = fmt.Sprintf("fuzz_%s_n%d", prof.Name, -(seed + 1))
+	}
+	sys := &lang.System{
+		Name: name,
+		Vars: g.vars,
+		Dom:  g.dom,
+		Init: lang.Val(g.rng.Intn(g.dom)),
+	}
+	nDis := 0
+	if prof.MaxDis > 0 {
+		nDis = g.rng.Intn(prof.MaxDis + 1)
+	}
+	wantEnv := prof.Env && (nDis == 0 || g.rng.Intn(4) > 0)
+	if !wantEnv && nDis == 0 {
+		nDis = 1
+	}
+	if wantEnv {
+		sys.Env = g.program("envp", g.prof.EnvCAS, g.prof.EnvLoops)
+	}
+	for i := 0; i < nDis; i++ {
+		sys.Dis = append(sys.Dis, g.program(fmt.Sprintf("d%d", i), g.prof.CAS, g.prof.Loops))
+	}
+	if err := sys.Validate(); err != nil {
+		// The generator is supposed to be total; a validation failure is a
+		// fuzzgen bug and must surface loudly in any fuzz target or campaign.
+		panic(fmt.Sprintf("fuzzgen: generated invalid system (seed %d): %v", seed, err))
+	}
+	return sys
+}
+
+// program generates one thread program with the given feature allowances.
+func (g *gen) program(name string, cas, loops bool) *lang.Program {
+	nr := 1 + g.rng.Intn(max(g.prof.MaxRegs, 1))
+	p := &lang.Program{Name: name}
+	for i := 0; i < nr; i++ {
+		p.Regs = append(p.Regs, fmt.Sprintf("r%d", i))
+	}
+	g.budget = max(g.prof.StmtBudget, 1)
+	p.Body = g.block(0, nr, cas, loops)
+	return p
+}
+
+// block generates a statement sequence at the given nesting depth.
+func (g *gen) block(depth, nr int, cas, loops bool) lang.Stmt {
+	n := 1 + g.rng.Intn(max(g.prof.MaxStmts, 1))
+	var stmts []lang.Stmt
+	for i := 0; i < n && g.budget > 0; i++ {
+		stmts = append(stmts, g.stmt(depth, nr, cas, loops))
+	}
+	return lang.SeqOf(stmts...)
+}
+
+// stmt generates one statement, spending leaf budget.
+func (g *gen) stmt(depth, nr int, cas, loops bool) lang.Stmt {
+	g.budget--
+	v := lang.VarID(g.rng.Intn(len(g.vars)))
+	r := lang.RegID(g.rng.Intn(nr))
+	roll := g.rng.Intn(100)
+	nested := depth < g.prof.MaxDepth && g.budget > 1
+	switch {
+	case roll < 20: // load
+		return lang.Load{Reg: r, Var: v}
+	case roll < 38: // store
+		return lang.Store{Var: v, E: g.expr(nr, 1)}
+	case roll < 50: // assume
+		return lang.Assume{Cond: g.cond(nr)}
+	case roll < 58: // assign
+		return lang.Assign{Reg: r, E: g.expr(nr, 2)}
+	case roll < 68: // assert false
+		return lang.AssertFail{}
+	case roll < 74 && cas:
+		return lang.CAS{Var: v, Expect: g.expr(nr, 1), New: g.expr(nr, 1)}
+	case roll < 82 && nested: // choice
+		return lang.ChoiceOf(g.block(depth+1, nr, cas, loops), g.block(depth+1, nr, cas, loops))
+	case roll < 88 && nested: // if/else (desugars to choice-of-assumes)
+		return lang.If(g.cond(nr), g.block(depth+1, nr, cas, loops), g.block(depth+1, nr, cas, loops))
+	case roll < 94 && nested && loops:
+		if g.rng.Intn(2) == 0 {
+			return lang.Star{Body: g.block(depth+1, nr, cas, loops)}
+		}
+		return lang.While{Cond: g.cond(nr), Body: g.block(depth+1, nr, cas, loops)}
+	default:
+		return lang.Skip{}
+	}
+}
+
+// expr generates a register expression of bounded depth.
+func (g *gen) expr(nr, depth int) lang.Expr {
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 45 || depth <= 0:
+		return lang.Num(lang.Val(g.rng.Intn(g.dom)))
+	case roll < 75:
+		return lang.Reg(lang.RegID(g.rng.Intn(nr)))
+	case roll < 90 && g.prof.Arith:
+		ops := []lang.BinOp{lang.OpAdd, lang.OpSub, lang.OpMul}
+		return lang.Bin(ops[g.rng.Intn(len(ops))], g.expr(nr, depth-1), g.expr(nr, depth-1))
+	default:
+		return g.cmp(nr, depth-1)
+	}
+}
+
+// cond generates a boolean-ish expression (used for assume/if/while guards).
+func (g *gen) cond(nr int) lang.Expr {
+	switch g.rng.Intn(10) {
+	case 0:
+		return lang.Not(g.cmp(nr, 1))
+	case 1:
+		op := lang.OpAnd
+		if g.rng.Intn(2) == 0 {
+			op = lang.OpOr
+		}
+		return lang.Bin(op, g.cmp(nr, 0), g.cmp(nr, 0))
+	default:
+		return g.cmp(nr, 1)
+	}
+}
+
+// cmp generates a comparison between two sub-expressions.
+func (g *gen) cmp(nr, depth int) lang.Expr {
+	ops := []lang.BinOp{lang.OpEq, lang.OpNe}
+	if g.prof.Arith {
+		ops = append(ops, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe)
+	}
+	return lang.Bin(ops[g.rng.Intn(len(ops))], g.expr(nr, depth), g.expr(nr, depth))
+}
+
+// StmtCount returns the number of leaf statements (skip, assume, assert,
+// assignments, loads, stores, cas) across all programs of the system; the
+// shrinker minimizes this measure and the acceptance tests bound it.
+func StmtCount(sys *lang.System) int {
+	n := 0
+	for _, p := range sys.Threads() {
+		n += stmtCount(p.Body)
+	}
+	return n
+}
+
+func stmtCount(st lang.Stmt) int {
+	switch st := st.(type) {
+	case lang.Seq:
+		n := 0
+		for _, c := range st.Stmts {
+			n += stmtCount(c)
+		}
+		return n
+	case lang.Choice:
+		n := 0
+		for _, b := range st.Branches {
+			n += stmtCount(b)
+		}
+		return n
+	case lang.Star:
+		return stmtCount(st.Body)
+	case lang.While:
+		return 1 + stmtCount(st.Body) // the guard counts as one
+	default:
+		return 1
+	}
+}
+
+// describe renders a short feature signature of the system for logs.
+func describe(sys *lang.System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vars=%d dom=%d stmts=%d", lang.Classify(sys), len(sys.Vars), sys.Dom, StmtCount(sys))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

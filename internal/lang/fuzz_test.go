@@ -16,6 +16,11 @@ func FuzzParseSystem(f *testing.F) {
 		"thread t {",
 		"system s { vars x; domain 2; env t }\nthread t { assume ((1)) && !0 || 2 < 3 }",
 		"system s{vars x;domain 2;env t}thread t{r=load x;store x (r*r-1)}",
+		// Shrunk FuzzPrintParseRoundTrip repro: cas operands are read with
+		// parsePrimary, so compound operands must re-print parenthesized
+		// (`cas x r + 1 2` is not re-parseable).
+		"system s { vars x; domain 4; dis t }\nthread t { regs r; cas x (r + 1) 2 }",
+		"system s { vars x; domain 4; dis t }\nthread t { regs r; cas x ((1 < 0) * 2) (r * r) }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -198,6 +198,14 @@ thread d1 {
 thread d2 {
   skip
 }
+`, `
+system cas_operands { vars x; domain 4; dis d }
+thread d {
+  regs r
+  cas x (r + 1) 2
+  cas x ((1 < 0) * 2) (r * r)
+  cas x r 3
+}
 `}
 	for i, src := range srcs {
 		sys1, err := ParseSystem(src)
@@ -212,6 +220,19 @@ thread d2 {
 		printed2 := Print(sys2)
 		if printed != printed2 {
 			t.Errorf("case %d: print/parse/print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", i, printed, printed2)
+		}
+	}
+}
+
+func TestPrintCASOperandParens(t *testing.T) {
+	// cas operands are parsed with parsePrimary (no infix operators), so the
+	// printer must parenthesize compound operands and may leave primaries
+	// bare. Pin the exact rendering, not just the round-trip property.
+	sys := MustParseSystem("system s { vars x; domain 4; dis d }\nthread d { regs r; cas x (r + 1) 2; cas x r (0 - 1) }")
+	out := Print(sys)
+	for _, want := range []string{"cas x (r + 1) 2\n", "cas x r (0 - 1)\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed system missing %q:\n%s", want, out)
 		}
 	}
 }

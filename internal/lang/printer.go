@@ -114,10 +114,26 @@ func (s CAS) writeTo(b *strings.Builder, indent int, regs, vars []string) {
 	b.WriteString("cas ")
 	b.WriteString(varName(vars, s.Var))
 	b.WriteByte(' ')
-	b.WriteString(ExprString(s.Expect, regs))
+	b.WriteString(casOperand(s.Expect, regs))
 	b.WriteByte(' ')
-	b.WriteString(ExprString(s.New, regs))
+	b.WriteString(casOperand(s.New, regs))
 	b.WriteByte('\n')
+}
+
+// casOperand renders one cas operand. The two operands are juxtaposed with
+// no separator, so the parser reads each with parsePrimary; anything that is
+// not a primary expression (a register or a non-negative literal) must be
+// parenthesized or `cas x r + 1 2` would reparse as `cas x r (+1)` garbage.
+func casOperand(e Expr, regs []string) string {
+	switch e := e.(type) {
+	case RegExpr:
+		return ExprString(e, regs)
+	case ConstExpr:
+		if e.V >= 0 {
+			return ExprString(e, regs)
+		}
+	}
+	return "(" + ExprString(e, regs) + ")"
 }
 
 // PrintProgram renders p in concrete syntax using the system's variable

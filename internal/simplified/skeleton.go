@@ -71,9 +71,17 @@ func (v *Verifier) Skeletons(maxPaths int) ([]Skeleton, bool) {
 		copy(steps, path)
 		out = append(out, Skeleton{Steps: steps, Unsafe: unsafe})
 	}
+	// capped cuts the search off once the output cap is reached: continuing
+	// to expand (and saturate) the remaining macro-state space could not
+	// emit anything and is exactly the exponential part of the walk.
+	capped := func() bool { return maxPaths > 0 && len(out) >= maxPaths }
 
 	var dfs func(st *state)
 	dfs = func(st *state) {
+		if capped() {
+			complete = false
+			return
+		}
 		succs, viol := v.disSuccessorsTraced(st)
 		if viol != nil {
 			path = append(path, *viol)
@@ -82,6 +90,10 @@ func (v *Verifier) Skeletons(maxPaths int) ([]Skeleton, bool) {
 		}
 		progressed := false
 		for _, ts := range succs {
+			if capped() {
+				complete = false
+				return
+			}
 			ex.saturate(ts.state)
 			k := ts.state.key()
 			if seen[k] {

@@ -1,0 +1,79 @@
+package paramra_test
+
+import (
+	"context"
+	"testing"
+
+	"paramra"
+)
+
+// TestOptionsNormalization pins the contract that negative numeric options
+// behave exactly like their zero (default) values, identically across all
+// entry points and backends: a caller computing caps (e.g. remaining budget
+// arithmetic going negative) must not flip a backend into a different regime.
+func TestOptionsNormalization(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Each variant must yield the same verdicts as the baseline value 0.
+	// 1 is included to witness that the fields are not simply ignored
+	// (Parallelism 1 stays deterministic; MaxStates 1 truncates).
+	for _, par := range []int{0, -1, 1} {
+		for _, ms := range []int{0, -1} {
+			opts := paramra.Options{Parallelism: par, MaxStates: ms, MaxMacroStates: ms, MaxSkeletons: ms}
+
+			res, err := paramra.Verify(ctx, sys, opts)
+			if err != nil {
+				t.Fatalf("Verify(par=%d, max=%d): %v", par, ms, err)
+			}
+			if !res.Unsafe || !res.Complete {
+				t.Errorf("Verify(par=%d, max=%d) = unsafe=%v complete=%v, want unsafe complete", par, ms, res.Unsafe, res.Complete)
+			}
+
+			dl, err := paramra.Verify(ctx, sys, paramra.Options{Datalog: true, Parallelism: par, MaxSkeletons: ms})
+			if err != nil {
+				t.Fatalf("Verify/datalog(par=%d, max=%d): %v", par, ms, err)
+			}
+			if !dl.Unsafe || !dl.Complete {
+				t.Errorf("Verify/datalog(par=%d, max=%d) = unsafe=%v complete=%v, want unsafe complete", par, ms, dl.Unsafe, dl.Complete)
+			}
+
+			inst, err := paramra.VerifyInstance(ctx, sys, 1, opts)
+			if err != nil {
+				t.Fatalf("VerifyInstance(par=%d, max=%d): %v", par, ms, err)
+			}
+			if !inst.Unsafe {
+				t.Errorf("VerifyInstance(par=%d, max=%d) not unsafe", par, ms)
+			}
+
+			n, _, err := paramra.ConfirmViolation(ctx, sys, res, 4, opts)
+			if err != nil {
+				t.Fatalf("ConfirmViolation(par=%d, max=%d): %v", par, ms, err)
+			}
+			if n != 1 {
+				t.Errorf("ConfirmViolation(par=%d, max=%d) = %d env threads, want 1", par, ms, n)
+			}
+
+			dr, err := paramra.FindDeadlocks(ctx, sys, 1, opts)
+			if err != nil {
+				t.Fatalf("FindDeadlocks(par=%d, max=%d): %v", par, ms, err)
+			}
+			if !dr.Complete {
+				t.Errorf("FindDeadlocks(par=%d, max=%d) incomplete", par, ms)
+			}
+		}
+	}
+
+	// MaxStates: 1 genuinely truncates — proves the clamp maps -1 to
+	// "unlimited", not to "tiny cap".
+	inst, err := paramra.VerifyInstance(ctx, sys, 1, paramra.Options{MaxStates: 1})
+	if err != nil {
+		t.Fatalf("VerifyInstance(MaxStates=1): %v", err)
+	}
+	if inst.Complete {
+		t.Error("VerifyInstance(MaxStates=1) reported a complete search of a >1-state space")
+	}
+}

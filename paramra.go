@@ -151,6 +151,29 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
+// normalized clamps out-of-range numeric options to their documented
+// defaults: every negative cap or worker count behaves exactly like 0
+// (unlimited / GOMAXPROCS / no unrolling). Every entry point applies it
+// first, so all backends interpret the same Options identically.
+func (o Options) normalized() Options {
+	if o.MaxMacroStates < 0 {
+		o.MaxMacroStates = 0
+	}
+	if o.MaxStates < 0 {
+		o.MaxStates = 0
+	}
+	if o.MaxSkeletons < 0 {
+		o.MaxSkeletons = 0
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = 0
+	}
+	if o.UnrollDis < 0 {
+		o.UnrollDis = 0
+	}
+	return o
+}
+
 // beginSpan opens an entry point's root span: a child of TraceSpan when
 // set, else a new root on Tracer. Both nil yields a nil (no-op) span.
 func (o Options) beginSpan(name string) *obs.Span {
@@ -258,6 +281,7 @@ type Result struct {
 // the primary resource limit: on cancellation or deadline the partial
 // Result (Complete = false) is returned together with the context error.
 func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
+	opts = opts.normalized()
 	res, err := verify(ctx, sys, opts)
 	// The terminal Progress emission is exactly the returned Stats, for
 	// every backend and on every path (including errors).
@@ -383,7 +407,7 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, s
 	defer dspan.End()
 
 	enc := dspan.Child("skeleton-enumeration")
-	ps, complete, err := encode.All(sys, maxSk)
+	ps, complete, err := encode.AllCtx(ctx, sys, maxSk)
 	if enc != nil {
 		enc.SetAttr("skeletons", len(ps))
 		enc.SetAttr("complete", complete)
@@ -475,7 +499,11 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, s
 				if hInst != nil {
 					t0 = time.Now()
 				}
-				hit, st := datalog.QueryStatsHook(ps[i].Prog, ps[i].Goal, roundHook)
+				// Context-aware query: cancellation (deadline or another
+				// worker's unsafe hit) aborts a long evaluation mid-round
+				// instead of letting it run to fixpoint. A true answer from
+				// an aborted run is still a valid derivation.
+				hit, st, _ := datalog.QueryCtx(cctx, ps[i].Prog, ps[i].Goal, roundHook)
 				if hInst != nil {
 					hInst.Observe(int64(time.Since(t0)))
 				}
@@ -549,6 +577,7 @@ func (e *ConfirmError) Unwrap() error { return e.Err }
 // interleaving witness; on failure the error is a *ConfirmError carrying
 // the tried bound and whether the state cap truncated a search.
 func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, opts Options) (int, string, error) {
+	opts = opts.normalized()
 	if !res.Unsafe {
 		return 0, "", errors.New("paramra: result is not a violation")
 	}
@@ -613,6 +642,7 @@ type DeadlockResult struct {
 // reported example, canonicalized to the smallest state key) are identical
 // for every Options.Parallelism.
 func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (DeadlockResult, error) {
+	opts = opts.normalized()
 	inst, err := ra.NewInstance(sys, nEnv)
 	if err != nil {
 		return DeadlockResult{}, err
@@ -639,6 +669,7 @@ func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (De
 // every shared variable, the set of values some generatable message
 // carries. Keys are variable names; asserts are inert during the analysis.
 func Inventory(ctx context.Context, sys *System, opts Options) (map[string][]int, error) {
+	opts = opts.normalized()
 	span := opts.beginSpan("inventory")
 	defer span.End()
 	v, err := simplified.New(sys, simplified.Options{
@@ -687,6 +718,7 @@ type InstanceResult struct {
 // nEnv environment threads, bounded by Options.MaxStates and the context.
 // As with Verify, the last Progress emission is exactly the returned Stats.
 func VerifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (InstanceResult, error) {
+	opts = opts.normalized()
 	res, err := verifyInstance(ctx, sys, nEnv, opts)
 	if opts.Progress != nil {
 		opts.Progress(res.Stats)
