@@ -229,6 +229,70 @@ thread t { regs a dead; dead = 2; a = load x; store wonly a; store x 1 }
 	}
 }
 
+// TestCLIRavetJSON locks the machine-readable diagnostic format against a
+// golden file (refresh with `go test -run TestCLIRavetJSON -update-golden`).
+// The fixture is addressed relatively so the JSON "file" field is stable.
+func TestCLIRavetJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds skipped in -short mode")
+	}
+	fixture := filepath.Join("testdata", "ravet", "defects.ra")
+	out, code := runTool(t, "ravet", "-json", fixture)
+	if code != 1 {
+		t.Fatalf("defective fixture: code=%d out=%s", code, out)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Rule     string `json:"rule"`
+		Severity string `json:"severity"`
+		Thread   string `json:"thread"`
+		Msg      string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json emitted no diagnostics for the defective fixture")
+	}
+	sawSeverity := map[string]bool{}
+	for _, d := range diags {
+		if d.File != fixture || d.Line == 0 || d.Col == 0 || d.Rule == "" || d.Msg == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Severity != "info" && d.Severity != "warning" {
+			t.Errorf("unknown severity %q in %+v", d.Severity, d)
+		}
+		sawSeverity[d.Severity] = true
+	}
+	if !sawSeverity["info"] || !sawSeverity["warning"] {
+		t.Errorf("fixture should produce both severities, got %v", sawSeverity)
+	}
+
+	golden := filepath.Join("testdata", "ravet", "defects.json.want")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output drifted from golden:\ngot:\n%swant:\n%s", out, want)
+	}
+
+	// A clean file still yields valid JSON: the empty array.
+	clean := writeTemp(t, "mp.ra", cliSafe)
+	out, code = runTool(t, "ravet", "-json", clean)
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean file: code=%d out=%q, want []", code, out)
+	}
+}
+
 func TestCLISliceFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI builds skipped in -short mode")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
+//	rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
 //	rabench report trace.jsonl [metrics.json]
 //	rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]
 package main
@@ -37,7 +37,7 @@ var (
 	runSpan *obs.Span
 )
 
-const usage = "usage: rabench [-j N] [-timeout D] [table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
+const usage = "usage: rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
 	"       rabench report trace.jsonl [metrics.json]\n" +
 	"       rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]\n"
 
@@ -88,6 +88,7 @@ func run() int {
 	}
 
 	run := map[string]func() error{
+		"table":     classTable,
 		"table1":    table1,
 		"corpus":    corpus,
 		"fig3":      fig3,
@@ -111,7 +112,7 @@ func run() int {
 		return err
 	}
 	if what == "all" {
-		for _, name := range []string{"table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel"} {
+		for _, name := range []string{"table", "table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel"} {
 			if err := timed(name, run[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
 				return 1
@@ -196,6 +197,7 @@ func fuzz(args []string, metrics *obs.Registry) error {
 		// narrowing to fixpoint-vs-datalog keeps the selftest fast.
 		check.NoConcrete = true
 		check.NoDeadlocks = true
+		check.NoPrepass = true
 	}
 
 	res, err := fuzzgen.Campaign(runCtx, fuzzgen.CampaignOptions{
@@ -272,6 +274,13 @@ func parallel() error {
 
 func table1() error {
 	fmt.Print(bench.Table1().String())
+	return nil
+}
+
+// classTable prints the per-thread lang.Classify signature (acyc/nocas) of
+// every corpus system, the static counterpart of the verdict table.
+func classTable() error {
+	fmt.Print(bench.ClassTable().String())
 	return nil
 }
 

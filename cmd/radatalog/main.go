@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paramra/internal/absint"
 	"paramra/internal/analysis"
 	"paramra/internal/datalog"
 	"paramra/internal/encode"
@@ -40,6 +41,7 @@ func run() int {
 		stats        = flag.Bool("stats", false, "print per-instance rule/atom counts")
 		cacheBound   = flag.Int("cache", 0, ".dl mode: decide queries under the Cache Datalog bound ⊢_k")
 		doSlice      = flag.Bool("slice", false, ".ra mode: run the verdict-preserving slicer before encoding")
+		prepass      = flag.Bool("prepass", true, ".ra mode: try the static abstract-interpretation prepass before encoding")
 	)
 	obsf := obs.RegisterFlags(flag.CommandLine)
 	obsf.RegisterRunFlags(flag.CommandLine)
@@ -86,6 +88,25 @@ func run() int {
 		sys, st = analysis.Slice(sys, analysis.SliceOptions{})
 		sspan.End()
 		fmt.Printf("slice:     %s\n", st)
+	}
+	if *prepass {
+		pspan := root.Child("prepass")
+		out, perr := absint.Prepass(ctx, sys, absint.Options{})
+		pspan.End()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "radatalog: interrupted:", perr)
+			return 2
+		}
+		if out.Verdict != absint.Inconclusive {
+			fmt.Printf("system:    %s\n", sys.Name)
+			fmt.Printf("prepass:   %s — %s\n", out.Verdict, out.Reason)
+			if out.Verdict == absint.Unsafe {
+				fmt.Println("verdict:   UNSAFE (static prepass, replay-confirmed)")
+				return 1
+			}
+			fmt.Println("verdict:   SAFE (static prepass)")
+			return 0
+		}
 	}
 	espan := root.Child("skeleton-enumeration")
 	ps, complete, err := encode.All(sys, *maxSkeletons)

@@ -27,6 +27,7 @@ func run() int {
 		maxStates = flag.Int("max-states", 1_000_000, "state cap (0 = unlimited)")
 		sweep     = flag.Int("sweep", 0, "explore instances with 0..N env threads and report each")
 		deadlocks = flag.Bool("deadlocks", false, "classify sink states (terminal vs stuck threads) instead of checking safety")
+		prepass   = flag.Bool("prepass", true, "try the static abstract-interpretation prepass before exploring")
 	)
 	obsf := obs.RegisterFlags(flag.CommandLine)
 	obsf.RegisterRunFlags(flag.CommandLine)
@@ -65,6 +66,30 @@ func run() int {
 		Tracer:      sess.Tracer,
 		TraceSpan:   root,
 		Metrics:     sess.Metrics,
+	}
+	if *prepass && !*deadlocks {
+		// A parameterized SAFE proof covers every instance, so any requested
+		// exploration (single n or sweep) can be skipped. An UNSAFE witness
+		// transfers only when its replica count matches the request.
+		out, perr := paramra.Prepass(ctx, sys, opts)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "raexplore:", perr)
+			return 2
+		}
+		switch {
+		case out.Verdict == paramra.PrepassSafe:
+			fmt.Printf("instance: %s (all env thread counts)\n", sys.Name)
+			fmt.Printf("prepass:  %s\n", out.Reason)
+			fmt.Println("verdict:  SAFE (static prepass, every instance)")
+			return 0
+		case out.Verdict == paramra.PrepassUnsafe && *sweep == 0 && out.EnvThreads == *nEnv:
+			fmt.Printf("instance: %s with %d env thread(s)\n", sys.Name, *nEnv)
+			fmt.Printf("prepass:  %s\n", out.Reason)
+			fmt.Println("verdict:  UNSAFE")
+			fmt.Println("witness:")
+			fmt.Print(out.Witness)
+			return 1
+		}
 	}
 	if *deadlocks {
 		rep, err := paramra.FindDeadlocks(ctx, sys, *nEnv, opts)

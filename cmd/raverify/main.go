@@ -40,6 +40,8 @@ type jsonReport struct {
 	WallMS         int64    `json:"wallMs,omitempty"`
 	Witness        []string `json:"witness,omitempty"`
 	Slice          string   `json:"slice,omitempty"`
+	DecidedBy      string   `json:"decidedBy,omitempty"`
+	PrepassReason  string   `json:"prepassReason,omitempty"`
 }
 
 func main() {
@@ -59,6 +61,8 @@ func run() int {
 		confirm        = flag.Bool("confirm", false, "on UNSAFE, confirm with a concrete instance and print its interleaving")
 		doSlice        = flag.Bool("slice", false, "run the verdict-preserving slicer before verification")
 		progress       = flag.Bool("progress", false, "report search progress to stderr while verifying")
+		prepass        = flag.Bool("prepass", true, "try the static abstract-interpretation prepass before searching")
+		verbose        = flag.Bool("v", false, "print the per-thread classification signature (acyc/nocas)")
 	)
 	obsf := obs.RegisterFlags(flag.CommandLine)
 	obsf.RegisterRunFlags(flag.CommandLine)
@@ -110,10 +114,13 @@ func run() int {
 		MaxMacroStates: *maxStates,
 		UnrollDis:      *unroll,
 		Datalog:        *datalogBackend,
-		Parallelism:    obsf.Workers,
-		Tracer:         sess.Tracer,
-		TraceSpan:      root,
-		Metrics:        sess.Metrics,
+		// -graph asks for the violation's dependency graph, an artifact only
+		// the fixpoint search produces — it overrides the static fast path.
+		Prepass:     *prepass && !*showGraph,
+		Parallelism: obsf.Workers,
+		Tracer:      sess.Tracer,
+		TraceSpan:   root,
+		Metrics:     sess.Metrics,
 	}
 	if *goalVar != "" {
 		opts.Goal = &paramra.Goal{Var: *goalVar, Val: *goalVal}
@@ -153,6 +160,7 @@ func run() int {
 			EnvConfigs: res.Stats.EnvConfigs, EnvMsgs: res.Stats.EnvMsgs,
 			EnvThreadBound: res.EnvThreadBound, Witness: res.Witness,
 			Workers: res.Stats.Workers, WallMS: res.Stats.Wall.Milliseconds(),
+			DecidedBy: res.DecidedBy, PrepassReason: res.PrepassReason,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -167,10 +175,32 @@ func run() int {
 	}
 	fmt.Printf("system:   %s\n", sys.Name)
 	fmt.Printf("class:    %s\n", res.Class)
+	if *verbose {
+		printThreadSignature(sys)
+	}
 	if *doSlice {
 		fmt.Printf("slice:    %s\n", sliceStats)
 	}
 	fmt.Printf("verdict:  %s\n", verdict)
+	if res.DecidedBy != "" {
+		fmt.Printf("decided:  %s\n", res.DecidedBy)
+	}
+	if res.DecidedBy == "prepass" {
+		fmt.Printf("reason:   %s\n", res.PrepassReason)
+		if res.Unsafe && res.EnvThreadBound >= 0 {
+			fmt.Printf("bound:    %d env thread(s) suffice (confirming instance)\n", res.EnvThreadBound)
+		}
+		if res.Unsafe && len(res.Witness) > 0 {
+			fmt.Println("confirming interleaving:")
+			for _, w := range res.Witness {
+				fmt.Println("  ", w)
+			}
+		}
+		if res.Unsafe {
+			return 1
+		}
+		return 0
+	}
 	if !*datalogBackend {
 		fmt.Printf("stats:    macro-states=%d dis-transitions=%d env-configs=%d env-msgs=%d\n",
 			res.Stats.MacroStates, res.Stats.DisTransitions, res.Stats.EnvConfigs, res.Stats.EnvMsgs)
@@ -210,6 +240,19 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// printThreadSignature lists every thread's classification with its name,
+// one line per thread (the -v expansion of the class signature).
+func printThreadSignature(sys *paramra.System) {
+	fmt.Println("threads:")
+	if sys.Env != nil {
+		fmt.Printf("  env %-12s %s\n", sys.Env.Name, paramra.ClassifyProgram(sys.Env))
+	}
+	for _, d := range sys.Dis {
+		fmt.Printf("  dis %-12s %s\n", d.Name, paramra.ClassifyProgram(d))
+	}
+	fmt.Printf("decidable: %v\n", paramra.Classify(sys).Decidable())
 }
 
 // sliceDesc renders the slice stats for the JSON report ("" when -slice is

@@ -3,7 +3,12 @@
 // stores, loads whose value is never read, unreachable code and asserts,
 // write-only shared variables, constant-false assumes, CAS operations that
 // can never succeed, registers read before assignment, empty loop bodies —
-// and prints one "file:line:col: rule: message" diagnostic per finding.
+// plus the abstract-interpretation rules of internal/absint — asserts no
+// interference can satisfy, CAS expectations disjoint from every written
+// value, comparisons against never-written values, stores no reader can
+// distinguish — and prints one "file:line:col: rule: message" diagnostic per
+// finding. With -json the findings are emitted instead as a JSON array of
+// {file, line, col, rule, severity, thread, msg} objects.
 //
 // Usage:
 //
@@ -14,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,18 @@ import (
 	"paramra/internal/obs"
 )
 
+// jsonDiag is the machine-readable diagnostic shape (-json): one object per
+// finding, in the same order as the text output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Thread   string `json:"thread,omitempty"`
+	Msg      string `json:"msg"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -31,6 +49,7 @@ func run() int {
 	var (
 		footprint = flag.Bool("footprint", false, "also print each thread's per-variable load/store/CAS footprint")
 		slicePrev = flag.Bool("slice", false, "also print what the verdict-preserving slicer would remove")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	)
 	obsf := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -53,6 +72,7 @@ func run() int {
 	defer root.End()
 
 	code := 0
+	jsonDiags := []jsonDiag{} // non-nil so -json prints [] on clean runs
 	for _, path := range flag.Args() {
 		fspan := root.Child("vet")
 		fspan.SetAttr("file", path)
@@ -68,7 +88,15 @@ func run() int {
 		fspan.End()
 		for _, d := range diags {
 			d.File = path
-			fmt.Println(d)
+			if *jsonOut {
+				jsonDiags = append(jsonDiags, jsonDiag{
+					File: d.File, Line: d.Pos.Line, Col: d.Pos.Col,
+					Rule: d.Rule, Severity: analysis.Severity(d.Rule),
+					Thread: d.Thread, Msg: d.Msg,
+				})
+			} else {
+				fmt.Println(d)
+			}
 			if code == 0 {
 				code = 1
 			}
@@ -81,6 +109,14 @@ func run() int {
 			if _, stats := paramra.Slice(sys); stats.Changed() {
 				fmt.Printf("%s: slice would shrink the system: %s\n", path, stats)
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDiags); err != nil {
+			fmt.Fprintln(os.Stderr, "ravet:", err)
+			return 2
 		}
 	}
 	return code

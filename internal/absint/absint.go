@@ -1,0 +1,288 @@
+// Package absint is an RA-aware abstract interpreter over the thread CFGs
+// of internal/lang. It computes, as one interference-closed fixpoint across
+// all threads (the env template and every dis template, parameterized in the
+// replica count n), an over-approximation of
+//
+//   - the set of values each register can hold at each program point, and
+//   - the set of values ever written to each shared variable.
+//
+// The abstraction is sound for unboundedly many environment threads because
+// it is value-only and flow-insensitive across threads: a load returns the
+// *entire* abstract written-set of the variable, which subsumes every
+// message any interleaving of any number of replicas could publish — this
+// is exactly the "env can republish any observed value" structure the
+// simplified semantics (Infinite Supply Lemma) makes explicit. Timestamps,
+// views, and coherence order are abstracted away entirely, so the analysis
+// proves only value-reachability facts; those are enough for a definitive
+// SAFE verdict ("no assert is abstractly reachable") and for the value-set
+// hints consumed by the Datalog encoder, and they gate the UNSAFE fast path
+// (candidate search + concrete replay) in prepass.go.
+package absint
+
+import (
+	"paramra/internal/analysis"
+	"paramra/internal/lang"
+)
+
+// fact is the forward dataflow fact at one PC: reachability plus one value
+// set per register. The unreachable fact is the problem's bottom.
+type fact struct {
+	reach bool
+	regs  []VSet
+}
+
+func factEqual(a, b fact) bool {
+	if a.reach != b.reach || len(a.regs) != len(b.regs) {
+		return false
+	}
+	for i := range a.regs {
+		if !Equal(a.regs[i], b.regs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ThreadFacts holds the per-thread analysis result.
+type ThreadFacts struct {
+	Prog *lang.Program
+	CFG  *lang.CFG
+	// facts[pc] is the abstract state when control is at pc.
+	facts []fact
+}
+
+// Reachable reports whether pc is abstractly reachable.
+func (t *ThreadFacts) Reachable(pc lang.PC) bool { return t.facts[pc].reach }
+
+// RegAt returns the value set of register r at pc (bottom when pc is
+// unreachable or r is out of range).
+func (t *ThreadFacts) RegAt(pc lang.PC, r lang.RegID) VSet {
+	f := t.facts[pc]
+	if !f.reach || int(r) < 0 || int(r) >= len(f.regs) {
+		return VSet{}
+	}
+	return f.regs[r]
+}
+
+// EvalAt over-approximates the values of e at pc.
+func (t *ThreadFacts) EvalAt(pc lang.PC, e lang.Expr) VSet {
+	f := t.facts[pc]
+	if !f.reach {
+		return VSet{}
+	}
+	return evalExpr(e, f.regs)
+}
+
+// RegUniverse returns, per register, the join of the register's value sets
+// over all reachable PCs: every value the register can ever hold anywhere
+// in the thread.
+func (t *ThreadFacts) RegUniverse() []VSet {
+	out := make([]VSet, t.Prog.NumRegs())
+	for _, f := range t.facts {
+		if !f.reach {
+			continue
+		}
+		for i, s := range f.regs {
+			out[i] = Join(out[i], s)
+		}
+	}
+	return out
+}
+
+// Result is the system-wide abstract interpretation result.
+type Result struct {
+	Sys *lang.System
+	// Written[v] over-approximates the values any message on variable v can
+	// carry (the initial value plus everything any thread, in any replica
+	// count, can store or CAS into it).
+	Written []VSet
+	// Threads holds the per-thread facts, aligned with Sys.Threads() (env
+	// first when present, then the dis templates). Threads sharing a
+	// *lang.Program share a *ThreadFacts.
+	Threads []*ThreadFacts
+	// Rounds is the number of interference rounds until the written-sets
+	// stabilized.
+	Rounds int
+}
+
+// Analyze runs the interference-closed fixpoint: per-thread forward
+// dataflow (reusing the analysis worklist solver) alternating with a
+// written-set update, until no thread can publish a new value. Termination:
+// both the per-register sets and the written-sets live in the finite
+// widening lattice of Norm-ed VSets and only ever grow across rounds.
+func Analyze(sys *lang.System) *Result {
+	res := &Result{Sys: sys, Written: make([]VSet, len(sys.Vars))}
+	for v := range res.Written {
+		res.Written[v] = Singleton(sys.Init)
+	}
+
+	// Compile and analyze each distinct program once even when the system
+	// reuses a template pointer for several threads.
+	threads := sys.Threads()
+	byProg := map[*lang.Program]*ThreadFacts{}
+	var order []*ThreadFacts
+	res.Threads = make([]*ThreadFacts, len(threads))
+	for i, p := range threads {
+		tf, ok := byProg[p]
+		if !ok {
+			tf = &ThreadFacts{Prog: p, CFG: lang.Compile(p)}
+			byProg[p] = tf
+			order = append(order, tf)
+		}
+		res.Threads[i] = tf
+	}
+
+	for {
+		res.Rounds++
+		for _, tf := range order {
+			tf.facts = solveThread(tf.CFG, sys, res.Written)
+		}
+		next := contributions(sys, order, res.Written)
+		changed := false
+		for v := range next {
+			if !Equal(next[v], res.Written[v]) {
+				changed = true
+			}
+		}
+		res.Written = next
+		if !changed {
+			return res
+		}
+	}
+}
+
+// solveThread runs one forward pass over a thread's CFG against the current
+// written-sets.
+func solveThread(g *lang.CFG, sys *lang.System, written []VSet) []fact {
+	numRegs := g.Prog.NumRegs()
+	return analysis.Solve(g, analysis.Problem[fact]{
+		Dir:    analysis.Forward,
+		Bottom: func() fact { return fact{regs: make([]VSet, numRegs)} },
+		Boundary: func() fact {
+			f := fact{reach: true, regs: make([]VSet, numRegs)}
+			for i := range f.regs {
+				f.regs[i] = Singleton(0) // registers start at 0 in both engines
+			}
+			return f
+		},
+		Join: func(a, b fact) fact {
+			if !a.reach {
+				return b
+			}
+			if !b.reach {
+				return a
+			}
+			return fact{reach: true, regs: joinRegs(a.regs, b.regs)}
+		},
+		Equal: factEqual,
+		Transfer: func(e lang.Edge, in fact) fact {
+			if !in.reach {
+				return in
+			}
+			switch e.Op.Kind {
+			case lang.OpAssume:
+				cond := evalExpr(e.Op.E, in.regs)
+				if !cond.canBeTrue() {
+					return fact{regs: make([]VSet, numRegs)} // blocks forever
+				}
+				return fact{reach: true, regs: refineTrue(e.Op.E, in.regs)}
+			case lang.OpAssign:
+				out := fact{reach: true, regs: append([]VSet(nil), in.regs...)}
+				out.regs[e.Op.Reg] = evalExpr(e.Op.E, in.regs).Norm(sys.Dom)
+				return out
+			case lang.OpLoad:
+				// An RA load can return any value some thread may have
+				// published: the abstract written-set, which covers the init
+				// message, every dis store, and every env replica's stores.
+				out := fact{reach: true, regs: append([]VSet(nil), in.regs...)}
+				out.regs[e.Op.Reg] = written[e.Op.Var]
+				return out
+			case lang.OpCASOp:
+				// CAS blocks unless the expected value is observable.
+				expect := evalExpr(e.Op.E, in.regs).Norm(sys.Dom)
+				if Intersect(expect, written[e.Op.Var]).IsEmpty() {
+					return fact{regs: make([]VSet, numRegs)} // can never succeed
+				}
+				return in
+			default: // OpNop, OpAssertFail, OpStore: thread-local state unchanged
+				return in
+			}
+		},
+	})
+}
+
+// contributions recomputes the written-sets from every thread's reachable
+// store and CAS edges, starting from the initial value.
+func contributions(sys *lang.System, order []*ThreadFacts, prev []VSet) []VSet {
+	next := make([]VSet, len(sys.Vars))
+	for v := range next {
+		next[v] = Singleton(sys.Init)
+	}
+	for _, tf := range order {
+		for _, edges := range tf.CFG.Out {
+			for _, e := range edges {
+				f := tf.facts[e.From]
+				if !f.reach {
+					continue
+				}
+				switch e.Op.Kind {
+				case lang.OpStore:
+					val := evalExpr(e.Op.E, f.regs).Norm(sys.Dom)
+					next[e.Op.Var] = Join(next[e.Op.Var], val)
+				case lang.OpCASOp:
+					expect := evalExpr(e.Op.E, f.regs).Norm(sys.Dom)
+					if Intersect(expect, prev[e.Op.Var]).IsEmpty() {
+						continue // success edge infeasible: contributes nothing
+					}
+					val := evalExpr(e.Op.E2, f.regs).Norm(sys.Dom)
+					next[e.Op.Var] = Join(next[e.Op.Var], val)
+				}
+			}
+		}
+	}
+	// Written-sets must grow monotonically across rounds: a value observable
+	// in round k stays observable (messages are never retracted).
+	for v := range next {
+		next[v] = Join(prev[v], next[v])
+	}
+	return next
+}
+
+// VarCanHold reports whether variable v can ever carry value d (after
+// norm-ing d into the domain, matching the engines). True may be spurious;
+// false is definite.
+func (r *Result) VarCanHold(v lang.VarID, d lang.Val) bool {
+	if int(v) < 0 || int(v) >= len(r.Written) {
+		return true
+	}
+	return r.Written[v].Contains(Singleton(d).Norm(r.Sys.Dom).vals[0])
+}
+
+// AssertReachable reports whether any thread has an abstractly reachable
+// `assert false` edge. When false, the system is definitively SAFE for
+// every replica count.
+func (r *Result) AssertReachable() bool {
+	for _, tf := range dedupThreads(r.Threads) {
+		for _, edges := range tf.CFG.Out {
+			for _, e := range edges {
+				if e.Op.Kind == lang.OpAssertFail && tf.facts[e.From].reach {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// dedupThreads returns the distinct ThreadFacts preserving order.
+func dedupThreads(ts []*ThreadFacts) []*ThreadFacts {
+	seen := map[*ThreadFacts]bool{}
+	var out []*ThreadFacts
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

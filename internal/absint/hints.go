@@ -1,0 +1,39 @@
+package absint
+
+import (
+	"paramra/internal/lang"
+)
+
+// EnvFacts returns the env template's per-PC facts, or nil when the system
+// has no env program. The Datalog encoder uses them to restrict its
+// register-valuation grounding: enumerating a register only over the values
+// it can actually hold at a program point shrinks the instance from
+// Dom^k-per-edge to the product of the abstract set sizes, without changing
+// derivability (every dropped rule has an underivable body).
+func (r *Result) EnvFacts() *ThreadFacts {
+	if r.Sys.Env == nil || len(r.Threads) == 0 {
+		return nil
+	}
+	return r.Threads[0]
+}
+
+// AllowedAt returns the values register reg can hold at pc, for grounding:
+// ok is false when the set is widened (callers should fall back to the full
+// domain). An empty slice with ok=true means the PC is unreachable.
+func (t *ThreadFacts) AllowedAt(pc lang.PC, reg lang.RegID) (vals []lang.Val, ok bool) {
+	return t.RegAt(pc, reg).Exact()
+}
+
+// MaxWritten returns the largest value any shared variable can carry, or
+// the domain bound when a written-set is widened. It feeds the compact
+// state-key encoders: values at or below the single-byte threshold encode
+// in one byte each.
+func (r *Result) MaxWritten() lang.Val {
+	var m lang.Val
+	for _, w := range r.Written {
+		if _, hi, ok := w.Bounds(); ok && hi > m {
+			m = hi
+		}
+	}
+	return m
+}

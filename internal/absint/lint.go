@@ -1,0 +1,387 @@
+package absint
+
+import (
+	"fmt"
+
+	"paramra/internal/analysis"
+	"paramra/internal/lang"
+)
+
+// Lint rule identifiers contributed by the abstract interpretation. They
+// complement internal/analysis's constant-propagation rules: each fires only
+// where the interference-closed value-set analysis sees something the
+// per-thread constant folding cannot.
+const (
+	// RuleAssertNeverSatisfiable marks an `assert false` whose guards are
+	// unsatisfiable over the abstract value sets of every thread together —
+	// the system is trivially SAFE at this assert for every replica count.
+	RuleAssertNeverSatisfiable = "assert-never-satisfiable"
+	// RuleCASCanNeverSucceed marks a CAS whose expected-value set is
+	// disjoint from everything ever written to the variable.
+	RuleCASCanNeverSucceed = "cas-can-never-succeed"
+	// RuleReadOfNeverWrittenValue marks an equality test of a loaded value
+	// against a constant no thread ever writes.
+	RuleReadOfNeverWrittenValue = "read-of-never-written-value"
+	// RuleWriteValueUnused marks a store whose value no reader ever
+	// distinguishes: every load of the variable flows only into constant
+	// comparisons, none of which mention the stored value.
+	RuleWriteValueUnused = "write-value-unused"
+)
+
+// Lint runs the abstract-interpretation lint rules over the system. The
+// suppress list carries the constant-propagation findings already reported:
+// an absint finding at a position where the cheaper analysis already flagged
+// the same defect (unreachable assert, impossible CAS, constant-false
+// assume) is dropped, so ravet's output never says the same thing twice.
+func Lint(sys *lang.System, suppress []analysis.Diagnostic) []analysis.Diagnostic {
+	res := Analyze(sys)
+	l := &linter{res: res, sys: sys, covered: map[lang.Pos]bool{}}
+	for _, d := range suppress {
+		switch d.Rule {
+		case analysis.RuleUnreachableAssert, analysis.RuleUnreachableCode,
+			analysis.RuleCASNeverSucceeds, analysis.RuleAssumeFalse:
+			l.covered[d.Pos] = true
+		}
+	}
+	seen := map[*ThreadFacts]bool{}
+	for _, tf := range res.Threads {
+		if seen[tf] {
+			continue
+		}
+		seen[tf] = true
+		l.lintThread(tf)
+	}
+	l.lintWriteValues()
+	analysis.SortDiagnostics(l.out)
+	return l.out
+}
+
+type linter struct {
+	res     *Result
+	sys     *lang.System
+	covered map[lang.Pos]bool
+	out     []analysis.Diagnostic
+	seen    map[string]bool
+}
+
+func (l *linter) report(pos lang.Pos, rule, thread, format string, args ...any) {
+	if l.covered[pos] {
+		return
+	}
+	d := analysis.Diagnostic{Pos: pos, Rule: rule, Thread: thread, Msg: fmt.Sprintf(format, args...)}
+	key := fmt.Sprintf("%s|%v|%s|%s", rule, pos, thread, d.Msg)
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
+	if l.seen[key] {
+		return
+	}
+	l.seen[key] = true
+	l.out = append(l.out, d)
+}
+
+func (l *linter) lintThread(tf *ThreadFacts) {
+	name := tf.Prog.Name
+	loadVar := loadOnlyRegs(tf)
+	for _, edges := range tf.CFG.Out {
+		for _, e := range edges {
+			switch e.Op.Kind {
+			case lang.OpAssertFail:
+				if !tf.Reachable(e.From) {
+					l.report(e.Op.Pos, RuleAssertNeverSatisfiable, name,
+						"'assert false' is unreachable under the abstract value semantics: no interference from any thread satisfies its guards")
+				}
+			case lang.OpCASOp:
+				if !tf.Reachable(e.From) {
+					continue
+				}
+				expect := tf.EvalAt(e.From, e.Op.E).Norm(l.sys.Dom)
+				if expect.IsEmpty() {
+					continue
+				}
+				if Intersect(expect, l.res.Written[e.Op.Var]).IsEmpty() {
+					l.report(e.Op.Pos, RuleCASCanNeverSucceed, name,
+						"cas on '%s' expects %s but the variable only ever holds %s",
+						l.sys.VarName(e.Op.Var), expect, l.res.Written[e.Op.Var])
+				}
+			}
+			l.lintComparisons(tf, loadVar, e)
+		}
+	}
+}
+
+// lintComparisons walks the edge's expressions for `r == c` tests where r
+// only ever holds values loaded from one variable and c is never written to
+// it.
+func (l *linter) lintComparisons(tf *ThreadFacts, loadVar map[lang.RegID]lang.VarID, e lang.Edge) {
+	if !tf.Reachable(e.From) {
+		return
+	}
+	check := func(expr lang.Expr) {
+		walkExpr(expr, func(x lang.Expr) {
+			b, ok := x.(lang.BinExpr)
+			if !ok || b.Op != lang.OpEq {
+				return
+			}
+			reg, c, ok := regConstSides(b)
+			if !ok {
+				return
+			}
+			v, tracked := loadVar[reg]
+			if !tracked {
+				return
+			}
+			if !l.res.Written[v].Contains(c) {
+				l.report(e.Op.Pos, RuleReadOfNeverWrittenValue, tf.Prog.Name,
+					"register '%s' holds a value loaded from '%s', which is never %d (written values: %s)",
+					tf.Prog.RegName(reg), l.sys.VarName(v), int(c), l.res.Written[v])
+			}
+		})
+	}
+	switch e.Op.Kind {
+	case lang.OpAssume, lang.OpAssign, lang.OpStore:
+		check(e.Op.E)
+	case lang.OpCASOp:
+		check(e.Op.E)
+		check(e.Op.E2)
+	}
+}
+
+// lintWriteValues reports stores whose value no reader distinguishes. For a
+// variable x it requires: every load of x lands in a register defined only
+// by loads of x, and every use of those registers is an ==/!= test against a
+// constant (or a CAS expect). A reachable store whose exact value set shares
+// nothing with the tested constants is then invisible to every reader.
+func (l *linter) lintWriteValues() {
+	type varInfo struct {
+		tested  map[lang.Val]bool
+		loaded  bool
+		opaque  bool // some reader escapes the test-only discipline
+		hasTest bool
+	}
+	infos := make([]varInfo, len(l.sys.Vars))
+	for i := range infos {
+		infos[i].tested = map[lang.Val]bool{}
+	}
+
+	seen := map[*ThreadFacts]bool{}
+	var threads []*ThreadFacts
+	for _, tf := range l.res.Threads {
+		if !seen[tf] {
+			seen[tf] = true
+			threads = append(threads, tf)
+		}
+	}
+
+	for _, tf := range threads {
+		loadVar := loadOnlyRegs(tf)
+		// Registers loaded from x but not load-only make x opaque.
+		for _, edges := range tf.CFG.Out {
+			for _, e := range edges {
+				if e.Op.Kind == lang.OpLoad {
+					infos[e.Op.Var].loaded = true
+					if _, ok := loadVar[e.Op.Reg]; !ok {
+						infos[e.Op.Var].opaque = true
+					}
+				}
+			}
+		}
+		// Classify every use of every load-only register.
+		for _, edges := range tf.CFG.Out {
+			for _, e := range edges {
+				exprs := edgeExprs(e)
+				for _, expr := range exprs {
+					tests, onlyTests := constTests(expr, loadVar)
+					for reg, vals := range tests {
+						v := loadVar[reg]
+						for _, c := range vals {
+							infos[v].tested[c] = true
+							infos[v].hasTest = true
+						}
+					}
+					if !onlyTests {
+						// Some tracked register is used outside a constant
+						// test: its source variable's values escape.
+						for reg := range regsIn(expr) {
+							if v, ok := loadVar[reg]; ok {
+								infos[v].opaque = true
+							}
+						}
+					}
+				}
+				// A CAS expect is a test of the variable's value.
+				if e.Op.Kind == lang.OpCASOp && tf.Reachable(e.From) {
+					if vals, ok := tf.EvalAt(e.From, e.Op.E).Norm(l.sys.Dom).Exact(); ok {
+						for _, c := range vals {
+							infos[e.Op.Var].tested[c] = true
+							infos[e.Op.Var].hasTest = true
+						}
+					} else {
+						infos[e.Op.Var].opaque = true
+					}
+				}
+			}
+		}
+	}
+
+	// Second pass: flag reachable stores whose every possible value is
+	// test-equivalent to the initial value. Readers only observe membership
+	// in the tested-constant set, so a stored value v is indistinguishable
+	// from the initial value exactly when neither is among the constants —
+	// the store could be deleted without any reader noticing.
+	for _, tf := range threads {
+		for _, edges := range tf.CFG.Out {
+			for _, e := range edges {
+				if e.Op.Kind != lang.OpStore || !tf.Reachable(e.From) {
+					continue
+				}
+				info := &infos[e.Op.Var]
+				if !info.loaded || info.opaque || !info.hasTest || info.tested[l.sys.Init] {
+					continue
+				}
+				vals, ok := tf.EvalAt(e.From, e.Op.E).Norm(l.sys.Dom).Exact()
+				if !ok || len(vals) == 0 {
+					continue
+				}
+				unused := true
+				for _, v := range vals {
+					if info.tested[v] {
+						unused = false
+					}
+				}
+				if unused {
+					l.report(e.Op.Pos, RuleWriteValueUnused, tf.Prog.Name,
+						"value %s stored to '%s' is indistinguishable from the initial value %d: readers only test %s",
+						FromValues(vals), l.sys.VarName(e.Op.Var), int(l.sys.Init), testedString(info.tested))
+				}
+			}
+		}
+	}
+}
+
+// loadOnlyRegs maps each register whose every definition is a load of one
+// fixed variable to that variable.
+func loadOnlyRegs(tf *ThreadFacts) map[lang.RegID]lang.VarID {
+	type src struct {
+		v     lang.VarID
+		mixed bool
+	}
+	defs := map[lang.RegID]*src{}
+	for _, edges := range tf.CFG.Out {
+		for _, e := range edges {
+			switch e.Op.Kind {
+			case lang.OpLoad:
+				if s, ok := defs[e.Op.Reg]; ok {
+					if s.v != e.Op.Var {
+						s.mixed = true
+					}
+				} else {
+					defs[e.Op.Reg] = &src{v: e.Op.Var}
+				}
+			case lang.OpAssign:
+				if s, ok := defs[e.Op.Reg]; ok {
+					s.mixed = true
+				} else {
+					defs[e.Op.Reg] = &src{mixed: true}
+				}
+			}
+		}
+	}
+	out := map[lang.RegID]lang.VarID{}
+	for r, s := range defs {
+		if !s.mixed {
+			out[r] = s.v
+		}
+	}
+	return out
+}
+
+// constTests collects, per tracked register, the constants it is ==/!=
+// compared against in expr. onlyTests is false when a tracked register
+// appears anywhere outside such a comparison.
+func constTests(expr lang.Expr, tracked map[lang.RegID]lang.VarID) (map[lang.RegID][]lang.Val, bool) {
+	tests := map[lang.RegID][]lang.Val{}
+	onlyTests := true
+	var walk func(e lang.Expr, inTest bool)
+	walk = func(e lang.Expr, inTest bool) {
+		switch e := e.(type) {
+		case lang.RegExpr:
+			if _, ok := tracked[e.Reg]; ok && !inTest {
+				onlyTests = false
+			}
+		case lang.UnExpr:
+			walk(e.E, false)
+		case lang.BinExpr:
+			if e.Op == lang.OpEq || e.Op == lang.OpNe {
+				if reg, c, ok := regConstSides(e); ok {
+					if _, isTracked := tracked[reg]; isTracked {
+						tests[reg] = append(tests[reg], c)
+						return
+					}
+				}
+			}
+			walk(e.L, false)
+			walk(e.R, false)
+		}
+	}
+	walk(expr, false)
+	return tests, onlyTests
+}
+
+// regConstSides decomposes `r op c` / `c op r` into (r, c).
+func regConstSides(b lang.BinExpr) (lang.RegID, lang.Val, bool) {
+	if r, ok := b.L.(lang.RegExpr); ok {
+		if c, ok := b.R.(lang.ConstExpr); ok {
+			return r.Reg, c.V, true
+		}
+	}
+	if r, ok := b.R.(lang.RegExpr); ok {
+		if c, ok := b.L.(lang.ConstExpr); ok {
+			return r.Reg, c.V, true
+		}
+	}
+	return 0, 0, false
+}
+
+// walkExpr visits every node of the expression tree.
+func walkExpr(e lang.Expr, f func(lang.Expr)) {
+	f(e)
+	switch e := e.(type) {
+	case lang.UnExpr:
+		walkExpr(e.E, f)
+	case lang.BinExpr:
+		walkExpr(e.L, f)
+		walkExpr(e.R, f)
+	}
+}
+
+// regsIn returns the set of registers appearing in e.
+func regsIn(e lang.Expr) map[lang.RegID]bool {
+	out := map[lang.RegID]bool{}
+	walkExpr(e, func(x lang.Expr) {
+		if r, ok := x.(lang.RegExpr); ok {
+			out[r.Reg] = true
+		}
+	})
+	return out
+}
+
+// edgeExprs lists the expressions evaluated by the edge's operation.
+func edgeExprs(e lang.Edge) []lang.Expr {
+	switch e.Op.Kind {
+	case lang.OpAssume, lang.OpAssign, lang.OpStore:
+		return []lang.Expr{e.Op.E}
+	case lang.OpCASOp:
+		return []lang.Expr{e.Op.E, e.Op.E2}
+	default:
+		return nil
+	}
+}
+
+func testedString(tested map[lang.Val]bool) string {
+	vals := make([]lang.Val, 0, len(tested))
+	for v := range tested {
+		vals = append(vals, v)
+	}
+	return FromValues(vals).String()
+}

@@ -1,0 +1,154 @@
+package absint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paramra/internal/analysis"
+	"paramra/internal/lang"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden .want files")
+
+// merged reproduces paramra.Analyze's pipeline: constant-propagation rules
+// first, then the abstract-interpretation rules with the former as the
+// suppression list, sorted into one stream.
+func merged(sys *lang.System) []analysis.Diagnostic {
+	out := analysis.AnalyzeSystem(sys)
+	out = append(out, Lint(sys, out)...)
+	analysis.SortDiagnostics(out)
+	return out
+}
+
+// TestDefectFixtures mirrors internal/analysis's golden harness for the
+// abstract-interpretation rules: each fixture seeds the defect it is named
+// after, and the merged diagnostics must match the .want file exactly.
+func TestDefectFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "defects", "*.ra"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	ruleSeen := map[string]bool{}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := lang.ParseSystem(string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ds := merged(sys)
+			if len(ds) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics", file)
+			}
+			var lines []string
+			for _, d := range ds {
+				lines = append(lines, d.String())
+				ruleSeen[d.Rule] = true
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			want := strings.TrimSuffix(file, ".ra") + ".want"
+			if *updateGolden {
+				if err := os.WriteFile(want, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantData, err := os.ReadFile(want)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(wantData) {
+				t.Errorf("diagnostics mismatch for %s:\ngot:\n%swant:\n%s", file, got, wantData)
+			}
+			seeded := strings.TrimSuffix(filepath.Base(file), ".ra")
+			found := false
+			for _, d := range ds {
+				if d.Rule == seeded {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fixture %s did not trigger rule %q; got:\n%s", file, seeded, got)
+			}
+		})
+	}
+	if *updateGolden {
+		return
+	}
+	for _, rule := range []string{
+		RuleAssertNeverSatisfiable, RuleCASCanNeverSucceed,
+		RuleReadOfNeverWrittenValue, RuleWriteValueUnused,
+	} {
+		if !ruleSeen[rule] {
+			t.Errorf("no fixture triggers rule %q", rule)
+		}
+	}
+}
+
+// TestLintSuppressesCoveredPositions: when constant propagation already
+// explains a position (assume-false + unreachable-code), the absint rules
+// must not pile a second finding onto it.
+func TestLintSuppressesCoveredPositions(t *testing.T) {
+	src := `system dup { vars f; domain 3; env w; dis c }
+thread w {
+  regs a
+  a = load f
+  assume a == 2
+  store f 1
+}
+thread c {
+  regs b
+  b = load f
+  assume b == 1
+  assert false
+}`
+	sys, err := lang.ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressed := map[string]bool{
+		analysis.RuleUnreachableAssert: true, analysis.RuleUnreachableCode: true,
+		analysis.RuleCASNeverSucceeds: true, analysis.RuleAssumeFalse: true,
+	}
+	base := analysis.AnalyzeSystem(sys)
+	extra := Lint(sys, base)
+	for _, b := range base {
+		if !suppressed[b.Rule] {
+			continue
+		}
+		for _, e := range extra {
+			if e.Pos == b.Pos {
+				t.Errorf("absint finding %s duplicates suppressed-rule position of %s", e, b)
+			}
+		}
+	}
+}
+
+// TestShippedSystemsCleanUnderMergedLint: the example systems must stay
+// diagnostic-free under the full merged pipeline, not just the constant
+// rules — otherwise ravet regresses on its own documentation.
+func TestShippedSystemsCleanUnderMergedLint(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "systems", "*.ra"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped systems found: %v", err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := lang.ParseSystem(string(data))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", file, err)
+		}
+		for _, d := range merged(sys) {
+			t.Errorf("%s: unexpected diagnostic: %s", file, d)
+		}
+	}
+}

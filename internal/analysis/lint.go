@@ -63,8 +63,16 @@ func AnalyzeSystem(sys *lang.System) []Diagnostic {
 		l.lintProgram(p)
 	}
 	l.lintVars()
-	sort.SliceStable(l.out, func(i, j int) bool {
-		a, b := l.out[i], l.out[j]
+	SortDiagnostics(l.out)
+	return l.out
+}
+
+// SortDiagnostics orders findings by line, column, then rule — the order
+// every lint producer (this package, internal/absint) and every consumer
+// (ravet, golden tests) agrees on.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
@@ -73,7 +81,18 @@ func AnalyzeSystem(sys *lang.System) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return l.out
+}
+
+// Severity maps a lint rule to its reporting severity for machine-readable
+// output: "info" for findings that make verification trivial rather than
+// indicate a defect, "warning" for everything else.
+func Severity(rule string) string {
+	switch rule {
+	case RuleUnreachableAssert, "assert-never-satisfiable":
+		return "info"
+	default:
+		return "warning"
+	}
 }
 
 type linter struct {

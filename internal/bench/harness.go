@@ -70,6 +70,33 @@ func CorpusTable(reps []CorpusReport) *Table {
 	return t
 }
 
+// ClassTable builds the per-thread classification table of the corpus: one
+// row per thread with its computed lang.Classify signature (acyc/nocas),
+// next to the paper-notation class the entry documents and whether the
+// system falls in the decidable fragment.
+func ClassTable() *Table {
+	t := &Table{
+		Title:   "Corpus thread-classification signatures (lang.Classify)",
+		Columns: []string{"benchmark", "role", "thread", "signature", "decidable"},
+	}
+	for _, e := range Corpus() {
+		sys := e.System()
+		dec := lang.Classify(sys).Decidable()
+		name := e.Name
+		row := func(role string, p *lang.Program) {
+			t.AddRow(name, role, p.Name, lang.ClassifyProgram(p).String(), dec)
+			name = "" // only the first thread row carries the entry name
+		}
+		if sys.Env != nil {
+			row("env", sys.Env)
+		}
+		for _, d := range sys.Dis {
+			row("dis", d)
+		}
+	}
+	return t
+}
+
 // MinEnvConcrete searches for the smallest number of env threads whose
 // concrete instance is unsafe, up to maxN (E9 helper). Returns -1 when none
 // is found.

@@ -27,6 +27,33 @@ func TestRunCorpusReports(t *testing.T) {
 	}
 }
 
+func TestClassTable(t *testing.T) {
+	tbl := ClassTable()
+	threads := 0
+	for _, e := range Corpus() {
+		sys := e.System()
+		threads += len(sys.Dis)
+		if sys.Env != nil {
+			threads++
+		}
+	}
+	if len(tbl.Rows) != threads {
+		t.Fatalf("got %d rows for %d corpus threads", len(tbl.Rows), threads)
+	}
+	s := tbl.String()
+	for _, want := range []string{"prodcons-fig1", "(nocas, acyc)", "decidable"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("class table missing %q:\n%s", want, s)
+		}
+	}
+	// Every row must carry a parenthesised (cas?, cyc?) signature.
+	for _, row := range tbl.Rows {
+		if !strings.Contains(row[3], "(") || !strings.Contains(row[3], ")") {
+			t.Errorf("row %v: malformed signature %q", row, row[3])
+		}
+	}
+}
+
 func TestTable1(t *testing.T) {
 	tbl := Table1()
 	s := tbl.String()

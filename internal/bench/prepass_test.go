@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"paramra/internal/absint"
+)
+
+// TestPrepassAgreementOnCorpus checks the static prepass against the
+// fixpoint verifier on every corpus entry: in the Theorem 3.4 verdict
+// lattice a decisive prepass answer (SAFE proof or replayed UNSAFE
+// witness) must never contradict the search, while Inconclusive is always
+// allowed. The fast path must also decide a useful fraction of the corpus
+// — the rate the EXPERIMENTS.md prepass entry reports.
+func TestPrepassAgreementOnCorpus(t *testing.T) {
+	entries := Corpus()
+	decided := 0
+	for _, e := range entries {
+		out, err := absint.Prepass(context.Background(), e.System(), absint.Options{})
+		if err != nil {
+			t.Fatalf("%s: prepass: %v", e.Name, err)
+		}
+		rep, err := RunEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch out.Verdict {
+		case absint.Safe:
+			decided++
+			if rep.Verdict != Safe {
+				t.Errorf("%s: prepass SAFE contradicts fixpoint %v (reason: %s)",
+					e.Name, rep.Verdict, out.Reason)
+			}
+		case absint.Unsafe:
+			decided++
+			if rep.Verdict != Unsafe {
+				t.Errorf("%s: prepass UNSAFE contradicts fixpoint %v (reason: %s)",
+					e.Name, rep.Verdict, out.Reason)
+			}
+		default:
+			t.Logf("%s: inconclusive (%s)", e.Name, out.Reason)
+		}
+	}
+	rate := float64(decided) / float64(len(entries))
+	t.Logf("prepass decided %d/%d corpus entries (%.0f%%)", decided, len(entries), 100*rate)
+	if rate < 0.25 {
+		t.Errorf("prepass decision rate %.0f%% below the 25%% floor", 100*rate)
+	}
+}
+
+// BenchmarkPrepassCorpus times the static prepass over the whole corpus;
+// compared against BenchmarkFixpointCorpus it yields the speedup quoted in
+// the EXPERIMENTS.md prepass entry (E18).
+func BenchmarkPrepassCorpus(b *testing.B) {
+	entries := Corpus()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			if _, err := absint.Prepass(context.Background(), e.System(), absint.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFixpointCorpus is the full fixpoint verifier over the same
+// corpus, the E18 baseline.
+func BenchmarkFixpointCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCorpus(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,8 +40,16 @@ func (b *builder) msgAtom(pred datalog.Pred, x lang.VarID, val datalog.Term, vie
 	return datalog.Atom{Pred: pred, Terms: terms}
 }
 
-// valuations enumerates assignments of domain values to the given registers.
-func (b *builder) valuations(regs []lang.RegID, f func(map[lang.RegID]lang.Val)) {
+// valuations enumerates assignments of values to the given registers at the
+// given program point. Without hints every register ranges over the full
+// domain (Dom^len(regs) assignments); with hints each register ranges only
+// over the values the abstract interpretation allows at pc, which can shrink
+// the grounding by orders of magnitude on guarded code.
+func (b *builder) valuations(pc lang.PC, regs []lang.RegID, f func(map[lang.RegID]lang.Val)) {
+	choices := make([][]lang.Val, len(regs))
+	for i, r := range regs {
+		choices[i] = b.regChoices(pc, r)
+	}
 	assign := map[lang.RegID]lang.Val{}
 	var rec func(i int)
 	rec = func(i int) {
@@ -49,12 +57,39 @@ func (b *builder) valuations(regs []lang.RegID, f func(map[lang.RegID]lang.Val))
 			f(assign)
 			return
 		}
-		for d := 0; d < b.sys.Dom; d++ {
-			assign[regs[i]] = lang.Val(d)
+		for _, d := range choices[i] {
+			assign[regs[i]] = d
 			rec(i + 1)
 		}
 	}
 	rec(0)
+}
+
+// regChoices returns the candidate values for one register at pc: the
+// hint-restricted set when it is exact, the full domain otherwise. The
+// returned values are normalized into [0, Dom) and deduplicated, in
+// ascending order for deterministic rule emission.
+func (b *builder) regChoices(pc lang.PC, r lang.RegID) []lang.Val {
+	if b.hints != nil {
+		if vals, ok := b.hints.AllowedAt(pc, r); ok {
+			seen := make(map[lang.Val]bool, len(vals))
+			for _, v := range vals {
+				seen[b.norm(v)] = true
+			}
+			out := make([]lang.Val, 0, len(seen))
+			for d := 0; d < b.sys.Dom; d++ {
+				if seen[lang.Val(d)] {
+					out = append(out, lang.Val(d))
+				}
+			}
+			return out
+		}
+	}
+	full := make([]lang.Val, b.sys.Dom)
+	for d := range full {
+		full[d] = lang.Val(d)
+	}
+	return full
 }
 
 // evalUnder evaluates e under a partial valuation (unmentioned registers
@@ -115,7 +150,7 @@ func (b *builder) emitEnvRules() error {
 				})
 
 			case lang.OpAssume:
-				b.valuations(lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
+				b.valuations(e.From, lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
 					if b.evalUnder(e.Op.E, assign) == 0 {
 						return
 					}
@@ -130,7 +165,7 @@ func (b *builder) emitEnvRules() error {
 				})
 
 			case lang.OpAssign:
-				b.valuations(lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
+				b.valuations(e.From, lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
 					d := b.norm(b.evalUnder(e.Op.E, assign))
 					f := &freshVars{}
 					regs := b.regTerms(f, assign)
@@ -211,7 +246,7 @@ func (b *builder) emitLoad(e lang.Edge, msgPred, xJoin datalog.Pred) {
 // etp-successor rule and the emp-generation rule.
 func (b *builder) emitStore(e lang.Edge) {
 	x := e.Op.Var
-	b.valuations(lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
+	b.valuations(e.From, lang.ExprRegs(e.Op.E), func(assign map[lang.RegID]lang.Val) {
 		d := b.norm(b.evalUnder(e.Op.E, assign))
 		for _, genMsg := range []bool{false, true} {
 			f := &freshVars{}

@@ -1,0 +1,51 @@
+package engine
+
+// KeyEnc builds compact, injective state-identity keys. The explorers
+// memoize on string keys; the naive decimal "%d,%d,..." rendering is both
+// large (multi-byte digits plus separators) and slow (fmt reflection on
+// every field). KeyEnc appends self-delimiting varints to a reusable
+// buffer instead: small magnitudes — the overwhelmingly common case for
+// program counters, register values, and timestamps — cost one byte.
+//
+// Injectivity contract: a key is a sequence of Int/Uint64 emissions, each a
+// self-delimiting varint, so two keys built from the same sequence of calls
+// with different values never collide. Sections whose call count varies at
+// runtime must be preceded by a Len (or any other Int fixing the count);
+// Mark separates heterogeneous sections with a distinct tag byte, which is
+// safe because tags are only compared against tags at the same position.
+type KeyEnc struct {
+	buf []byte
+}
+
+// NewKeyEnc returns an encoder with capacity for a typical state key.
+func NewKeyEnc() *KeyEnc { return &KeyEnc{buf: make([]byte, 0, 64)} }
+
+// Reset empties the buffer, keeping its capacity for reuse.
+func (k *KeyEnc) Reset() { k.buf = k.buf[:0] }
+
+// Uint64 appends v as a self-delimiting LEB128 varint.
+func (k *KeyEnc) Uint64(v uint64) {
+	for v >= 0x80 {
+		k.buf = append(k.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	k.buf = append(k.buf, byte(v))
+}
+
+// Int appends v zigzag-encoded, so small negative values stay short.
+func (k *KeyEnc) Int(v int) {
+	k.Uint64(uint64((int64(v) << 1) ^ (int64(v) >> 63)))
+}
+
+// Len appends a section length; semantically identical to Int but named so
+// call sites document where the injectivity contract requires a count.
+func (k *KeyEnc) Len(n int) { k.Int(n) }
+
+// Mark appends a raw tag byte separating heterogeneous key sections.
+func (k *KeyEnc) Mark(tag byte) { k.buf = append(k.buf, tag) }
+
+// String materializes the key. The encoder remains usable (and Resettable).
+func (k *KeyEnc) String() string { return string(k.buf) }
+
+// Bytes exposes the raw buffer; valid until the next mutating call.
+func (k *KeyEnc) Bytes() []byte { return k.buf }

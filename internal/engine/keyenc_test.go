@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKeyEncInjective: distinct value sequences (of equal call count) must
+// produce distinct keys. The adversarial pairs below collide under naive
+// digit concatenation without separators.
+func TestKeyEncInjective(t *testing.T) {
+	seqs := [][]int{
+		{1, 23}, {12, 3}, {123}, {1, 2, 3},
+		{0}, {0, 0}, {-1}, {1}, {-1, 1}, {1, -1},
+		{128}, {127, 0}, {16384}, {128, 128},
+	}
+	seen := map[string][]int{}
+	enc := NewKeyEnc()
+	for _, s := range seqs {
+		enc.Reset()
+		enc.Len(len(s))
+		for _, v := range s {
+			enc.Int(v)
+		}
+		k := enc.String()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("collision: %v and %v both encode to %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+}
+
+// TestKeyEncRandomInjective hammers the encoder with random sequences and
+// checks that equal keys imply equal sequences.
+func TestKeyEncRandomInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]string{}
+	enc := NewKeyEnc()
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(8)
+		vals := make([]int, n)
+		enc.Reset()
+		enc.Len(n)
+		sig := ""
+		for j := range vals {
+			vals[j] = rng.Intn(2000) - 1000
+			enc.Int(vals[j])
+			sig += "," + itoa(vals[j])
+		}
+		k := enc.String()
+		if prev, ok := seen[k]; ok && prev != sig {
+			t.Fatalf("collision: %q and %q both encode to %x", prev, sig, k)
+		}
+		seen[k] = sig
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// TestKeyEncRoundTrip decodes the varints back and compares.
+func TestKeyEncRoundTrip(t *testing.T) {
+	vals := []int{0, 1, -1, 63, 64, -64, -65, 127, 128, 1 << 20, -(1 << 20), 1<<40 + 7}
+	enc := NewKeyEnc()
+	for _, v := range vals {
+		enc.Int(v)
+	}
+	buf := enc.Bytes()
+	got := make([]int, 0, len(vals))
+	for len(buf) > 0 {
+		var u uint64
+		shift := 0
+		for {
+			b := buf[0]
+			buf = buf[1:]
+			u |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		got = append(got, int(int64(u>>1)^-(int64(u&1))))
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d: decoded %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+// TestKeyEncReuse: Reset must yield byte-identical keys for identical input.
+func TestKeyEncReuse(t *testing.T) {
+	enc := NewKeyEnc()
+	enc.Int(42)
+	enc.Mark('#')
+	enc.Int(-7)
+	a := enc.String()
+	enc.Reset()
+	enc.Int(42)
+	enc.Mark('#')
+	enc.Int(-7)
+	if b := enc.String(); a != b {
+		t.Fatalf("reuse changed the key: %x vs %x", a, b)
+	}
+}
+
+func BenchmarkKeyEncState(b *testing.B) {
+	// A synthetic state shape: 3 threads x (pc + 4 regs + 3 view entries),
+	// plus 3 vars x 2 messages.
+	enc := NewKeyEnc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		for th := 0; th < 3; th++ {
+			enc.Int(th * 7)
+			enc.Len(4)
+			for r := 0; r < 4; r++ {
+				enc.Int(r)
+			}
+			enc.Len(3)
+			for v := 0; v < 3; v++ {
+				enc.Int(v * 2)
+			}
+		}
+		enc.Mark('#')
+		for v := 0; v < 3; v++ {
+			enc.Len(2)
+			for m := 0; m < 2; m++ {
+				enc.Int(m)
+				enc.Int(1)
+				enc.Int(v)
+			}
+		}
+		_ = enc.Bytes()
+	}
+}

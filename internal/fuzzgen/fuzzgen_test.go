@@ -126,6 +126,66 @@ thread d { regs s; s = load x; assume s == 1; assert false }`
 	}
 }
 
+func TestCheckRunsPrepassBackend(t *testing.T) {
+	// The prepass backend must appear in every report (it never skips), and
+	// its definitive verdicts must join the lattice: a lying prepass gets
+	// caught exactly like a lying symbolic backend.
+	src := `system prodcons { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }`
+	sys, err := lang.ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(context.Background(), sys, fastCheck())
+	if !rep.Agree() {
+		t.Fatalf("honest backends disagreed: %v", rep.Disagreements)
+	}
+	pre := rep.Verdict(BackendPrepass)
+	if !pre.Ran {
+		t.Fatal("prepass backend missing from the report")
+	}
+	if !pre.definitiveUnsafe() {
+		t.Fatalf("prepass should decide prodcons UNSAFE, got %s", pre)
+	}
+
+	// Now make the prepass lie (claim SAFE-definitive on an unsafe system is
+	// not expressible through the bool hook, so invert: claim UNSAFE on a
+	// system everything else proves safe).
+	safeSrc := `system mp { vars x y; domain 2; env p; dis c }
+thread p { store x 1; store y 1 }
+thread c { regs a b; a = load y; assume a == 1; b = load x; assume b == 0; assert false }`
+	safeSys, err := lang.ParseSystem(safeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastCheck()
+	opts.InjectFault = func(backend string, _ *lang.System, unsafe bool) bool {
+		if backend == BackendPrepass {
+			return true // prepass claims a witness it does not have
+		}
+		return unsafe
+	}
+	rep = Check(context.Background(), safeSys, opts)
+	found := false
+	for _, d := range rep.Disagreements {
+		if strings.HasPrefix(d.Kind, "verdict:prepass/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lying prepass not caught: %v", rep.Disagreements)
+	}
+
+	// NoPrepass removes the backend entirely.
+	opts = fastCheck()
+	opts.NoPrepass = true
+	rep = Check(context.Background(), sys, opts)
+	if rep.Verdict(BackendPrepass).Ran {
+		t.Fatal("NoPrepass did not skip the prepass backend")
+	}
+}
+
 func TestShrinkMinimizesInjectedFault(t *testing.T) {
 	// Acceptance criterion: a backend that lies must be caught and the
 	// counterexample minimized to <= 2 threads and <= 10 statements.

@@ -17,6 +17,7 @@ const (
 	BackendSlice    = "slice"
 	BackendConcrete = "concrete"
 	BackendConfirm  = "confirm"
+	BackendPrepass  = "prepass"
 )
 
 // CheckOptions bounds the differential oracle. The zero value selects the
@@ -38,11 +39,12 @@ type CheckOptions struct {
 	// Parallelism2 is the second worker count of the determinism check
 	// (default 2; < 0 disables the check).
 	Parallelism2 int
-	// NoDatalog / NoConcrete / NoDeadlocks skip the corresponding
-	// backends (for narrow campaigns).
+	// NoDatalog / NoConcrete / NoDeadlocks / NoPrepass skip the
+	// corresponding backends (for narrow campaigns).
 	NoDatalog   bool
 	NoConcrete  bool
 	NoDeadlocks bool
+	NoPrepass   bool
 	// InjectFault, when non-nil, post-processes each backend's boolean
 	// verdict. It exists so the shrinker's acceptance tests and the
 	// `rabench fuzz -selftest` smoke can prove the harness detects and
@@ -224,6 +226,10 @@ func Check(ctx context.Context, sys *lang.System, opts CheckOptions) *Report {
 		} else {
 			dopts := base
 			dopts.Datalog = true
+			// Ground with abstract-value hints (but no verdict fast path in
+			// front): every seed then differentially checks the hinted
+			// encoding against the fixpoint reference.
+			dopts.DatalogHints = true
 			dRes, dErr := paramra.Verify(ctx, work, dopts)
 			dl.Ran = true
 			dl.Unsafe = applyFault(BackendDatalog, dRes.Unsafe)
@@ -289,6 +295,31 @@ func Check(ctx context.Context, sys *lang.System, opts CheckOptions) *Report {
 		rep.Verdicts = append(rep.Verdicts, cf)
 	}
 
+	// Backend 7: the static abstract-interpretation prepass. It never
+	// errors — it decides systems the symbolic backends reject (env CAS,
+	// cyclic dis) — so it joins only the definitive-vs-definitive
+	// comparisons, never the error-shape ones. Both of its fast paths claim
+	// soundness (SAFE: abstract proof for every replica count; UNSAFE:
+	// concrete replayed witness), so any definitive conflict with another
+	// backend is a real bug in one of them.
+	if !opts.NoPrepass {
+		pre := Verdict{Backend: BackendPrepass, Ran: true}
+		pout, perr := paramra.Prepass(ctx, work, base)
+		if perr != nil {
+			pre.ErrClass = classifyErr(perr)
+		} else {
+			pre.Detail = pout.Reason
+			pre.Unsafe = applyFault(BackendPrepass, pout.Verdict == paramra.PrepassUnsafe)
+			// An inconclusive outcome is a non-definitive SAFE: never
+			// compared, never a disagreement.
+			pre.Complete = pout.Verdict != paramra.PrepassInconclusive
+		}
+		for _, other := range rep.Verdicts {
+			comparePrepass(disagree, pre, other)
+		}
+		rep.Verdicts = append(rep.Verdicts, pre)
+	}
+
 	// FindDeadlocks determinism: the sink-state counts of a fixed instance
 	// are properties of the reachable state set and must not depend on the
 	// worker count.
@@ -333,6 +364,19 @@ func comparePair(rep *Report, disagree func(kind, format string, args ...any), a
 	}
 	if (a.definitiveUnsafe() && b.definitiveSafe()) || (a.definitiveSafe() && b.definitiveUnsafe()) {
 		disagree(kind, "%s vs %s", a, b)
+	}
+}
+
+// comparePrepass cross-checks the prepass against another backend on
+// definitive verdicts only. Error shapes are exempt by design: the prepass
+// answers for systems the symbolic backends reject.
+func comparePrepass(disagree func(kind, format string, args ...any), pre, other Verdict) {
+	if !pre.Ran || !other.Ran || pre.ErrClass != "" || other.ErrClass != "" {
+		return
+	}
+	if (pre.definitiveUnsafe() && other.definitiveSafe()) ||
+		(pre.definitiveSafe() && other.definitiveUnsafe()) {
+		disagree("verdict:prepass/"+other.Backend, "%s vs %s", pre, other)
 	}
 }
 

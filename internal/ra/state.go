@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
 
@@ -59,14 +60,15 @@ func (s *State) Clone() *State {
 
 // Key returns a canonical encoding of the state, used for visited-set
 // hashing during exploration. Positions are already canonical ranks, so two
-// states are semantically identical iff their keys are equal.
+// states are semantically identical iff their keys are equal. The encoding
+// is the compact injective varint scheme of engine.KeyEnc.
 func (s *State) Key() string {
-	var b strings.Builder
-	s.writeMemKey(&b)
+	enc := engine.NewKeyEnc()
+	s.encodeMemKey(enc)
 	for i := range s.Threads {
-		s.writeThreadKey(&b, i)
+		s.encodeThreadKey(enc, i)
 	}
-	return b.String()
+	return enc.String()
 }
 
 // SymKey returns the state key with the first nEnv thread sections (the
@@ -74,51 +76,57 @@ func (s *State) Key() string {
 // of env replicas share a SymKey. Sound because replicas run the same
 // program and messages carry no thread identity.
 func (s *State) SymKey(nEnv int) string {
-	var b strings.Builder
-	s.writeMemKey(&b)
+	enc := engine.NewKeyEnc()
+	s.encodeMemKey(enc)
 	envKeys := make([]string, 0, nEnv)
+	tenc := engine.NewKeyEnc()
 	for i := 0; i < nEnv && i < len(s.Threads); i++ {
-		var tb strings.Builder
-		s.writeThreadKey(&tb, i)
-		envKeys = append(envKeys, tb.String())
+		tenc.Reset()
+		s.encodeThreadKey(tenc, i)
+		envKeys = append(envKeys, tenc.String())
 	}
 	sort.Strings(envKeys)
+	var b strings.Builder
+	b.Write(enc.Bytes())
 	for _, k := range envKeys {
 		b.WriteString(k)
 	}
+	enc2 := engine.NewKeyEnc()
 	for i := nEnv; i < len(s.Threads); i++ {
-		s.writeThreadKey(&b, i)
+		s.encodeThreadKey(enc2, i)
 	}
+	b.Write(enc2.Bytes())
 	return b.String()
 }
 
-func (s *State) writeMemKey(b *strings.Builder) {
+func (s *State) encodeMemKey(enc *engine.KeyEnc) {
 	for _, list := range s.Mem {
-		b.WriteByte('[')
+		enc.Len(len(list))
 		for _, m := range list {
-			fmt.Fprintf(b, "%d", int(m.Val))
+			enc.Int(int(m.Val))
+			sealed := 0
 			if m.Sealed {
-				b.WriteByte('!')
+				sealed = 1
 			}
-			b.WriteByte('(')
+			enc.Int(sealed)
+			enc.Len(len(m.View))
 			for _, t := range m.View {
-				fmt.Fprintf(b, "%d,", t)
+				enc.Int(t)
 			}
-			b.WriteByte(')')
 		}
-		b.WriteByte(']')
 	}
 }
 
-func (s *State) writeThreadKey(b *strings.Builder, i int) {
+func (s *State) encodeThreadKey(enc *engine.KeyEnc, i int) {
 	th := s.Threads[i]
-	fmt.Fprintf(b, "T%d:", int(th.PC))
+	enc.Int(int(th.PC))
+	enc.Len(len(th.Regs))
 	for _, r := range th.Regs {
-		fmt.Fprintf(b, "%d,", int(r))
+		enc.Int(int(r))
 	}
-	b.WriteByte('@')
+	enc.Len(len(th.View))
 	for _, t := range th.View {
-		fmt.Fprintf(b, "%d,", t)
+		enc.Int(t)
 	}
 }
 

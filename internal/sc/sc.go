@@ -11,6 +11,7 @@
 package sc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -155,10 +156,19 @@ type Result struct {
 	Transitions int
 	Complete    bool
 	Witness     []ra.Event
+	// Err is the context error when the search was cancelled.
+	Err error
 }
 
 // Explore runs a BFS of the SC state space looking for an assert violation.
 func (inst *Instance) Explore(lim ra.Limits) Result {
+	return inst.ExploreContext(context.Background(), lim)
+}
+
+// ExploreContext is Explore with cancellation: the BFS stops at the next
+// dequeued state once ctx is done, returning Complete=false and
+// Err=ctx.Err().
+func (inst *Instance) ExploreContext(ctx context.Context, lim ra.Limits) Result {
 	type node struct {
 		state *State
 		depth int
@@ -193,6 +203,10 @@ func (inst *Instance) Explore(lim ra.Limits) Result {
 	}
 
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		n := queue[0]
 		queue = queue[1:]
 		if lim.MaxDepth > 0 && n.depth >= lim.MaxDepth {

@@ -1,10 +1,9 @@
 package simplified
 
 import (
-	"fmt"
 	"hash/fnv"
-	"strings"
 
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
 
@@ -37,18 +36,27 @@ type AThread struct {
 	Log  *ReadLog // reads so far; not part of Key
 }
 
-// Key returns the identity of the configuration (pc, registers, view).
+// Key returns the identity of the configuration (pc, registers, view) as a
+// compact injective encoding (see engine.KeyEnc).
 func (c AThread) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", int(c.PC))
+	enc := engine.NewKeyEnc()
+	c.encodeKey(enc)
+	return enc.String()
+}
+
+// encodeKey appends the configuration's identity to enc. Register and view
+// arities are length-prefixed so configurations of different programs can
+// share one key stream.
+func (c AThread) encodeKey(enc *engine.KeyEnc) {
+	enc.Int(int(c.PC))
+	enc.Len(len(c.Regs))
 	for _, r := range c.Regs {
-		fmt.Fprintf(&b, "%d,", int(r))
+		enc.Int(int(r))
 	}
-	b.WriteByte('|')
+	enc.Len(len(c.View))
 	for _, t := range c.View {
-		fmt.Fprintf(&b, "%d,", int(t))
+		enc.Int(int(t))
 	}
-	return b.String()
 }
 
 func (c AThread) cloneRegs() []lang.Val {
@@ -162,14 +170,16 @@ func (s *state) clone() *state {
 }
 
 // key identifies the macro-state for memoization: dis thread configurations,
-// dis memory, and the env fingerprint.
+// dis memory, and the env fingerprint, in one compact injective encoding.
 func (s *state) key() string {
-	var b strings.Builder
+	enc := engine.NewKeyEnc()
+	enc.Len(len(s.dis))
 	for _, d := range s.dis {
-		b.WriteString(d.Key())
-		b.WriteByte('#')
+		d.encodeKey(enc)
 	}
-	b.WriteString(s.mem.Key())
-	fmt.Fprintf(&b, "~%x", s.env.Fingerprint())
-	return b.String()
+	enc.Mark('#')
+	s.mem.encodeKey(enc)
+	enc.Mark('~')
+	enc.Uint64(s.env.Fingerprint())
+	return enc.String()
 }

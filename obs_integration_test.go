@@ -287,7 +287,9 @@ func TestCLITraceOut(t *testing.T) {
 	trace := filepath.Join(dir, "trace.jsonl")
 	metrics := filepath.Join(dir, "metrics.json")
 
-	out, code := runTool(t, "raverify", "-j", "2", "-trace-out", trace, "-metrics-out", metrics, path)
+	// -prepass=false: this test pins the trace shape of the full fixpoint
+	// pipeline, which the static prepass would otherwise short-circuit.
+	out, code := runTool(t, "raverify", "-prepass=false", "-j", "2", "-trace-out", trace, "-metrics-out", metrics, path)
 	if code != 1 || !strings.Contains(out, "UNSAFE") {
 		t.Fatalf("raverify: code=%d out=%s", code, out)
 	}

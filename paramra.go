@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paramra/internal/absint"
 	"paramra/internal/analysis"
 	"paramra/internal/datalog"
 	"paramra/internal/depgraph"
@@ -68,9 +69,16 @@ func ParseFile(path string) (*System, error) {
 // Format renders a system back into concrete syntax.
 func Format(sys *System) string { return lang.Print(sys) }
 
+// ThreadType is a single thread's classification (acyc/nocas) in the
+// paper's notation.
+type ThreadType = lang.ThreadType
+
 // Classify computes the system class signature, e.g.
 // "env(nocas) || dis_1(acyc)".
 func Classify(sys *System) SystemClass { return lang.Classify(sys) }
+
+// ClassifyProgram computes the type of a single thread program.
+func ClassifyProgram(p *Program) ThreadType { return lang.ClassifyProgram(p) }
 
 // Unroll returns a copy of the system with every dis-thread loop unrolled k
 // times (a bounded-model-checking under-approximation; env loops are
@@ -83,10 +91,17 @@ type Diagnostic = analysis.Diagnostic
 // SliceStats reports the size reduction achieved by Slice.
 type SliceStats = analysis.SliceStats
 
-// Analyze runs the static lint rules over the system and returns the
-// findings sorted by source position. Callers that know the source file
-// should set Diagnostic.File before printing.
-func Analyze(sys *System) []Diagnostic { return analysis.AnalyzeSystem(sys) }
+// Analyze runs the static lint rules over the system — the constant-
+// propagation rules of internal/analysis plus the abstract-interpretation
+// rules of internal/absint — and returns the merged findings sorted by
+// source position. Callers that know the source file should set
+// Diagnostic.File before printing.
+func Analyze(sys *System) []Diagnostic {
+	out := analysis.AnalyzeSystem(sys)
+	out = append(out, absint.Lint(sys, out)...)
+	analysis.SortDiagnostics(out)
+	return out
+}
 
 // Slice returns a smaller system with the same parameterized safety verdict:
 // it drops assignments to dead registers, statements at unreachable PCs,
@@ -127,6 +142,18 @@ type Options struct {
 	// the integrated fixpoint engine. Slower; exposed for cross-checking
 	// and experiments.
 	Datalog bool
+	// Prepass runs the static abstract-interpretation prepass first and
+	// returns its verdict (Result.DecidedBy = "prepass") when it is
+	// decisive, skipping the state-space search entirely. Sound on both
+	// sides: SAFE proofs hold for every replica count (including systems
+	// outside the decidable fragment), UNSAFE witnesses are concrete
+	// replays. See Prepass for the standalone entry point.
+	Prepass bool
+	// DatalogHints grounds the Datalog encoding with abstract-value register
+	// hints even when Prepass is off — the fuzz oracle uses it to exercise
+	// the hinted grounding without the verdict fast path in front of it.
+	// Prepass implies it.
+	DatalogHints bool
 	// MaxSkeletons caps dis-run enumeration for the Datalog backend.
 	MaxSkeletons int
 	// Parallelism is the number of worker goroutines (0 = GOMAXPROCS).
@@ -273,8 +300,16 @@ type Result struct {
 	// unsafe verdicts only).
 	Graph *DependencyGraph
 	// Witness lists the messages read by the violating thread, in order
-	// (fixpoint backend, unsafe verdicts only).
+	// (fixpoint backend, unsafe verdicts only), or the confirming
+	// interleaving's events when the prepass decided.
 	Witness []string
+	// DecidedBy names the component that produced the verdict: "prepass",
+	// "fixpoint", or "datalog".
+	DecidedBy string
+	// PrepassReason is the prepass's one-line justification when
+	// Options.Prepass was set (populated on inconclusive outcomes too, so
+	// callers can see why the fast path did not fire).
+	PrepassReason string
 }
 
 // Verify decides parameterized safety for the system. The context carries
@@ -296,6 +331,28 @@ func verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 	defer span.End()
 
 	res := Result{EnvThreadBound: -1}
+	if opts.Prepass {
+		// The prepass runs on the original system, before any unrolling, so
+		// a SAFE proof covers the true semantics rather than the bounded
+		// under-approximation.
+		pspan := span.Child("prepass")
+		out, err := prepass(ctx, sys, opts, pspan)
+		pspan.End()
+		if err != nil {
+			res.Class = lang.Classify(sys)
+			return res, err
+		}
+		var done bool
+		if res, done = applyPrepass(res, out); done {
+			res.Class = lang.Classify(sys)
+			if span != nil {
+				span.SetAttr("decided_by", "prepass")
+				span.SetAttr("unsafe", res.Unsafe)
+				span.SetAttr("complete", res.Complete)
+			}
+			return res, nil
+		}
+	}
 	work := sys
 	if opts.UnrollDis > 0 {
 		cls := lang.Classify(sys)
@@ -333,9 +390,11 @@ func verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 	}
 
 	if opts.Datalog {
+		res.DecidedBy = "datalog"
 		r, err := verifyDatalog(ctx, work, opts, res, span)
 		return seal(r), err
 	}
+	res.DecidedBy = "fixpoint"
 
 	var goal *simplified.Goal
 	if opts.Goal != nil {
@@ -406,8 +465,20 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, s
 	dspan := span.Child("datalog")
 	defer dspan.End()
 
+	// With the prepass on, the abstract value sets double as grounding
+	// hints: registers are enumerated only over the values they can hold at
+	// each env PC, shrinking the instances without changing derivability.
+	// The facts must describe the exact system being encoded (post-slice,
+	// post-unroll), so they are recomputed here rather than reused from the
+	// verdict prepass on the original system.
+	var hints encode.Hints
+	if opts.Prepass || opts.DatalogHints {
+		if ef := absint.Analyze(sys).EnvFacts(); ef != nil {
+			hints = ef
+		}
+	}
 	enc := dspan.Child("skeleton-enumeration")
-	ps, complete, err := encode.AllCtx(ctx, sys, maxSk)
+	ps, complete, err := encode.AllCtxHints(ctx, sys, maxSk, hints)
 	if enc != nil {
 		enc.SetAttr("skeletons", len(ps))
 		enc.SetAttr("complete", complete)

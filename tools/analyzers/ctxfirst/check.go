@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// families are the entry-point verbs the analyzer polices: long-running
+// verification and exploration APIs must be cancellable.
+var families = []string{"Verify", "Explore"}
+
+// diagnostic is one finding, formatted go-vet style.
+type diagnostic struct {
+	pos token.Position
+	msg string
+}
+
+func (d diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.pos, d.msg)
+}
+
+// checkPackage inspects every exported Verify*/Explore* function or method
+// declared across the files of one package. Members of a family (same verb,
+// same receiver type) that do not take context.Context as their first
+// parameter are reported — unless some member of the family does, in which
+// case the rest are treated as convenience wrappers over that variant.
+func checkPackage(fset *token.FileSet, files []*ast.File) []diagnostic {
+	type member struct {
+		decl   *ast.FuncDecl
+		family string
+		recv   string
+	}
+	groups := map[string][]member{}
+	var order []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fam := family(fd.Name.Name)
+			if fam == "" {
+				continue
+			}
+			m := member{decl: fd, family: fam, recv: recvTypeName(fd)}
+			key := m.recv + "." + fam
+			if _, seen := groups[key]; !seen {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], m)
+		}
+	}
+	var diags []diagnostic
+	for _, key := range order {
+		ms := groups[key]
+		hasCtx := false
+		for _, m := range ms {
+			if ctxFirst(m.decl) {
+				hasCtx = true
+				break
+			}
+		}
+		if hasCtx {
+			continue
+		}
+		for _, m := range ms {
+			name := m.decl.Name.Name
+			target := name
+			if m.recv != "" {
+				target = "(" + m.recv + ")." + name
+			}
+			diags = append(diags, diagnostic{
+				pos: fset.Position(m.decl.Name.Pos()),
+				msg: fmt.Sprintf("exported entry point %s must take context.Context as its first parameter, or the %s family must offer a context-first %sContext variant",
+					target, m.family, name),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// family maps a declaration name to the entry-point verb it extends, or ""
+// when the name is outside the policed set. The character after the verb
+// must start a new word ("VerifyInstance", not "Verifying").
+func family(name string) string {
+	for _, f := range families {
+		if !strings.HasPrefix(name, f) {
+			continue
+		}
+		rest := name[len(f):]
+		if rest == "" {
+			return f
+		}
+		if r, _ := utf8.DecodeRuneInString(rest); unicode.IsUpper(r) {
+			return f
+		}
+	}
+	return ""
+}
+
+// recvTypeName unwraps a method receiver to its base type name ("" for
+// plain functions). Pointer and generic receivers are unwrapped.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// ctxFirst reports whether the declaration's first parameter is written as
+// context.Context. The check is syntactic (the tool runs without type
+// information), so a renamed context import defeats it; the repository
+// imports the package under its own name everywhere.
+func ctxFirst(fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	sel, ok := params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}

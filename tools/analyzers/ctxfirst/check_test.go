@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestFlagsEntryPointWithoutContext(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+func VerifyAll(n int) error { return nil }
+`))
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].msg, "VerifyAll") || !strings.Contains(diags[0].msg, "context.Context") {
+		t.Errorf("unhelpful diagnostic: %s", diags[0])
+	}
+}
+
+func TestAcceptsContextFirst(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+import "context"
+
+func Verify(ctx context.Context, n int) error { return nil }
+func ExploreDeep(ctx context.Context) {}
+`))
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestContextSiblingGrandfathersWrappers(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+import "context"
+
+type Instance struct{}
+
+func (inst *Instance) Explore(lim int) error { return inst.ExploreContext(context.Background(), lim) }
+func (inst *Instance) ExploreContext(ctx context.Context, lim int) error { return nil }
+func (inst *Instance) ExploreParallel(lim, workers int) error { return nil }
+`))
+	if len(diags) != 0 {
+		t.Fatalf("wrappers over a context variant flagged: %v", diags)
+	}
+}
+
+func TestDifferentReceiversAreSeparateFamilies(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+import "context"
+
+type A struct{}
+type B struct{}
+
+func (a *A) Explore() {}
+func (b *B) ExploreContext(ctx context.Context) {}
+`))
+	if len(diags) != 1 || !strings.Contains(diags[0].msg, "(A).Explore") {
+		t.Fatalf("got %v, want exactly (A).Explore flagged", diags)
+	}
+}
+
+func TestIgnoresUnexportedAndUnrelatedNames(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+func verify(n int) {}
+func explore() {}
+func Verifying(n int) {}
+func Run(n int) {}
+func Exploit() {}
+`))
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestGenericReceiverAndFunc(t *testing.T) {
+	diags := checkPackage(parseSrc(t, `
+package p
+
+import "context"
+
+type Engine[S any] struct{}
+
+func (e *Engine[S]) Explore(ctx context.Context) {}
+
+func Verify[T any](ctx context.Context, v T) {}
+`))
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics on generics: %v", diags)
+	}
+}
+
+// TestRepoIsClean runs the standalone walker over the whole repository:
+// every Verify*/Explore* family shipped here must already satisfy the
+// discipline the CI lint job enforces.
+func TestRepoIsClean(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := expand("../../../...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []diagnostic
+	for _, dir := range dirs {
+		diags, err := checkDir(fset, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, diags...)
+	}
+	for _, d := range all {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestUnitConfigProtocol drives runUnit the way go vet does: a JSON .cfg
+// naming the unit's files, an expected vetx output, exit 2 on findings and
+// 0 on clean or VetxOnly units.
+func TestUnitConfigProtocol(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nfunc VerifySystem(n int) {}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	writeCfg := func(name string, cfg config) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cfg := writeCfg("unit.cfg", config{GoFiles: []string{src}, VetxOutput: vetx})
+	if code := runUnit(cfg); code != 2 {
+		t.Errorf("unit with finding: exit %d, want 2", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+
+	only := writeCfg("only.cfg", config{GoFiles: []string{src}, VetxOutput: vetx, VetxOnly: true})
+	if code := runUnit(only); code != 0 {
+		t.Errorf("VetxOnly unit: exit %d, want 0 (facts pass must not report)", code)
+	}
+}
+
+// TestGoVetProtocol builds the tool and runs it under the real go vet
+// driver against a package of this repository, exercising -V=full, -flags,
+// and the .cfg handshake end to end.
+func TestGoVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets a package")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ctxfirst")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/sc/")
+	vet.Dir = "../../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

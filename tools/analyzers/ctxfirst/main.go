@@ -1,0 +1,250 @@
+// Command ctxfirst enforces the repository's cancellation discipline:
+// every family of exported Verify*/Explore* entry points (same verb, same
+// receiver type, same package) must expose a variant that takes
+// context.Context as its first parameter. Context-less members of a family
+// that has such a variant are accepted as convenience wrappers (e.g.
+// Explore over ExploreContext); a family with none is reported.
+//
+// The tool is built on the standard library only and speaks the
+// `go vet -vettool` protocol:
+//
+//	-V=full    print the executable's version and content hash (build cache key)
+//	-flags     print the supported analyzer flags as JSON (none: "[]")
+//	unit.cfg   analyze one compilation unit described by a JSON config file
+//
+// It also runs standalone over directories and `./...` patterns:
+//
+//	go build -o bin/ctxfirst ./tools/analyzers/ctxfirst
+//	go vet -vettool=$PWD/bin/ctxfirst ./...
+//	./bin/ctxfirst ./...
+//
+// Exit status is 2 when findings are reported, mirroring go vet.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// config is the subset of the go vet unit-config JSON the tool needs.
+type config struct {
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ctxfirst: ")
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ctxfirst", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (-V=full includes the content hash)")
+	printFlags := fs.Bool("flags", false, "print the analyzer flags as JSON and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		return doVersion(*version)
+	}
+	if *printFlags {
+		// No analyzer-specific flags: the driver learns it may pass none.
+		fmt.Println("[]")
+		return 0
+	}
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runUnit(fs.Arg(0))
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	return runStandalone(targets)
+}
+
+// doVersion implements -V. The -V=full form is the build tool's cache key
+// for vet results, so it must change whenever the executable does: it
+// embeds a content hash of the binary, in the same shape the go/analysis
+// unitchecker driver prints.
+func doVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("ctxfirst version devel")
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}
+
+// runUnit analyzes one compilation unit under the go vet driver.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("%s: %v", cfgPath, err)
+		return 1
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Print(err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// The driver caches the unit's facts file; ctxfirst exports no facts
+	// but must still produce the output the build system expects.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags := checkPackage(fset, files)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone analyzes directories, ./... patterns, and single .go files
+// without a driver.
+func runStandalone(targets []string) int {
+	fset := token.NewFileSet()
+	var diags []diagnostic
+	for _, target := range targets {
+		if strings.HasSuffix(target, ".go") {
+			f, err := parser.ParseFile(fset, target, nil, parser.SkipObjectResolution)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			diags = append(diags, checkPackage(fset, []*ast.File{f})...)
+			continue
+		}
+		dirs, err := expand(target)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		for _, dir := range dirs {
+			ds, err := checkDir(fset, dir)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// expand resolves a target into the directories to analyze: a trailing
+// "..." walks the tree, skipping testdata and hidden/underscore dirs.
+func expand(target string) ([]string, error) {
+	if !strings.HasSuffix(target, "...") {
+		return []string{target}, nil
+	}
+	root := filepath.Clean(strings.TrimSuffix(target, "..."))
+	if root == "" {
+		root = "."
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != root &&
+			(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// checkDir parses every .go file in one directory, groups the files by
+// package clause (a directory may hold both pkg and pkg_test), and checks
+// each group.
+func checkDir(fset *token.FileSet, dir string) ([]diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := byPkg[f.Name.Name]; !seen {
+			names = append(names, f.Name.Name)
+		}
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+	}
+	sort.Strings(names)
+	var out []diagnostic
+	for _, name := range names {
+		out = append(out, checkPackage(fset, byPkg[name])...)
+	}
+	return out, nil
+}
