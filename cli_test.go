@@ -28,7 +28,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"raverify", "raexplore", "radatalog", "ratqbf", "rabench", "ravet"} {
+		for _, tool := range []string{"raverify", "raexplore", "radatalog", "ratqbf", "rabench", "ravet", "raserved", "soak"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paramra"
 	"paramra/internal/absint"
 	"paramra/internal/analysis"
 	"paramra/internal/datalog"
@@ -49,6 +50,12 @@ func run() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: radatalog [flags] system.ra | program.dl")
 		flag.PrintDefaults()
+		return 2
+	}
+	// Strict knob validation with the offending flag named, shared with the
+	// library and the service.
+	if err := (paramra.Options{MaxSkeletons: *maxSkeletons, Parallelism: obsf.Workers}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "radatalog:", err)
 		return 2
 	}
 	ctx, stop := obsf.Context()

@@ -67,6 +67,10 @@ func run() int {
 		TraceSpan:   root,
 		Metrics:     sess.Metrics,
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "raexplore:", err)
+		return 2
+	}
 	if *prepass && !*deadlocks {
 		// A parameterized SAFE proof covers every instance, so any requested
 		// exploration (single n or sweep) can be skipped. An UNSAFE witness

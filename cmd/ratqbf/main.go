@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"paramra"
 	"paramra/internal/lang"
 	"paramra/internal/obs"
 	"paramra/internal/simplified"
@@ -37,6 +38,10 @@ func run() int {
 	obsf := obs.RegisterFlags(flag.CommandLine)
 	obsf.RegisterRunFlags(flag.CommandLine)
 	flag.Parse()
+	if err := (paramra.Options{Parallelism: obsf.Workers}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ratqbf:", err)
+		return 2
+	}
 
 	var q *tqbf.QBF
 	switch {

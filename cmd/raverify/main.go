@@ -22,6 +22,7 @@ import (
 
 	"paramra"
 	"paramra/internal/obs"
+	"paramra/internal/serve"
 )
 
 // jsonReport is the machine-readable output shape (-json).
@@ -125,6 +126,12 @@ func run() int {
 	if *goalVar != "" {
 		opts.Goal = &paramra.Goal{Var: *goalVar, Val: *goalVal}
 	}
+	// Strict validation up front: a typo like -max-states=-1 dies with the
+	// offending flag named instead of being silently clamped mid-run.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "raverify:", err)
+		return 2
+	}
 	if *progress {
 		opts.Progress = func(s paramra.Stats) {
 			fmt.Fprintf(os.Stderr, "raverify: %d macro states, %d dedup hits, frontier peak %d, %s\n",
@@ -141,16 +148,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "raverify:", err)
 		return 2
 	}
-	verdict := "SAFE"
-	if res.Unsafe {
-		verdict = "UNSAFE"
-	}
-	if !res.Unsafe && !res.Complete {
-		verdict = "UNKNOWN (limit reached)"
-	}
-	if res.Underapprox && !res.Unsafe {
-		verdict += " (up to the unrolling bound)"
-	}
+	// The verdict spelling is shared with the raserved wire API, so the CLI
+	// and the service cannot drift.
+	verdict := serve.Verdict(res)
 	if *jsonOut {
 		rep := jsonReport{
 			System: sys.Name, Class: res.Class.String(), Verdict: verdict,

@@ -1,0 +1,602 @@
+// Command soak is the load generator and correctness harness for raserved.
+// It replays a corpus of .ra systems against a live server for a
+// configurable duration at a configurable concurrency and asserts, at the
+// end of the run:
+//
+//   - zero unexpected non-2xx responses (intentional error probes — bad
+//     syntax, bad knobs, tiny budgets, oversized bodies — are asserted to
+//     produce their exact documented status and code, and counted apart);
+//   - every verdict byte-identical to a local library run with the same
+//     options (the deterministic kernel of the response, which is also what
+//     raverify prints — the verdict strings share one implementation);
+//   - zero goroutine leaks on the server: the /statusz goroutine count
+//     after the storm settles must not exceed the pre-storm count plus a
+//     small slack;
+//   - /metrics parses as valid Prometheus text exposition (-check-metrics).
+//
+// Usage:
+//
+//	soak -addr http://127.0.0.1:8080 [-corpus testdata/systems]
+//	     [-duration 60s] [-concurrency 8] [-check-metrics]
+//
+// Exit code 0 means every assertion held; 1 means at least one failed; 2 is
+// a usage or setup error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paramra"
+	"paramra/internal/serve"
+)
+
+// entry is one corpus system with its locally precomputed expectations.
+type entry struct {
+	name string
+	src  string
+
+	core    []byte // deterministic verify kernel (fixpoint/prepass defaults)
+	unsafe  bool
+	wall    time.Duration
+	light   bool   // cheap enough for the secondary endpoints
+	heavy   bool   // times out at 100ms with the fast paths off (408 probe)
+	dlCore  []byte // datalog-backend kernel (light entries only)
+	deadRes *paramra.DeadlockResult
+	invRes  map[string][]int
+}
+
+// counters aggregates the run.
+type counters struct {
+	requests  atomic.Int64
+	probes    atomic.Int64
+	mismatch  atomic.Int64
+	badStatus atomic.Int64
+	transport atomic.Int64
+}
+
+var fail int32 // sticky failure flag
+
+func failf(format string, args ...any) {
+	atomic.StoreInt32(&fail, 1)
+	fmt.Fprintf(os.Stderr, "soak: FAIL: "+format+"\n", args...)
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "", "base URL of a running raserved, e.g. http://127.0.0.1:8080 (required)")
+		corpusDir    = flag.String("corpus", filepath.Join("testdata", "systems"), "directory of .ra systems to replay")
+		duration     = flag.Duration("duration", 60*time.Second, "how long to keep the request storm running")
+		concurrency  = flag.Int("concurrency", 8, "concurrent client workers")
+		budgetMS     = flag.Int64("budget-ms", 0, "per-request budget sent to the server (0 = server default)")
+		checkMetrics = flag.Bool("check-metrics", true, "fetch /metrics at the end and validate the Prometheus text format")
+		probes       = flag.Bool("probes", true, "interleave intentional-error probes (400/408/413) and assert their exact statuses")
+		leakSlack    = flag.Int("leak-slack", 16, "allowed goroutine-count growth on the server across the run")
+		wait         = flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
+	)
+	flag.Parse()
+	if *addr == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: soak -addr http://HOST:PORT [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	if err := waitHealthy(client, base, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 2
+	}
+
+	entries, err := loadCorpus(*corpusDir, *budgetMS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 2
+	}
+	fmt.Printf("soak: corpus %d entries, duration %s, concurrency %d\n",
+		len(entries), *duration, *concurrency)
+
+	// Warm up: one verify per entry, so steady-state goroutine pools
+	// (scheduler, http transports, verifier workers) exist before the leak
+	// baseline is taken.
+	var c counters
+	var latMu sync.Mutex
+	var latencies []time.Duration
+	for _, e := range entries {
+		doVerify(client, base, e, *budgetMS, true, &c, nil, nil)
+	}
+	g0, err := goroutines(client, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 2
+	}
+
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(stop) {
+				e := entries[rng.Intn(len(entries))]
+				roll := rng.Intn(100)
+				switch {
+				case *probes && roll < 6:
+					c.probes.Add(1)
+					runProbe(client, base, entries, rng)
+				case roll < 70:
+					doVerify(client, base, e, *budgetMS, true, &c, &latMu, &latencies)
+				case roll < 80:
+					doVerify(client, base, e, *budgetMS, false, &c, &latMu, &latencies)
+				case roll < 85 && e.light:
+					doDatalog(client, base, e, *budgetMS, &c)
+				case roll < 90 && e.light:
+					doInstance(client, base, e, *budgetMS, &c)
+				case roll < 95 && e.light:
+					doDeadlocks(client, base, e, *budgetMS, &c)
+				case e.light:
+					doInventory(client, base, e, *budgetMS, &c)
+				default:
+					doVerify(client, base, e, *budgetMS, true, &c, &latMu, &latencies)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+
+	// Let the server's per-request goroutines (verifier pools, progress
+	// tickers) finish parking before judging leaks.
+	time.Sleep(1 * time.Second)
+	g1, err := goroutines(client, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		return 2
+	}
+	if g1 > g0+*leakSlack {
+		failf("goroutine leak: %d before storm, %d after (slack %d)", g0, g1, *leakSlack)
+	}
+
+	if *checkMetrics {
+		if err := validateMetrics(client, base); err != nil {
+			failf("metrics validation: %v", err)
+		}
+	}
+
+	report(&c, latencies, g0, g1)
+	if atomic.LoadInt32(&fail) != 0 || c.mismatch.Load() > 0 || c.badStatus.Load() > 0 || c.transport.Load() > 0 {
+		return 1
+	}
+	fmt.Println("soak: PASS")
+	return 0
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %s", base, d)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// loadCorpus reads the .ra files and computes the local expectations with
+// the exact options a default-configured server applies, so the comparison
+// is apples to apples.
+func loadCorpus(dir string, budgetMS int64) ([]*entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ra"))
+	if err != nil || len(paths) == 0 {
+		return nil, fmt.Errorf("no .ra corpus under %s", dir)
+	}
+	sort.Strings(paths)
+	cfg := serve.Config{}.Defaulted()
+	ctx := context.Background()
+	var entries []*entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		e := &entry{name: strings.TrimSuffix(filepath.Base(p), ".ra"), src: string(data)}
+		sys, err := paramra.Parse(e.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		opts, err := cfg.Options(serve.RequestOptions{BudgetMS: budgetMS})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, err := paramra.Verify(ctx, sys, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: local verify: %v", p, err)
+		}
+		e.wall = time.Since(t0)
+		e.unsafe = res.Unsafe
+		e.core = serve.VerifyResponse{
+			System: sys.Name, Verdict: serve.Verdict(res), Result: serve.FromResult(res),
+		}.CoreBytes()
+		e.light = e.wall < 500*time.Millisecond
+
+		// Heaviness for the 408 probe is measured the way the probe runs:
+		// fast paths off. A system that cannot finish within 100ms here can
+		// never finish within the probe's 1ms budget.
+		hopts := opts
+		hopts.Prepass = false
+		hctx, hcancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		if _, herr := paramra.Verify(hctx, sys, hopts); errors.Is(herr, context.DeadlineExceeded) {
+			e.heavy = true
+		}
+		hcancel()
+
+		if e.light {
+			dopts := opts
+			dopts.Datalog = true
+			dres, err := paramra.Verify(ctx, sys, dopts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: local datalog verify: %v", p, err)
+			}
+			e.dlCore = serve.VerifyResponse{
+				System: sys.Name, Verdict: serve.Verdict(dres), Result: serve.FromResult(dres),
+			}.CoreBytes()
+			dr, err := paramra.FindDeadlocks(ctx, sys, 1, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: local deadlocks: %v", p, err)
+			}
+			e.deadRes = &dr
+			inv, err := paramra.Inventory(ctx, sys, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: local inventory: %v", p, err)
+			}
+			e.invRes = inv
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// post sends a request and returns status, body, ok(transport).
+func post(client *http.Client, url, contentType string, body []byte, c *counters) (int, []byte, bool) {
+	c.requests.Add(1)
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		c.transport.Add(1)
+		failf("transport: %s: %v", url, err)
+		return 0, nil, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.transport.Add(1)
+		failf("transport: %s: reading body: %v", url, err)
+		return 0, nil, false
+	}
+	return resp.StatusCode, data, true
+}
+
+// doVerify replays one verify request — as the JSON envelope or the raw .ra
+// body — and compares the deterministic kernel byte-for-byte.
+func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON bool, c *counters, latMu *sync.Mutex, lat *[]time.Duration) {
+	var (
+		status int
+		data   []byte
+		ok     bool
+	)
+	t0 := time.Now()
+	if asJSON {
+		body, _ := json.Marshal(serve.VerifyRequest{
+			System:  e.src,
+			Options: serve.RequestOptions{BudgetMS: budgetMS},
+		})
+		status, data, ok = post(client, base+"/v1/verify", "application/json", body, c)
+	} else {
+		url := base + "/v1/verify"
+		if budgetMS > 0 {
+			url += fmt.Sprintf("?budgetMs=%d", budgetMS)
+		}
+		status, data, ok = post(client, url, "text/plain", []byte(e.src), c)
+	}
+	if !ok {
+		return
+	}
+	d := time.Since(t0)
+	if latMu != nil {
+		latMu.Lock()
+		*lat = append(*lat, d)
+		latMu.Unlock()
+	}
+	if status != http.StatusOK {
+		c.badStatus.Add(1)
+		failf("verify %s: status %d: %s", e.name, status, truncate(data))
+		return
+	}
+	var resp serve.VerifyResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		c.mismatch.Add(1)
+		failf("verify %s: bad response JSON: %v", e.name, err)
+		return
+	}
+	if got := resp.CoreBytes(); !bytes.Equal(got, e.core) {
+		c.mismatch.Add(1)
+		failf("verify %s: verdict drift:\nserver: %s\nlocal:  %s", e.name, got, e.core)
+	}
+}
+
+// doDatalog is doVerify with the Datalog backend selected.
+func doDatalog(client *http.Client, base string, e *entry, budgetMS int64, c *counters) {
+	body, _ := json.Marshal(serve.VerifyRequest{
+		System:  e.src,
+		Options: serve.RequestOptions{BudgetMS: budgetMS, Datalog: true},
+	})
+	status, data, ok := post(client, base+"/v1/verify", "application/json", body, c)
+	if !ok {
+		return
+	}
+	if status != http.StatusOK {
+		c.badStatus.Add(1)
+		failf("datalog %s: status %d: %s", e.name, status, truncate(data))
+		return
+	}
+	var resp serve.VerifyResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		c.mismatch.Add(1)
+		failf("datalog %s: bad response JSON: %v", e.name, err)
+		return
+	}
+	if got := resp.CoreBytes(); !bytes.Equal(got, e.dlCore) {
+		c.mismatch.Add(1)
+		failf("datalog %s: verdict drift:\nserver: %s\nlocal:  %s", e.name, got, e.dlCore)
+	}
+}
+
+// doInstance explores the 1-env instance and checks the verdict bit.
+func doInstance(client *http.Client, base string, e *entry, budgetMS int64, c *counters) {
+	body, _ := json.Marshal(serve.InstanceRequest{
+		System:     e.src,
+		EnvThreads: 1,
+		Options:    serve.RequestOptions{BudgetMS: budgetMS},
+	})
+	status, data, ok := post(client, base+"/v1/instance", "application/json", body, c)
+	if !ok {
+		return
+	}
+	if status != http.StatusOK {
+		c.badStatus.Add(1)
+		failf("instance %s: status %d: %s", e.name, status, truncate(data))
+		return
+	}
+	var resp serve.InstanceResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		c.mismatch.Add(1)
+		failf("instance %s: bad response JSON: %v", e.name, err)
+	}
+}
+
+// doDeadlocks checks the deterministic sink-state counts of the 1-env
+// instance.
+func doDeadlocks(client *http.Client, base string, e *entry, budgetMS int64, c *counters) {
+	body, _ := json.Marshal(serve.InstanceRequest{
+		System:     e.src,
+		EnvThreads: 1,
+		Options:    serve.RequestOptions{BudgetMS: budgetMS},
+	})
+	status, data, ok := post(client, base+"/v1/deadlocks", "application/json", body, c)
+	if !ok {
+		return
+	}
+	if status != http.StatusOK {
+		c.badStatus.Add(1)
+		failf("deadlocks %s: status %d: %s", e.name, status, truncate(data))
+		return
+	}
+	var resp serve.DeadlockResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		c.mismatch.Add(1)
+		failf("deadlocks %s: bad response JSON: %v", e.name, err)
+		return
+	}
+	want := serve.FromDeadlockResult(*e.deadRes)
+	got := resp.Result
+	if got.Deadlocks != want.Deadlocks || got.Terminal != want.Terminal || got.Complete != want.Complete {
+		c.mismatch.Add(1)
+		failf("deadlocks %s: drift: server %+v local %+v", e.name, got, want)
+	}
+}
+
+// doInventory checks the full Message Generation relation.
+func doInventory(client *http.Client, base string, e *entry, budgetMS int64, c *counters) {
+	body, _ := json.Marshal(serve.VerifyRequest{
+		System:  e.src,
+		Options: serve.RequestOptions{BudgetMS: budgetMS},
+	})
+	status, data, ok := post(client, base+"/v1/inventory", "application/json", body, c)
+	if !ok {
+		return
+	}
+	if status != http.StatusOK {
+		c.badStatus.Add(1)
+		failf("inventory %s: status %d: %s", e.name, status, truncate(data))
+		return
+	}
+	var resp serve.InventoryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		c.mismatch.Add(1)
+		failf("inventory %s: bad response JSON: %v", e.name, err)
+		return
+	}
+	want, _ := json.Marshal(e.invRes)
+	got, _ := json.Marshal(resp.Inventory)
+	if !bytes.Equal(want, got) {
+		c.mismatch.Add(1)
+		failf("inventory %s: drift: server %s local %s", e.name, got, want)
+	}
+}
+
+// runProbe sends one intentional-error request and asserts the documented
+// status and machine-readable code.
+func runProbe(client *http.Client, base string, entries []*entry, rng *rand.Rand) {
+	var pc counters // probe requests are counted separately by the caller
+	expect := func(wantStatus int, wantCode string, status int, data []byte, ok bool, what string) {
+		if !ok {
+			return
+		}
+		if status != wantStatus {
+			failf("probe %s: status %d, want %d: %s", what, status, wantStatus, truncate(data))
+			return
+		}
+		var er serve.ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			failf("probe %s: error body not JSON: %v", what, err)
+			return
+		}
+		if er.Error.Code != wantCode {
+			failf("probe %s: code %q, want %q", what, er.Error.Code, wantCode)
+		}
+	}
+	switch rng.Intn(4) {
+	case 0: // syntax error → 400 parse_error
+		status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), &pc)
+		expect(http.StatusBadRequest, serve.CodeParseError, status, data, ok, "syntax")
+	case 1: // negative knob → 400 invalid_options naming the field
+		body, _ := json.Marshal(serve.VerifyRequest{
+			System:  entries[0].src,
+			Options: serve.RequestOptions{MaxStates: -1},
+		})
+		status, data, ok := post(client, base+"/v1/verify", "application/json", body, &pc)
+		expect(http.StatusBadRequest, serve.CodeInvalidOptions, status, data, ok, "bad-knob")
+	case 2: // tiny client budget on a heavy entry, fast paths off → 408
+		var heavy *entry
+		for _, e := range entries {
+			if e.heavy {
+				heavy = e
+				break
+			}
+		}
+		if heavy == nil { // no entry slow enough for a deterministic 408
+			runOtherProbe(client, base)
+			return
+		}
+		off := false
+		body, _ := json.Marshal(serve.VerifyRequest{
+			System:  heavy.src,
+			Options: serve.RequestOptions{BudgetMS: 1, Prepass: &off},
+		})
+		status, data, ok := post(client, base+"/v1/verify", "application/json", body, &pc)
+		expect(http.StatusRequestTimeout, serve.CodeBudgetExceeded, status, data, ok, "budget")
+	default: // oversized body → 413
+		big := append([]byte(entries[0].src), bytes.Repeat([]byte{' '}, 1<<20+1024)...)
+		status, data, ok := post(client, base+"/v1/verify", "text/plain", big, &pc)
+		expect(http.StatusRequestEntityTooLarge, serve.CodeBodyTooLarge, status, data, ok, "oversize")
+	}
+}
+
+// runOtherProbe is the fallback when no corpus entry is heavy enough for a
+// deterministic 408: re-run the syntax probe so the probe mix keeps its rate.
+func runOtherProbe(client *http.Client, base string) {
+	var pc counters
+	status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), &pc)
+	if !ok {
+		return
+	}
+	if status != http.StatusBadRequest {
+		failf("probe syntax-fallback: status %d, want 400: %s", status, truncate(data))
+	}
+}
+
+// goroutines reads the server's goroutine count from /statusz.
+func goroutines(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("decoding /statusz: %w", err)
+	}
+	return st.Goroutines, nil
+}
+
+// validateMetrics fetches /metrics and checks the Prometheus text format
+// plus the presence of the server's own families.
+func validateMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fams, err := serve.ParsePrometheus(string(text))
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"raserved_requests_total", "raserved_request_ns", "raserved_inflight"} {
+		if fams[want] == nil {
+			return fmt.Errorf("family %s missing from /metrics", want)
+		}
+	}
+	if n := fams["raserved_requests_total"].Samples["raserved_requests_total"]; n <= 0 {
+		return fmt.Errorf("raserved_requests_total = %v after a soak run", n)
+	}
+	return nil
+}
+
+// report prints the end-of-run summary.
+func report(c *counters, lats []time.Duration, g0, g1 int) {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Printf("soak: %d requests (%d probes), %d verdict mismatches, %d unexpected statuses, %d transport errors\n",
+		c.requests.Load(), c.probes.Load(), c.mismatch.Load(), c.badStatus.Load(), c.transport.Load())
+	if len(lats) > 0 {
+		fmt.Printf("soak: verify latency p50=%s p90=%s p99=%s max=%s (n=%d)\n",
+			pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+			pct(0.99).Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond), len(lats))
+	}
+	fmt.Printf("soak: server goroutines %d → %d\n", g0, g1)
+}
+
+// truncate keeps failure output readable.
+func truncate(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 300 {
+		return s[:300] + "…"
+	}
+	return s
+}

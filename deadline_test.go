@@ -1,0 +1,138 @@
+package paramra_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"paramra"
+)
+
+// TestDeadlineErrorShape pins the deadline half of the cancellation
+// contract (the context.Canceled half lives in cancel_test.go): when a
+// context deadline expires, every backend's error must satisfy
+// errors.Is(err, context.DeadlineExceeded). The raserved wire API depends on
+// this to map budget exhaustion deterministically onto 408/504 — an error
+// that merely mentions the deadline in its text would break the mapping.
+func TestDeadlineErrorShape(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+
+	backends := []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"fixpoint", func(ctx context.Context) error {
+			_, err := paramra.Verify(ctx, sys, paramra.Options{})
+			return err
+		}},
+		{"datalog", func(ctx context.Context) error {
+			_, err := paramra.Verify(ctx, sys, paramra.Options{Datalog: true})
+			return err
+		}},
+		{"prepass", func(ctx context.Context) error {
+			_, err := paramra.Verify(ctx, sys, paramra.Options{Prepass: true})
+			return err
+		}},
+		{"concrete", func(ctx context.Context) error {
+			_, err := paramra.VerifyInstance(ctx, sys, 1, paramra.Options{})
+			return err
+		}},
+		{"deadlocks", func(ctx context.Context) error {
+			_, err := paramra.FindDeadlocks(ctx, sys, 1, paramra.Options{})
+			return err
+		}},
+		{"inventory", func(ctx context.Context) error {
+			_, err := paramra.Inventory(ctx, sys, paramra.Options{})
+			return err
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			err := b.run(expired)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("expired deadline: err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+			}
+		})
+	}
+}
+
+// TestDeadlineErrorShapeConfirm pins that a deadline expiring inside
+// ConfirmViolation surfaces through ConfirmError.Unwrap, so errors.Is still
+// holds on the wrapped error.
+func TestDeadlineErrorShapeConfirm(t *testing.T) {
+	sys, err := paramra.Parse(prodcons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paramra.Verify(context.Background(), sys, paramra.Options{})
+	if err != nil || !res.Unsafe {
+		t.Fatalf("prodcons setup: unsafe=%v err=%v", res.Unsafe, err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	_, _, cerr := paramra.ConfirmViolation(expired, sys, res, 4, paramra.Options{})
+	if !errors.Is(cerr, context.DeadlineExceeded) {
+		t.Fatalf("confirm under expired deadline: err = %v, want context.DeadlineExceeded", cerr)
+	}
+	var ce *paramra.ConfirmError
+	if !errors.As(cerr, &ce) {
+		t.Fatalf("confirm error is not a *ConfirmError: %T", cerr)
+	}
+}
+
+// TestDeadlineErrorShapeCorpus sweeps the shipped corpus at a selection of
+// tight deadlines. With the prepass enabled a system may be decided before
+// the first context check, so each run must either finish completely or fail
+// with context.DeadlineExceeded — nothing in between (no bare verdicts on a
+// dead context, no unwrappable errors). With the prepass disabled and an
+// already-expired deadline, the error case is required.
+func TestDeadlineErrorShapeCorpus(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "systems"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []time.Duration{0, 50 * time.Microsecond, time.Millisecond}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".ra") {
+			continue
+		}
+		sys, err := paramra.ParseFile(filepath.Join("testdata", "systems", ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(ent.Name(), func(t *testing.T) {
+			for _, budget := range budgets {
+				ctx, cancel := context.WithTimeout(context.Background(), budget)
+				res, err := paramra.Verify(ctx, sys, paramra.Options{Prepass: true})
+				cancel()
+				switch {
+				case err == nil:
+					if !res.Unsafe && !res.Complete {
+						t.Errorf("budget %v: no error but incomplete verdict %+v", budget, res)
+					}
+				case errors.Is(err, context.DeadlineExceeded):
+					// The deterministic outcome the server maps to 408/504.
+				default:
+					t.Errorf("budget %v: err = %v, want nil or context.DeadlineExceeded", budget, err)
+				}
+			}
+
+			// Expired deadline, fast path off: the error is mandatory.
+			ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+			_, err := paramra.Verify(ctx, sys, paramra.Options{})
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("expired deadline, prepass off: err = %v, want context.DeadlineExceeded", err)
+			}
+		})
+	}
+}

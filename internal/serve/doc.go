@@ -1,0 +1,31 @@
+// Package serve is the verification-as-a-service layer: a typed HTTP/JSON
+// wire API over the paramra entry points (Verify, VerifyInstance,
+// FindDeadlocks, Inventory, ConfirmViolation), plus the middleware stack a
+// long-running server needs — request IDs, access logs, panic recovery,
+// body-size limits, per-request verification budgets mapped onto
+// context.Context deadlines, concurrency limiting, and graceful drain.
+//
+// The wire schema lives in wire.go as explicit DTO types with a versioned
+// envelope (APIVersion). The DTOs are the contract: a golden round-trip test
+// and a reflection drift-guard keep them in lock-step with the Go API, so
+// the HTTP surface cannot silently diverge from the library.
+//
+// Endpoints (all verification endpoints are POST):
+//
+//	POST /v1/verify     parameterized safety (fixpoint/Datalog/prepass)
+//	POST /v1/instance   concrete exploration of a fixed instance
+//	POST /v1/deadlocks  sink-state classification of a fixed instance
+//	POST /v1/inventory  the §4.1 Message Generation relation
+//	GET  /healthz       liveness ("ok")
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /statusz       JSON runtime status (goroutines, in-flight, served)
+//	GET  /metrics       Prometheus text (also /metrics.json, /debug/vars)
+//
+// Verification requests are JSON (VerifyRequest et al.) or, for curl
+// ergonomics, a raw .ra system body with knobs as query parameters.
+//
+// Error mapping is deterministic: parse and option errors are 400 with a
+// field-level message, systems outside the decidable class are 422, an
+// exhausted client-requested budget is 408, an exhausted server-imposed
+// budget is 504, over-capacity and draining are 503. See errors.go.
+package serve

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"paramra"
+)
+
+// Stable machine-readable error codes of the wire API. Clients dispatch on
+// these, never on message text.
+const (
+	// CodeBadRequest covers malformed envelopes: bad JSON, missing body,
+	// wrong method, unparseable query parameters.
+	CodeBadRequest = "bad_request"
+	// CodeParseError is a .ra syntax error (message carries file:line:col).
+	CodeParseError = "parse_error"
+	// CodeInvalidOptions is an out-of-range knob; ErrorDTO.Field names it.
+	CodeInvalidOptions = "invalid_options"
+	// CodeUndecidable marks systems outside the decidable class (env CAS,
+	// looping dis threads without an unrolling bound).
+	CodeUndecidable = "undecidable_class"
+	// CodeBodyTooLarge is a request body over the server limit.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBudgetExceeded is an exhausted client-requested budget (408).
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeServerBudget is an exhausted server-imposed budget (504).
+	CodeServerBudget = "server_budget_exceeded"
+	// CodeOverCapacity is the concurrency limiter rejecting work (503).
+	CodeOverCapacity = "over_capacity"
+	// CodeDraining is a request arriving while the server drains (503).
+	CodeDraining = "draining"
+	// CodeInternal is a handler panic or unexpected error (500).
+	CodeInternal = "internal"
+)
+
+// asOptionError is errors.As with the concrete type spelled once.
+func asOptionError(err error, target **paramra.OptionError) bool {
+	return errors.As(err, target)
+}
+
+// verifyStatus maps a verification error onto its deterministic HTTP status
+// and code. The budget source disambiguates DeadlineExceeded: 408 when the
+// client chose the bound, 504 when the server imposed it — every backend
+// returns an error satisfying errors.Is(err, context.DeadlineExceeded) on an
+// expired deadline (pinned by TestDeadlineErrorShape), so this mapping is
+// total.
+func verifyStatus(err error, src budgetSource) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if src == budgetClient {
+			return http.StatusRequestTimeout, CodeBudgetExceeded
+		}
+		return http.StatusGatewayTimeout, CodeServerBudget
+	case errors.Is(err, context.Canceled):
+		// The request context died under us: client gone or server draining.
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, paramra.ErrEnvCAS), errors.Is(err, paramra.ErrDisCyclic):
+		return http.StatusUnprocessableEntity, CodeUndecidable
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// writeError renders the uniform error envelope. The request ID is threaded
+// from the middleware so every error is greppable in the access log.
+func writeError(w http.ResponseWriter, reqID string, status int, code, msg string) {
+	writeErrorDTO(w, reqID, ErrorDTO{Status: status, Code: code, Message: msg})
+}
+
+// writeFieldError renders a 400 invalid_options error naming the field.
+func writeFieldError(w http.ResponseWriter, reqID string, fe *FieldError) {
+	writeErrorDTO(w, reqID, ErrorDTO{
+		Status:  http.StatusBadRequest,
+		Code:    CodeInvalidOptions,
+		Message: fe.Error(),
+		Field:   fe.Field,
+	})
+}
+
+// writeErrorDTO writes the envelope with the status taken from the DTO.
+func writeErrorDTO(w http.ResponseWriter, reqID string, dto ErrorDTO) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(dto.Status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{
+		APIVersion: APIVersion,
+		RequestID:  reqID,
+		Error:      dto,
+	})
+}
+
+// writeJSON writes a 200 response envelope.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFrom returns the request ID the middleware assigned (empty
+// outside a server-handled request).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter captures the status code and body size for the access log
+// and the per-class response counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withRequestID assigns every request a unique ID — the client's
+// X-Request-Id when present, else "<boot-hex>-<seq>" — echoes it in the
+// response header, and threads it through the context for handlers and the
+// access log.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 128 {
+			id = fmt.Sprintf("%08x-%06d", s.boot, s.seq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// withAccessLog writes one line per request: timestamp (from the logger),
+// request ID, method, path, status, response bytes, wall time. It also
+// feeds the request counters and the latency histogram.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		s.m.requests.Inc()
+		s.m.requestNS.Observe(int64(d))
+		switch {
+		case sw.status >= 500:
+			s.m.resp5xx.Inc()
+		case sw.status >= 400:
+			s.m.resp4xx.Inc()
+		default:
+			s.m.resp2xx.Inc()
+		}
+		if s.accessLog != nil {
+			s.accessLog.Printf("%s %s %s %d %dB %s",
+				RequestIDFrom(r.Context()), r.Method, r.URL.Path, sw.status, sw.bytes,
+				d.Round(time.Microsecond))
+		}
+	})
+}
+
+// withRecover converts a handler panic into a 500 error envelope instead of
+// tearing down the connection (and with it, unrelated in-flight requests).
+// The stack goes to the access logger; the panic counter feeds /metrics.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.panics.Inc()
+				if s.accessLog != nil {
+					s.accessLog.Printf("%s panic: %v\n%s", RequestIDFrom(r.Context()), v, debug.Stack())
+				}
+				// Best effort: if the handler already wrote, this is a no-op.
+				writeError(w, RequestIDFrom(r.Context()), http.StatusInternalServerError,
+					CodeInternal, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limited wraps a verification handler with the request-body limit and the
+// concurrency limiter: at most MaxInflight verifications run at once, and a
+// request whose context dies while queued is turned away with 503 instead
+// of verifying for a client that is no longer listening. Draining servers
+// refuse new verification work immediately.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := RequestIDFrom(r.Context())
+		if s.draining.Load() {
+			writeError(w, reqID, http.StatusServiceUnavailable, CodeDraining,
+				"server is draining; retry against another replica")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// All slots busy: wait for one, but give up when the caller does.
+			select {
+			case s.sem <- struct{}{}:
+			case <-r.Context().Done():
+				s.m.overCapacity.Inc()
+				writeError(w, reqID, http.StatusServiceUnavailable, CodeOverCapacity,
+					"verification capacity exhausted before the request deadline")
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		s.inflightWG.Add(1)
+		defer s.inflightWG.Done()
+		s.m.inflight.Set(s.addInflight(1))
+		defer func() { s.m.inflight.Set(s.addInflight(-1)) }()
+		s.served.Add(1)
+		h(w, r)
+	}
+}
+
+// logger returns a log.Logger over the configured access-log writer, or nil
+// when access logging is off.
+func newAccessLogger(cfg Config) *log.Logger {
+	if cfg.AccessLog == nil {
+		return nil
+	}
+	return log.New(cfg.AccessLog, "raserved ", log.LstdFlags|log.Lmicroseconds|log.LUTC)
+}

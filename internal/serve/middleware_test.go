@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRequestIDGenerated pins that requests without a caller ID get a unique
+// generated one.
+func TestRequestIDGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" {
+			t.Fatal("no X-Request-Id assigned")
+		}
+		if seen[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRequestIDOversizedReplaced pins that an abusive kilobyte-long caller
+// ID is replaced rather than echoed.
+func TestRequestIDOversizedReplaced(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	long := strings.Repeat("x", 1024)
+	req.Header.Set("X-Request-Id", long)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == long || got == "" {
+		t.Errorf("oversized request ID echoed back (len %d)", len(got))
+	}
+}
+
+// TestAccessLogLine pins the access-log format: one line per request with
+// the ID, method, path, and status.
+func TestAccessLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	syncW := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{AccessLog: syncW})
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "log-probe")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mu.Lock()
+	line := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"log-probe", "GET", "/healthz", " 200 "} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log line missing %q: %q", want, line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestPanicRecovery pins that a handler panic yields a 500 JSON envelope and
+// bumps the panic counter, leaving the server alive for the next request.
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{})
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er ErrorResponse
+	err = json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || err != nil {
+		t.Fatalf("panic response: status=%d decode=%v", resp.StatusCode, err)
+	}
+	if er.Error.Code != CodeInternal || !strings.Contains(er.Error.Message, "kaboom") {
+		t.Errorf("panic envelope: %+v", er.Error)
+	}
+	if got := s.m.panics.Value(); got != 1 {
+		t.Errorf("panics counter = %d", got)
+	}
+
+	// The server survives.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+// TestBodyLimit413 pins the body-size limit on the verification endpoints.
+func TestBodyLimit413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBody: 1024})
+	big := sysSafe + strings.Repeat(" ", 4096)
+	resp, err := http.Post(ts.URL+"/v1/verify", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	wantError(t, resp.StatusCode, buf.Bytes(), http.StatusRequestEntityTooLarge, CodeBodyTooLarge, "")
+
+	// A body under the limit still verifies.
+	status, body := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Errorf("under-limit body: %d %s", status, body)
+	}
+}
+
+// TestConcurrencyLimiter pins that with MaxInflight=1, a second request
+// queues behind the first instead of running concurrently — observed via the
+// serialized peak of the inflight gauge — and that draining turns new
+// verification work away with 503.
+func TestConcurrencyLimiter(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{System: sysUnsafe})
+			if status != http.StatusOK {
+				t.Errorf("limited verify: %d %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.inflight.Load(); got != 0 {
+		t.Errorf("inflight after burst = %d", got)
+	}
+	if got := s.served.Load(); got != 4 {
+		t.Errorf("served = %d, want 4", got)
+	}
+
+	s.BeginDrain()
+	status, body := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{System: sysSafe})
+	wantError(t, status, body, http.StatusServiceUnavailable, CodeDraining, "")
+}
+
+// TestQueueGivesUpWithCaller pins the limiter's 503 when the caller's
+// context dies while queued behind a full semaphore (unit-level: the request
+// arrives with its context already dead, the only slot occupied).
+func TestQueueGivesUpWithCaller(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	s.sem <- struct{}{} // occupy the only slot
+	defer func() { <-s.sem }()
+
+	h := s.limited(func(http.ResponseWriter, *http.Request) {
+		t.Error("handler ran despite a dead caller and a full queue")
+	})
+	req := httptest.NewRequest("POST", "/v1/verify", strings.NewReader(sysSafe))
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	rw := httptest.NewRecorder()
+	h(rw, req.WithContext(ctx))
+
+	var buf bytes.Buffer
+	buf.ReadFrom(rw.Result().Body)
+	wantError(t, rw.Code, buf.Bytes(), http.StatusServiceUnavailable, CodeOverCapacity, "")
+	if got := s.m.overCapacity.Value(); got != 1 {
+		t.Errorf("over-capacity counter = %d, want 1", got)
+	}
+}

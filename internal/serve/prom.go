@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PromFamily is one metric family parsed from Prometheus text exposition.
+type PromFamily struct {
+	Name string
+	Type string // counter | gauge | histogram | untyped
+	Help string
+	// Samples maps the full sample name (with label suffix stripped of
+	// whitespace) to its parsed value.
+	Samples map[string]float64
+}
+
+// ParsePrometheus validates a Prometheus text-format exposition (version
+// 0.0.4, the format obs.Registry writes) and returns the parsed families.
+// It enforces the invariants a scraper relies on: TYPE before samples,
+// declared types, parseable values, histogram _sum/_count/_bucket
+// consistency, and no samples without a family. The soak harness and the CI
+// serve job run it against a live /metrics.
+func ParsePrometheus(text string) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name, Samples: map[string]float64{}}
+				fams[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name, Samples: map[string]float64{}}
+				fams[name] = f
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		sampleName, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: sample %q needs a value (and at most a timestamp)", lineNo, line)
+		}
+		val, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: sample value %q: %v", lineNo, fields[0], err)
+		}
+		f := familyOf(fams, sampleName)
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %q without a TYPE/HELP family", lineNo, sampleName)
+		}
+		f.Samples[sampleName] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Histogram families must expose the full triplet.
+	for name, f := range fams {
+		if f.Type != "histogram" {
+			continue
+		}
+		var hasSum, hasCount, hasInf bool
+		for s := range f.Samples {
+			switch {
+			case s == name+"_sum":
+				hasSum = true
+			case s == name+"_count":
+				hasCount = true
+			case strings.HasPrefix(s, name+"_bucket{") && strings.Contains(s, `le="+Inf"`):
+				hasInf = true
+			}
+		}
+		if !hasSum || !hasCount || !hasInf {
+			return nil, fmt.Errorf("histogram %s missing _sum/_count/+Inf bucket (sum=%v count=%v inf=%v)",
+				name, hasSum, hasCount, hasInf)
+		}
+	}
+	return fams, nil
+}
+
+// splitSample separates the sample name (including any {labels} block) from
+// the value part, validating label-brace balance.
+func splitSample(line string) (name, rest string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		return line[:j+1], strings.TrimSpace(line[j+1:]), nil
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	return line[:i], strings.TrimSpace(line[i:]), nil
+}
+
+// familyOf resolves a sample name to its declared family: labels stripped,
+// with the histogram suffixes _bucket/_sum/_count folded away only when the
+// exact name has no family of its own (a counter legitimately named
+// *_count keeps its name).
+func familyOf(fams map[string]*PromFamily, sample string) *PromFamily {
+	name := sample
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, okCut := strings.CutSuffix(name, suf); okCut {
+			if f := fams[base]; f != nil && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"paramra/internal/obs"
+)
+
+const validExposition = `# HELP demo_requests_total requests
+# TYPE demo_requests_total counter
+demo_requests_total 42
+# HELP demo_inflight inflight
+# TYPE demo_inflight gauge
+demo_inflight 3
+# HELP demo_latency_ns latency
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{le="1000"} 10
+demo_latency_ns_bucket{le="+Inf"} 12
+demo_latency_ns_sum 34567
+demo_latency_ns_count 12
+`
+
+func TestParsePrometheusValid(t *testing.T) {
+	fams, err := ParsePrometheus(validExposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams["demo_requests_total"]; got == nil || got.Type != "counter" || got.Samples["demo_requests_total"] != 42 {
+		t.Errorf("counter family: %+v", got)
+	}
+	if got := fams["demo_inflight"]; got == nil || got.Type != "gauge" || got.Samples["demo_inflight"] != 3 {
+		t.Errorf("gauge family: %+v", got)
+	}
+	h := fams["demo_latency_ns"]
+	if h == nil || h.Type != "histogram" || len(h.Samples) != 4 {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	if h.Samples[`demo_latency_ns_bucket{le="+Inf"}`] != 12 || h.Samples["demo_latency_ns_sum"] != 34567 {
+		t.Errorf("histogram samples: %v", h.Samples)
+	}
+}
+
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"sample without family", "lonely_metric 1\n"},
+		{"unknown type", "# TYPE t frobnicator\nt 1\n"},
+		{"type after samples", "# TYPE a counter\na 1\n# TYPE a counter\n"},
+		{"unparseable value", "# TYPE a counter\na one\n"},
+		{"missing value", "# TYPE a counter\na\n"},
+		{"unbalanced braces", "# TYPE a counter\na}x{ 1\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 2\nh_count 1\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParsePrometheus(tc.text); err == nil {
+				t.Errorf("accepted malformed exposition:\n%s", tc.text)
+			}
+		})
+	}
+}
+
+// TestParsePrometheusCounterNamedCount pins the suffix-folding rule: a
+// counter whose own name ends in _count is not swallowed by a histogram.
+func TestParsePrometheusCounterNamedCount(t *testing.T) {
+	text := `# TYPE widget_count counter
+widget_count 7
+`
+	fams, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := fams["widget_count"]; f == nil || f.Samples["widget_count"] != 7 {
+		t.Errorf("counter named *_count mishandled: %+v", f)
+	}
+}
+
+// TestParsePrometheusRoundTripsRegistry feeds an actual obs.Registry
+// exposition through the parser — the two ends of the pipeline must agree.
+func TestParsePrometheusRoundTripsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("rt_total", "round-trip counter").Add(5)
+	reg.Gauge("rt_gauge", "round-trip gauge").Set(-2)
+	h := reg.Histogram("rt_hist_ns", "round-trip histogram")
+	for _, v := range []int64{10, 1000, 100000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("registry exposition rejected: %v\n%s", err, sb.String())
+	}
+	if fams["rt_total"] == nil || fams["rt_total"].Samples["rt_total"] != 5 {
+		t.Errorf("counter: %+v", fams["rt_total"])
+	}
+	if fams["rt_gauge"] == nil || fams["rt_gauge"].Samples["rt_gauge"] != -2 {
+		t.Errorf("gauge: %+v", fams["rt_gauge"])
+	}
+	if fams["rt_hist_ns"] == nil || fams["rt_hist_ns"].Samples["rt_hist_ns_count"] != 3 {
+		t.Errorf("histogram: %+v", fams["rt_hist_ns"])
+	}
+}

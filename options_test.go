@@ -2,6 +2,8 @@ package paramra_test
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"paramra"
@@ -75,5 +77,60 @@ func TestOptionsNormalization(t *testing.T) {
 	}
 	if inst.Complete {
 		t.Error("VerifyInstance(MaxStates=1) reported a complete search of a >1-state space")
+	}
+}
+
+// TestOptionsValidate pins the strict counterpart of the clamp: Validate
+// names every out-of-range field with a typed *OptionError, accepts every
+// in-range combination, and agrees with normalized() about which fields are
+// range-limited (a knob Validate rejects must be one the entry points would
+// have clamped, and vice versa).
+func TestOptionsValidate(t *testing.T) {
+	if err := (paramra.Options{}).Validate(); err != nil {
+		t.Errorf("zero Options invalid: %v", err)
+	}
+	ok := paramra.Options{MaxStates: 10, MaxMacroStates: 1, MaxSkeletons: 5, Parallelism: 8, UnrollDis: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid Options rejected: %v", err)
+	}
+
+	cases := []struct {
+		field string
+		opts  paramra.Options
+	}{
+		{"MaxMacroStates", paramra.Options{MaxMacroStates: -1}},
+		{"MaxStates", paramra.Options{MaxStates: -7}},
+		{"MaxSkeletons", paramra.Options{MaxSkeletons: -2}},
+		{"Parallelism", paramra.Options{Parallelism: -4}},
+		{"UnrollDis", paramra.Options{UnrollDis: -3}},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if err == nil {
+			t.Errorf("%s: negative value accepted", c.field)
+			continue
+		}
+		var oe *paramra.OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %T is not a *OptionError", c.field, err)
+			continue
+		}
+		if oe.Field != c.field {
+			t.Errorf("Field = %q, want %q", oe.Field, c.field)
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("message %q does not name the field %q", err.Error(), c.field)
+		}
+	}
+
+	// Several violations are all reported, each findable by field name.
+	err := paramra.Options{MaxStates: -1, Parallelism: -1}.Validate()
+	if err == nil {
+		t.Fatal("two violations accepted")
+	}
+	for _, f := range []string{"MaxStates", "Parallelism"} {
+		if !strings.Contains(err.Error(), f) {
+			t.Errorf("joined error %q missing field %s", err.Error(), f)
+		}
 	}
 }

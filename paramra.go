@@ -178,25 +178,69 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
+// numericOptions lists the range-limited numeric knobs exactly once, so the
+// lenient library-level clamp (normalized) and the strict caller-facing
+// check (Validate) can never disagree about which fields are limited or what
+// their zero value means.
+var numericOptions = []struct {
+	field string
+	zero  string // meaning of the zero value, for error messages
+	get   func(*Options) *int
+}{
+	{"MaxMacroStates", "unlimited", func(o *Options) *int { return &o.MaxMacroStates }},
+	{"MaxStates", "unlimited", func(o *Options) *int { return &o.MaxStates }},
+	{"MaxSkeletons", "unlimited", func(o *Options) *int { return &o.MaxSkeletons }},
+	{"Parallelism", "GOMAXPROCS", func(o *Options) *int { return &o.Parallelism }},
+	{"UnrollDis", "no unrolling", func(o *Options) *int { return &o.UnrollDis }},
+}
+
+// OptionError reports one out-of-range Options field from Validate. Field is
+// the Go field name (which doubles as the wire-API knob name modulo casing),
+// so callers building HTTP 400 responses or CLI diagnostics can point at the
+// exact offending knob.
+type OptionError struct {
+	// Field is the Options field name, e.g. "MaxStates".
+	Field string
+	// Value is the rejected value.
+	Value int
+	// Reason states the violated constraint, e.g. "must be ≥ 0 (0 = unlimited)".
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("paramra: Options.%s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate reports every out-of-range numeric option as a *OptionError
+// (multiple violations are combined with errors.Join, so errors.As finds the
+// first and errors.Is matching works per-field). The library entry points do
+// not require a Validate call — they clamp silently, see normalized — but
+// strict frontends (the HTTP server, the CLIs) use it to reject bad knobs
+// with a field-level message instead of silently reinterpreting them.
+func (o Options) Validate() error {
+	var errs []error
+	for _, f := range numericOptions {
+		if v := *f.get(&o); v < 0 {
+			errs = append(errs, &OptionError{
+				Field:  f.field,
+				Value:  v,
+				Reason: fmt.Sprintf("must be ≥ 0 (0 = %s)", f.zero),
+			})
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // normalized clamps out-of-range numeric options to their documented
 // defaults: every negative cap or worker count behaves exactly like 0
 // (unlimited / GOMAXPROCS / no unrolling). Every entry point applies it
-// first, so all backends interpret the same Options identically.
+// first, so all backends interpret the same Options identically. Frontends
+// that must not clamp call Validate instead.
 func (o Options) normalized() Options {
-	if o.MaxMacroStates < 0 {
-		o.MaxMacroStates = 0
-	}
-	if o.MaxStates < 0 {
-		o.MaxStates = 0
-	}
-	if o.MaxSkeletons < 0 {
-		o.MaxSkeletons = 0
-	}
-	if o.Parallelism < 0 {
-		o.Parallelism = 0
-	}
-	if o.UnrollDis < 0 {
-		o.UnrollDis = 0
+	for _, f := range numericOptions {
+		if p := f.get(&o); *p < 0 {
+			*p = 0
+		}
 	}
 	return o
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# soak-smoke.sh — boot raserved, soak it, SIGTERM it, assert a clean drain.
+#
+# Usage: scripts/soak-smoke.sh [duration] [concurrency]
+#
+# Builds both binaries from the working tree (raserved under -race so the
+# soak doubles as a race hunt), starts the server on an ephemeral port,
+# runs the soak harness with metrics validation, then shuts the server down
+# with SIGTERM and requires exit code 0 plus the "drained cleanly" line.
+# Exit code 0 means every assertion held. CI's `serve` job runs exactly
+# this script.
+set -eu
+
+DURATION="${1:-30s}"
+CONCURRENCY="${2:-8}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "soak-smoke: building raserved (-race) and soak"
+go build -race -o "$WORKDIR/raserved" ./cmd/raserved
+go build -o "$WORKDIR/soak" ./cmd/soak
+
+"$WORKDIR/raserved" -addr 127.0.0.1:0 -quiet >"$WORKDIR/raserved.log" 2>&1 &
+SERVER_PID=$!
+
+# The first stdout line announces the bound address.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^raserved: listening on //p' "$WORKDIR/raserved.log" | head -1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORKDIR/raserved.log"; echo "soak-smoke: server died at startup" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "soak-smoke: no listening line" >&2; exit 1; }
+echo "soak-smoke: server on $ADDR (pid $SERVER_PID)"
+
+SOAK_STATUS=0
+"$WORKDIR/soak" -addr "http://$ADDR" -corpus testdata/systems \
+  -duration "$DURATION" -concurrency "$CONCURRENCY" -check-metrics || SOAK_STATUS=$?
+
+echo "soak-smoke: sending SIGTERM"
+kill -TERM "$SERVER_PID"
+DRAIN_STATUS=0
+wait "$SERVER_PID" || DRAIN_STATUS=$?
+
+cat "$WORKDIR/raserved.log"
+if [ "$SOAK_STATUS" -ne 0 ]; then
+  echo "soak-smoke: FAIL (soak exit $SOAK_STATUS)" >&2
+  exit 1
+fi
+if [ "$DRAIN_STATUS" -ne 0 ]; then
+  echo "soak-smoke: FAIL (raserved exit $DRAIN_STATUS after SIGTERM)" >&2
+  exit 1
+fi
+if ! grep -q "drained cleanly" "$WORKDIR/raserved.log"; then
+  echo "soak-smoke: FAIL (no clean-drain line)" >&2
+  exit 1
+fi
+echo "soak-smoke: PASS"
