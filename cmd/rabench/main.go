@@ -5,8 +5,13 @@
 // Usage:
 //
 //	rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
-//	rabench report trace.jsonl [metrics.json]
+//	rabench report trace.jsonl... [tracedir...] [metrics.json]
 //	rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]
+//
+// report accepts any mix of trace files and directories of per-request
+// server traces (raserved -trace-dir); spans are aggregated across all of
+// them into per-phase count/total/min/max and p50/p95/p99 durations. A
+// trailing .json argument is read as a -metrics-out snapshot.
 package main
 
 import (
@@ -26,8 +31,11 @@ import (
 )
 
 var (
-	baseline = flag.String("baseline", "", "parallel experiment: also write the rows to this JSON file")
-	obsf     *obs.Flags
+	baseline  = flag.String("baseline", "", "parallel experiment: also write the rows to this JSON file")
+	compareTo = flag.String("compare", "", "parallel experiment: compare against this baseline JSON and exit 1 on regression")
+	tolerance = flag.Float64("tolerance", 2.0, "parallel -compare: allowed calibrated slowdown factor per entry")
+	injectFlg = flag.String("inject-slowdown", "", "parallel -compare selftest: NAME=FACTOR[,NAME=FACTOR...] multiplies measured wall times")
+	obsf      *obs.Flags
 )
 
 // runCtx carries the SIGINT/-timeout context to the experiments; runSpan is
@@ -38,7 +46,7 @@ var (
 )
 
 const usage = "usage: rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
-	"       rabench report trace.jsonl [metrics.json]\n" +
+	"       rabench report trace.jsonl... [tracedir...] [metrics.json]\n" +
 	"       rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]\n"
 
 func main() {
@@ -133,19 +141,25 @@ func run() int {
 	return 0
 }
 
-// report merges a -trace-out JSONL file and an optional -metrics-out JSON
-// snapshot into one machine-readable run report on stdout.
+// report merges -trace-out JSONL files and/or directories of per-request
+// server traces, plus an optional trailing -metrics-out JSON snapshot, into
+// one machine-readable run report on stdout.
 func report(args []string) int {
-	if len(args) < 1 || len(args) > 2 {
+	if len(args) < 1 {
 		fmt.Fprint(os.Stderr, usage)
 		return 2
 	}
-	trace := args[0]
 	metrics := ""
-	if len(args) == 2 {
-		metrics = args[1]
+	if last := args[len(args)-1]; bench.IsMetricsArg(last) {
+		metrics = last
+		args = args[:len(args)-1]
 	}
-	rep, err := bench.BuildRunReport(trace, metrics)
+	traces, err := bench.ExpandTraceArgs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rabench report:", err)
+		return 2
+	}
+	rep, err := bench.BuildMergedRunReport(traces, metrics)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rabench report:", err)
 		return 2
@@ -155,8 +169,11 @@ func report(args []string) int {
 		return 2
 	}
 	for _, p := range rep.TopPhases(3) {
-		fmt.Fprintf(os.Stderr, "rabench report: %-24s %4d span(s)  total %s\n",
-			p.Name, p.Count, time.Duration(p.TotalNs).Round(time.Microsecond))
+		fmt.Fprintf(os.Stderr, "rabench report: %-24s %4d span(s)  total %s  p50 %s  p95 %s  p99 %s\n",
+			p.Name, p.Count, time.Duration(p.TotalNs).Round(time.Microsecond),
+			time.Duration(p.P50Ns).Round(time.Microsecond),
+			time.Duration(p.P95Ns).Round(time.Microsecond),
+			time.Duration(p.P99Ns).Round(time.Microsecond))
 	}
 	return 0
 }
@@ -252,11 +269,34 @@ func reproPath(p string) string {
 	return " -> " + p
 }
 
-// parallel measures the layered engine's scaling over worker counts.
+// parallel measures the layered engine's scaling over worker counts. With
+// -compare it becomes the bench regression gate: re-measure, calibrate to
+// the machine, and fail on entries slower than the baseline beyond the
+// tolerance (or with drifted deterministic macro-state counts).
 func parallel() error {
 	counts := []int{1, 2, 4, 8}
 	if obsf.Workers > 0 {
 		counts = []int{1, obsf.Workers}
+	}
+	if *compareTo != "" {
+		inject, err := bench.ParseInjectSlowdown(*injectFlg)
+		if err != nil {
+			return err
+		}
+		rep, err := bench.CompareParallel(runCtx, *compareTo, counts, *tolerance, inject)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.CompareTable(rep).String())
+		if len(rep.Regressions) > 0 {
+			for _, r := range rep.Regressions {
+				fmt.Fprintln(os.Stderr, "regression:", r)
+			}
+			return fmt.Errorf("%d entr%s regressed against %s",
+				len(rep.Regressions), plural(len(rep.Regressions), "y", "ies"), *compareTo)
+		}
+		fmt.Printf("no regression against %s\n", *compareTo)
+		return nil
 	}
 	rows, err := bench.ParallelExperiment(runCtx, counts)
 	if err != nil {
@@ -270,6 +310,13 @@ func parallel() error {
 		fmt.Printf("baseline written to %s\n", *baseline)
 	}
 	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func table1() error {

@@ -12,6 +12,12 @@
 // refused, and in-flight requests get -grace to finish. Exit code 0 means a
 // clean drain.
 //
+// Every request is traced: X-Trace-Id propagates (or is generated) into the
+// response header, envelopes, access log and all verification spans;
+// requests slower than -slow-threshold land in /debug/slow with per-phase
+// span breakdowns; -trace-dir persists raw JSONL traces for `rabench
+// report`.
+//
 // Endpoints, budgets and error mapping are documented in internal/serve.
 // Metrics are served on the main listener at /metrics (Prometheus text),
 // /metrics.json and /debug/vars; -pprof-addr starts a separate
@@ -53,6 +59,9 @@ func run() int {
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 		metricsOut    = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit")
 		quiet         = flag.Bool("quiet", false, "disable the access log")
+		slowThreshold = flag.Duration("slow-threshold", 0, "latency above which a request is captured into /debug/slow (0 = 500ms default)")
+		slowRing      = flag.Int("slow-ring", 0, "how many slow requests /debug/slow retains (0 = 32 default)")
+		traceDir      = flag.String("trace-dir", "", "persist each request's JSONL trace into this directory (input of `rabench report`)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,6 +80,15 @@ func run() int {
 		MaxEnvThreads: *maxEnv,
 		Parallelism:   *workers,
 		Metrics:       reg,
+		SlowThreshold: *slowThreshold,
+		SlowRingSize:  *slowRing,
+		TraceDir:      *traceDir,
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "raserved:", err)
+			return 2
+		}
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

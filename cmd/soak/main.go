@@ -12,7 +12,13 @@
 //   - zero goroutine leaks on the server: the /statusz goroutine count
 //     after the storm settles must not exceed the pre-storm count plus a
 //     small slack;
-//   - /metrics parses as valid Prometheus text exposition (-check-metrics).
+//   - /metrics parses as valid Prometheus text exposition, and the
+//     per-endpoint latency histograms carry soak trace IDs as OpenMetrics
+//     exemplars (-check-metrics);
+//   - every request carries a unique X-Trace-Id and the server echoes it
+//     into the response header and envelope; /debug/slow parses, and with
+//     -expect-slow (a server started with a floor slow threshold) contains
+//     soak-traced entries with per-phase span breakdowns.
 //
 // Usage:
 //
@@ -71,6 +77,11 @@ type counters struct {
 
 var fail int32 // sticky failure flag
 
+// traceSeq mints the unique per-request trace IDs every soak request sends.
+var traceSeq atomic.Int64
+
+func nextTraceID() string { return fmt.Sprintf("soak-%06d", traceSeq.Add(1)) }
+
 func failf(format string, args ...any) {
 	atomic.StoreInt32(&fail, 1)
 	fmt.Fprintf(os.Stderr, "soak: FAIL: "+format+"\n", args...)
@@ -90,6 +101,7 @@ func run() int {
 		checkMetrics = flag.Bool("check-metrics", true, "fetch /metrics at the end and validate the Prometheus text format")
 		probes       = flag.Bool("probes", true, "interleave intentional-error probes (400/408/413) and assert their exact statuses")
 		leakSlack    = flag.Int("leak-slack", 16, "allowed goroutine-count growth on the server across the run")
+		expectSlow   = flag.Bool("expect-slow", false, "assert /debug/slow captured soak requests (use against a server with a floor -slow-threshold)")
 		wait         = flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 	)
 	flag.Parse()
@@ -179,6 +191,9 @@ func run() int {
 		if err := validateMetrics(client, base); err != nil {
 			failf("metrics validation: %v", err)
 		}
+	}
+	if err := validateSlow(client, base, *expectSlow); err != nil {
+		failf("slow-ring validation: %v", err)
 	}
 
 	report(&c, latencies, g0, g1)
@@ -283,10 +298,22 @@ func loadCorpus(dir string, budgetMS int64) ([]*entry, error) {
 	return entries, nil
 }
 
-// post sends a request and returns status, body, ok(transport).
-func post(client *http.Client, url, contentType string, body []byte, c *counters) (int, []byte, bool) {
+// post sends a request — stamped with traceID when non-empty — and returns
+// status, body, ok(transport). A non-empty traceID must be echoed in the
+// response's X-Trace-Id header; a silent drop is a propagation failure.
+func post(client *http.Client, url, contentType string, body []byte, traceID string, c *counters) (int, []byte, bool) {
 	c.requests.Add(1)
-	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		c.transport.Add(1)
+		failf("transport: %s: %v", url, err)
+		return 0, nil, false
+	}
+	req.Header.Set("Content-Type", contentType)
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		c.transport.Add(1)
 		failf("transport: %s: %v", url, err)
@@ -299,6 +326,10 @@ func post(client *http.Client, url, contentType string, body []byte, c *counters
 		failf("transport: %s: reading body: %v", url, err)
 		return 0, nil, false
 	}
+	if traceID != "" && resp.Header.Get("X-Trace-Id") != traceID {
+		c.mismatch.Add(1)
+		failf("trace %s: header echoed %q", traceID, resp.Header.Get("X-Trace-Id"))
+	}
 	return resp.StatusCode, data, true
 }
 
@@ -310,19 +341,20 @@ func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON
 		data   []byte
 		ok     bool
 	)
+	tid := nextTraceID()
 	t0 := time.Now()
 	if asJSON {
 		body, _ := json.Marshal(serve.VerifyRequest{
 			System:  e.src,
 			Options: serve.RequestOptions{BudgetMS: budgetMS},
 		})
-		status, data, ok = post(client, base+"/v1/verify", "application/json", body, c)
+		status, data, ok = post(client, base+"/v1/verify", "application/json", body, tid, c)
 	} else {
 		url := base + "/v1/verify"
 		if budgetMS > 0 {
 			url += fmt.Sprintf("?budgetMs=%d", budgetMS)
 		}
-		status, data, ok = post(client, url, "text/plain", []byte(e.src), c)
+		status, data, ok = post(client, url, "text/plain", []byte(e.src), tid, c)
 	}
 	if !ok {
 		return
@@ -344,6 +376,10 @@ func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON
 		failf("verify %s: bad response JSON: %v", e.name, err)
 		return
 	}
+	if resp.TraceID != tid {
+		c.mismatch.Add(1)
+		failf("verify %s: envelope traceId %q, want %q", e.name, resp.TraceID, tid)
+	}
 	if got := resp.CoreBytes(); !bytes.Equal(got, e.core) {
 		c.mismatch.Add(1)
 		failf("verify %s: verdict drift:\nserver: %s\nlocal:  %s", e.name, got, e.core)
@@ -356,7 +392,8 @@ func doDatalog(client *http.Client, base string, e *entry, budgetMS int64, c *co
 		System:  e.src,
 		Options: serve.RequestOptions{BudgetMS: budgetMS, Datalog: true},
 	})
-	status, data, ok := post(client, base+"/v1/verify", "application/json", body, c)
+	tid := nextTraceID()
+	status, data, ok := post(client, base+"/v1/verify", "application/json", body, tid, c)
 	if !ok {
 		return
 	}
@@ -371,6 +408,10 @@ func doDatalog(client *http.Client, base string, e *entry, budgetMS int64, c *co
 		failf("datalog %s: bad response JSON: %v", e.name, err)
 		return
 	}
+	if resp.TraceID != tid {
+		c.mismatch.Add(1)
+		failf("datalog %s: envelope traceId %q, want %q", e.name, resp.TraceID, tid)
+	}
 	if got := resp.CoreBytes(); !bytes.Equal(got, e.dlCore) {
 		c.mismatch.Add(1)
 		failf("datalog %s: verdict drift:\nserver: %s\nlocal:  %s", e.name, got, e.dlCore)
@@ -384,7 +425,7 @@ func doInstance(client *http.Client, base string, e *entry, budgetMS int64, c *c
 		EnvThreads: 1,
 		Options:    serve.RequestOptions{BudgetMS: budgetMS},
 	})
-	status, data, ok := post(client, base+"/v1/instance", "application/json", body, c)
+	status, data, ok := post(client, base+"/v1/instance", "application/json", body, nextTraceID(), c)
 	if !ok {
 		return
 	}
@@ -408,7 +449,7 @@ func doDeadlocks(client *http.Client, base string, e *entry, budgetMS int64, c *
 		EnvThreads: 1,
 		Options:    serve.RequestOptions{BudgetMS: budgetMS},
 	})
-	status, data, ok := post(client, base+"/v1/deadlocks", "application/json", body, c)
+	status, data, ok := post(client, base+"/v1/deadlocks", "application/json", body, nextTraceID(), c)
 	if !ok {
 		return
 	}
@@ -437,7 +478,7 @@ func doInventory(client *http.Client, base string, e *entry, budgetMS int64, c *
 		System:  e.src,
 		Options: serve.RequestOptions{BudgetMS: budgetMS},
 	})
-	status, data, ok := post(client, base+"/v1/inventory", "application/json", body, c)
+	status, data, ok := post(client, base+"/v1/inventory", "application/json", body, nextTraceID(), c)
 	if !ok {
 		return
 	}
@@ -480,17 +521,20 @@ func runProbe(client *http.Client, base string, entries []*entry, rng *rand.Rand
 		if er.Error.Code != wantCode {
 			failf("probe %s: code %q, want %q", what, er.Error.Code, wantCode)
 		}
+		if er.TraceID == "" {
+			failf("probe %s: error envelope missing the generated trace ID", what)
+		}
 	}
 	switch rng.Intn(4) {
 	case 0: // syntax error → 400 parse_error
-		status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), &pc)
+		status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), "", &pc)
 		expect(http.StatusBadRequest, serve.CodeParseError, status, data, ok, "syntax")
 	case 1: // negative knob → 400 invalid_options naming the field
 		body, _ := json.Marshal(serve.VerifyRequest{
 			System:  entries[0].src,
 			Options: serve.RequestOptions{MaxStates: -1},
 		})
-		status, data, ok := post(client, base+"/v1/verify", "application/json", body, &pc)
+		status, data, ok := post(client, base+"/v1/verify", "application/json", body, "", &pc)
 		expect(http.StatusBadRequest, serve.CodeInvalidOptions, status, data, ok, "bad-knob")
 	case 2: // tiny client budget on a heavy entry, fast paths off → 408
 		var heavy *entry
@@ -509,11 +553,11 @@ func runProbe(client *http.Client, base string, entries []*entry, rng *rand.Rand
 			System:  heavy.src,
 			Options: serve.RequestOptions{BudgetMS: 1, Prepass: &off},
 		})
-		status, data, ok := post(client, base+"/v1/verify", "application/json", body, &pc)
+		status, data, ok := post(client, base+"/v1/verify", "application/json", body, "", &pc)
 		expect(http.StatusRequestTimeout, serve.CodeBudgetExceeded, status, data, ok, "budget")
 	default: // oversized body → 413
 		big := append([]byte(entries[0].src), bytes.Repeat([]byte{' '}, 1<<20+1024)...)
-		status, data, ok := post(client, base+"/v1/verify", "text/plain", big, &pc)
+		status, data, ok := post(client, base+"/v1/verify", "text/plain", big, "", &pc)
 		expect(http.StatusRequestEntityTooLarge, serve.CodeBodyTooLarge, status, data, ok, "oversize")
 	}
 }
@@ -522,7 +566,7 @@ func runProbe(client *http.Client, base string, entries []*entry, rng *rand.Rand
 // deterministic 408: re-run the syntax probe so the probe mix keeps its rate.
 func runOtherProbe(client *http.Client, base string) {
 	var pc counters
-	status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), &pc)
+	status, data, ok := post(client, base+"/v1/verify", "text/plain", []byte("system oops {"), "", &pc)
 	if !ok {
 		return
 	}
@@ -561,15 +605,61 @@ func validateMetrics(client *http.Client, base string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"raserved_requests_total", "raserved_request_ns", "raserved_inflight"} {
+	for _, want := range []string{"raserved_requests_total", "raserved_request_ns", "raserved_inflight",
+		"raserved_endpoint_verify_ns"} {
 		if fams[want] == nil {
 			return fmt.Errorf("family %s missing from /metrics", want)
 		}
+	}
+	// Every soak request carried a trace ID, so the endpoint histogram must
+	// retain at least one soak exemplar.
+	found := false
+	for _, tid := range fams["raserved_endpoint_verify_ns"].Exemplars {
+		if strings.HasPrefix(tid, "soak-") {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("raserved_endpoint_verify_ns carries no soak exemplar: %v",
+			fams["raserved_endpoint_verify_ns"].Exemplars)
 	}
 	if n := fams["raserved_requests_total"].Samples["raserved_requests_total"]; n <= 0 {
 		return fmt.Errorf("raserved_requests_total = %v after a soak run", n)
 	}
 	return nil
+}
+
+// validateSlow fetches /debug/slow and checks its shape; with expectEntries
+// (a server running with a floor slow threshold) it additionally requires
+// soak-traced entries whose span breakdowns are present.
+func validateSlow(client *http.Client, base string, expectEntries bool) error {
+	resp, err := client.Get(base + "/debug/slow")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/slow: status %d", resp.StatusCode)
+	}
+	var sr serve.SlowResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fmt.Errorf("decoding /debug/slow: %w", err)
+	}
+	for _, e := range sr.Requests {
+		if e.TraceID == "" || e.DurNs <= 0 || e.Path == "" {
+			return fmt.Errorf("malformed slow entry: %+v", e)
+		}
+	}
+	if !expectEntries {
+		return nil
+	}
+	for _, e := range sr.Requests {
+		if strings.HasPrefix(e.TraceID, "soak-") && len(e.Spans) > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no soak-traced slow entry with spans among %d entries (total %d)",
+		len(sr.Requests), sr.Total)
 }
 
 // report prints the end-of-run summary.

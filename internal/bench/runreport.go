@@ -3,83 +3,108 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"paramra/internal/obs"
 )
 
-// RunReport merges a JSONL phase-span trace (-trace-out) and a metrics
-// snapshot (-metrics-out) from one tool run into a single machine-readable
-// structure. `rabench report` prints it as JSON.
+// RunReport merges one or more JSONL phase-span traces (-trace-out files, or
+// a raserved -trace-dir) and an optional metrics snapshot (-metrics-out)
+// into a single machine-readable structure. `rabench report` prints it as
+// JSON.
 type RunReport struct {
-	TraceFile   string `json:"traceFile,omitempty"`
-	MetricsFile string `json:"metricsFile,omitempty"`
-	// Spans is the total number of spans in the trace.
+	TraceFile string `json:"traceFile,omitempty"`
+	// TraceFiles lists the inputs when more than one trace was merged.
+	TraceFiles  []string `json:"traceFiles,omitempty"`
+	MetricsFile string   `json:"metricsFile,omitempty"`
+	// Spans is the total number of spans across all traces.
 	Spans int `json:"spans,omitempty"`
-	// WallNs is the duration of the trace's root span(s): the span of the
-	// whole tool run.
+	// WallNs is the summed duration of every trace's root span(s): the span
+	// of one whole tool run, or of one request in a server trace.
 	WallNs int64 `json:"wallNs,omitempty"`
-	// Phases aggregates the spans by name, in order of first appearance.
+	// Phases aggregates the spans by name, in order of first appearance
+	// across the inputs.
 	Phases []PhaseSummary `json:"phases,omitempty"`
 	// Metrics is the decoded metrics snapshot (counters, gauges, histogram
 	// summaries), keyed by metric name.
 	Metrics map[string]any `json:"metrics,omitempty"`
 }
 
-// PhaseSummary aggregates all spans sharing one name.
+// PhaseSummary aggregates all spans sharing one name, across every input
+// trace. The percentiles use the nearest-rank method, so each is an actual
+// observed span duration.
 type PhaseSummary struct {
 	Name    string `json:"name"`
 	Count   int    `json:"count"`
 	TotalNs int64  `json:"totalNs"`
 	MinNs   int64  `json:"minNs"`
 	MaxNs   int64  `json:"maxNs"`
+	P50Ns   int64  `json:"p50Ns"`
+	P95Ns   int64  `json:"p95Ns"`
+	P99Ns   int64  `json:"p99Ns"`
 }
 
-// BuildRunReport reads the trace and/or metrics file (either may be empty)
+// BuildRunReport reads one trace and/or metrics file (either may be empty)
 // and merges them. The trace is schema-validated while parsing.
 func BuildRunReport(tracePath, metricsPath string) (*RunReport, error) {
-	rep := &RunReport{TraceFile: tracePath, MetricsFile: metricsPath}
-	if tracePath == "" && metricsPath == "" {
+	var traces []string
+	if tracePath != "" {
+		traces = []string{tracePath}
+	}
+	return BuildMergedRunReport(traces, metricsPath)
+}
+
+// BuildMergedRunReport merges any number of traces (and an optional metrics
+// snapshot) into one report. Spans sharing a name are aggregated across all
+// inputs, which is how a directory of per-request server traces becomes
+// per-phase latency percentiles.
+func BuildMergedRunReport(tracePaths []string, metricsPath string) (*RunReport, error) {
+	rep := &RunReport{MetricsFile: metricsPath}
+	if len(tracePaths) == 0 && metricsPath == "" {
 		return nil, fmt.Errorf("bench: report needs a trace and/or a metrics file")
 	}
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	switch len(tracePaths) {
+	case 0:
+	case 1:
+		rep.TraceFile = tracePaths[0]
+	default:
+		rep.TraceFiles = tracePaths
+	}
+
+	byName := map[string]*phaseAcc{}
+	var order []string
+	for _, path := range tracePaths {
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		spans, err := obs.ParseTrace(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", tracePath, err)
+			return nil, fmt.Errorf("bench: %s: %w", path, err)
 		}
-		rep.Spans = len(spans)
-		byName := map[string]*PhaseSummary{}
-		var order []string
+		rep.Spans += len(spans)
 		for _, s := range spans {
 			if s.Parent == 0 {
-				rep.WallNs += int64(s.Dur())
+				rep.WallNs += s.Dur()
 			}
 			p, ok := byName[s.Name]
 			if !ok {
-				p = &PhaseSummary{Name: s.Name, MinNs: int64(s.Dur())}
+				p = &phaseAcc{}
 				byName[s.Name] = p
 				order = append(order, s.Name)
 			}
-			d := int64(s.Dur())
-			p.Count++
-			p.TotalNs += d
-			if d < p.MinNs {
-				p.MinNs = d
-			}
-			if d > p.MaxNs {
-				p.MaxNs = d
-			}
-		}
-		for _, name := range order {
-			rep.Phases = append(rep.Phases, *byName[name])
+			p.durs = append(p.durs, s.Dur())
 		}
 	}
+	for _, name := range order {
+		rep.Phases = append(rep.Phases, byName[name].summary(name))
+	}
+
 	if metricsPath != "" {
 		data, err := os.ReadFile(metricsPath)
 		if err != nil {
@@ -90,6 +115,81 @@ func BuildRunReport(tracePath, metricsPath string) (*RunReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// phaseAcc collects the raw durations of one phase; the percentiles need
+// them all before any summary can be computed.
+type phaseAcc struct {
+	durs []int64
+}
+
+func (a *phaseAcc) summary(name string) PhaseSummary {
+	sorted := append([]int64(nil), a.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := PhaseSummary{
+		Name:  name,
+		Count: len(sorted),
+		MinNs: sorted[0],
+		MaxNs: sorted[len(sorted)-1],
+		P50Ns: percentile(sorted, 0.50),
+		P95Ns: percentile(sorted, 0.95),
+		P99Ns: percentile(sorted, 0.99),
+	}
+	for _, d := range sorted {
+		s.TotalNs += d
+	}
+	return s
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+// It never interpolates, so the result is always an observed duration.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ExpandTraceArgs resolves `rabench report` trace arguments: a file stands
+// for itself; a directory expands to its *.jsonl files (sorted by name),
+// which is the layout raserved -trace-dir writes (<trace-id>.trace.jsonl).
+// A directory without any trace is an error — silently reporting on nothing
+// would read as "no slow phases".
+func ExpandTraceArgs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		var files []string
+		for _, m := range matches {
+			if st, err := os.Stat(m); err == nil && !st.IsDir() {
+				files = append(files, m)
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("bench: directory %s holds no *.jsonl traces", arg)
+		}
+		out = append(out, files...)
+	}
+	return out, nil
 }
 
 // WriteJSON renders the report with stable formatting (metrics keys are
@@ -112,4 +212,18 @@ func (r *RunReport) TopPhases(n int) []PhaseSummary {
 		out = out[:n]
 	}
 	return out
+}
+
+// IsMetricsArg reports whether a report argument names a metrics snapshot
+// rather than a trace: a plain .json file (traces are .jsonl, and trace
+// directories are directories). It keeps the historical positional usage
+// `rabench report trace.jsonl metrics.json` working without a flag.
+func IsMetricsArg(arg string) bool {
+	if strings.HasSuffix(arg, ".jsonl") {
+		return false
+	}
+	if st, err := os.Stat(arg); err == nil && st.IsDir() {
+		return false
+	}
+	return strings.HasSuffix(arg, ".json")
 }

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTrace writes a minimal valid JSONL trace: one root span named root
+// with duration rootNs, holding one child span named child with duration
+// childNs (child must fit inside the root).
+func writeTrace(t *testing.T, path, root string, rootNs int64, child string, childNs int64) {
+	t.Helper()
+	body := fmt.Sprintf(
+		`{"ev":"b","id":1,"name":%q,"t":0}
+{"ev":"b","id":2,"par":1,"name":%q,"t":1}
+{"ev":"e","id":2,"t":%d}
+{"ev":"e","id":1,"t":%d}
+`, root, child, 1+childNs, rootNs)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergedReportPercentiles aggregates 100 single-request traces whose
+// "verify" durations are 1..100ns and pins the nearest-rank percentiles.
+func TestMergedReportPercentiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 1; i <= 100; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("t%03d.trace.jsonl", i))
+		writeTrace(t, p, "verify", int64(i+10), "fixpoint", int64(i))
+		paths = append(paths, p)
+	}
+	rep, err := BuildMergedRunReport(paths, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != 200 {
+		t.Errorf("Spans = %d, want 200", rep.Spans)
+	}
+	if len(rep.TraceFiles) != 100 || rep.TraceFile != "" {
+		t.Errorf("TraceFiles=%d TraceFile=%q, want 100 files and no single file", len(rep.TraceFiles), rep.TraceFile)
+	}
+	byName := map[string]PhaseSummary{}
+	for _, p := range rep.Phases {
+		byName[p.Name] = p
+	}
+	fp := byName["fixpoint"]
+	if fp.Count != 100 || fp.MinNs != 1 || fp.MaxNs != 100 {
+		t.Errorf("fixpoint count/min/max = %d/%d/%d, want 100/1/100", fp.Count, fp.MinNs, fp.MaxNs)
+	}
+	// Nearest rank over 1..100: pXX is exactly XX.
+	if fp.P50Ns != 50 || fp.P95Ns != 95 || fp.P99Ns != 99 {
+		t.Errorf("fixpoint p50/p95/p99 = %d/%d/%d, want 50/95/99", fp.P50Ns, fp.P95Ns, fp.P99Ns)
+	}
+	// Roots are 11..110; WallNs is their sum.
+	var wantWall int64
+	for i := int64(11); i <= 110; i++ {
+		wantWall += i
+	}
+	if rep.WallNs != wantWall {
+		t.Errorf("WallNs = %d, want %d", rep.WallNs, wantWall)
+	}
+}
+
+// TestSingleTraceReportKeepsShape pins the one-file path: TraceFile set,
+// percentiles of a single observation collapse onto that observation.
+func TestSingleTraceReportKeepsShape(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "trace.jsonl")
+	writeTrace(t, p, "verify", 1000, "fixpoint", 400)
+	rep, err := BuildRunReport(p, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceFile != p || rep.TraceFiles != nil {
+		t.Errorf("TraceFile=%q TraceFiles=%v, want the single path and nil", rep.TraceFile, rep.TraceFiles)
+	}
+	want := []PhaseSummary{
+		{Name: "verify", Count: 1, TotalNs: 1000, MinNs: 1000, MaxNs: 1000, P50Ns: 1000, P95Ns: 1000, P99Ns: 1000},
+		{Name: "fixpoint", Count: 1, TotalNs: 400, MinNs: 400, MaxNs: 400, P50Ns: 400, P95Ns: 400, P99Ns: 400},
+	}
+	if !reflect.DeepEqual(rep.Phases, want) {
+		t.Errorf("Phases = %+v, want %+v", rep.Phases, want)
+	}
+}
+
+// TestExpandTraceArgs: directories expand to their sorted *.jsonl files,
+// plain files pass through, empty directories are an error.
+func TestExpandTraceArgs(t *testing.T) {
+	dir := t.TempDir()
+	b := filepath.Join(dir, "b.trace.jsonl")
+	a := filepath.Join(dir, "a.trace.jsonl")
+	for _, p := range []string{b, a} {
+		writeTrace(t, p, "verify", 10, "fixpoint", 5)
+	}
+	// A stray non-trace file must not be picked up.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lone := filepath.Join(t.TempDir(), "lone.jsonl")
+	writeTrace(t, lone, "verify", 10, "fixpoint", 5)
+
+	got, err := ExpandTraceArgs([]string{lone, dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{lone, a, b}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpandTraceArgs = %v, want %v", got, want)
+	}
+
+	if _, err := ExpandTraceArgs([]string{t.TempDir()}); err == nil {
+		t.Error("empty directory: want error, got nil")
+	}
+	if _, err := ExpandTraceArgs([]string{filepath.Join(dir, "missing.jsonl")}); err == nil {
+		t.Error("missing file: want error, got nil")
+	}
+}
+
+// TestIsMetricsArg pins the positional-compat heuristic of rabench report.
+func TestIsMetricsArg(t *testing.T) {
+	dir := t.TempDir()
+	jsonDir := filepath.Join(dir, "traces.json")
+	if err := os.Mkdir(jsonDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		arg  string
+		want bool
+	}{
+		{"metrics.json", true},
+		{"trace.jsonl", false},
+		{"tracedir", false},
+		{jsonDir, false}, // a directory is a trace dir even if named *.json
+	}
+	for _, tc := range cases {
+		if got := IsMetricsArg(tc.arg); got != tc.want {
+			t.Errorf("IsMetricsArg(%q) = %v, want %v", tc.arg, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	metricsKey
+)
+
+// WithTracer returns a context carrying the tracer. Library entry points
+// that find no tracer in their Options fall back to the context, so a
+// server can scope a whole verification pipeline — engine, datalog, absint,
+// prepass spans included — to the request that caused it without widening
+// any function signature beyond the context it already threads.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil. The nil result is a
+// valid no-op tracer, so callers use the return unconditionally.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithSpan returns a context carrying a parent span. Entry points nest
+// their root span under it, so one request's verify, confirm and inventory
+// phases hang off a single request-level span.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFrom returns the context's parent span, or nil (a valid no-op span).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// WithMetrics returns a context carrying a metrics registry, the
+// request-scoped counterpart of WithTracer for callers that do not set
+// Options.Metrics explicitly.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, metricsKey, r)
+}
+
+// MetricsFrom returns the context's registry, or nil (a valid no-op
+// registry).
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey).(*Registry)
+	return r
+}

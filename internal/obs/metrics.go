@@ -73,13 +73,23 @@ func (g *Gauge) Value() int64 {
 // bucket 0 for v ≤ 0. 64-bit values always fit.
 const histBuckets = 65
 
+// Exemplar links one observation to the trace that produced it, in the
+// OpenMetrics sense: a scraper reading a bad latency bucket can jump
+// straight to a captured trace via the trace_id label.
+type Exemplar struct {
+	TraceID string
+	Value   int64
+}
+
 // Histogram is a race-safe log₂-scale histogram (power-of-two buckets), the
 // right shape for latencies and sizes spanning many orders of magnitude at
-// a fixed 65-slot memory cost.
+// a fixed 65-slot memory cost. Each bucket optionally retains the most
+// recent exemplar observed into it.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	buckets [histBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	buckets   [histBuckets]atomic.Int64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // Observe records one value. Nil-safe.
@@ -89,11 +99,37 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
-	i := 0
-	if v > 0 {
-		i = bits.Len64(uint64(v))
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveExemplar records one value and attaches the trace ID as the
+// bucket's exemplar (last writer wins). An empty trace ID degrades to a
+// plain Observe. Nil-safe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
 	}
-	h.buckets[i].Add(1)
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplars[bucketOf(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// ExemplarOf returns the retained exemplar of the bucket holding v, or nil.
+// Nil-safe.
+func (h *Histogram) ExemplarOf(v int64) *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.exemplars[bucketOf(v)].Load()
+}
+
+// bucketOf maps a value to its log₂ bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
 }
 
 // Count returns the number of observations. Nil-safe.
@@ -232,7 +268,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				cum += n
 				// Bucket i holds values < 2^i (bit length ≤ i ⇒ v ≤ 2^i - 1).
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", e.name, uint64(1)<<uint(i), cum); err != nil {
+				// A retained exemplar rides along in OpenMetrics syntax,
+				// linking the bucket to a captured trace.
+				suffix := ""
+				if ex := e.h.exemplars[i].Load(); ex != nil {
+					suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %d", ex.TraceID, ex.Value)
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d%s\n", e.name, uint64(1)<<uint(i), cum, suffix); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity, race-safe ring buffer keeping the most recent
+// entries. The server's slow-request capture uses it: an always-on recorder
+// must be bounded, and the newest incidents are the interesting ones.
+type Ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	next  int // index of the slot the next Add writes
+	total int64
+}
+
+// NewRing returns a ring keeping the last n entries (n < 1 is treated
+// as 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, 0, n)}
+}
+
+// Add appends an entry, evicting the oldest when full. Nil-safe.
+func (r *Ring[T]) Add(v T) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Snapshot returns the retained entries, newest first. Nil-safe.
+func (r *Ring[T]) Snapshot() []T {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, len(r.buf))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(r.buf); i++ {
+		out = append(out, r.buf[((r.next-1-i)+len(r.buf)*2)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns the number of entries ever added (retained or evicted).
+// Nil-safe.
+func (r *Ring[T]) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

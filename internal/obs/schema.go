@@ -15,7 +15,10 @@ type SpanRecord struct {
 	Name   string
 	Start  int64 // monotonic ns
 	End    int64
-	Attrs  map[string]any
+	// TraceID is the correlation ID stamped on the begin event when the
+	// tracer carries one (see Tracer.SetTraceID); empty otherwise.
+	TraceID string
+	Attrs   map[string]any
 }
 
 // Dur is the span's duration in nanoseconds.
@@ -77,7 +80,7 @@ func ParseTrace(r io.Reader) ([]SpanRecord, error) {
 					return nil, fmt.Errorf("trace line %d: span %d has unknown parent %d", line, ev.ID, ev.Parent)
 				}
 			}
-			open[ev.ID] = &SpanRecord{ID: ev.ID, Parent: ev.Parent, Name: ev.Name, Start: ev.T}
+			open[ev.ID] = &SpanRecord{ID: ev.ID, Parent: ev.Parent, Name: ev.Name, Start: ev.T, TraceID: ev.TID}
 			order = append(order, ev.ID)
 		case "e":
 			s, ok := open[ev.ID]

@@ -24,6 +24,7 @@ type traceEvent struct {
 	Parent int64          `json:"par,omitempty"`  // parent span id (0 = root)
 	Name   string         `json:"name,omitempty"` // span name ("b" only)
 	T      int64          `json:"t"`              // monotonic ns since tracer start
+	TID    string         `json:"tid,omitempty"`  // trace ID ("b" only, when set)
 	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
@@ -37,6 +38,7 @@ type Tracer struct {
 	bw   *bufio.Writer
 	next int64
 	now  func() int64
+	tid  string
 	err  error // first write/encode error, sticky
 }
 
@@ -54,6 +56,30 @@ func NewTracerClock(w io.Writer, now func() int64) *Tracer {
 	return &Tracer{bw: bufio.NewWriter(w), now: now}
 }
 
+// SetTraceID stamps every subsequently started span with the given trace ID
+// (the "tid" field of its begin event). Request-scoped tracers set it once,
+// before any span starts, so every span of the request's tree carries the
+// same correlation ID that the access log and the response envelope show.
+// Nil-safe.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tid = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the ID set with SetTraceID (empty otherwise). Nil-safe.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tid
+}
+
 // emit writes one event; the clock is read under the lock so T is
 // non-decreasing across the whole file.
 func (t *Tracer) emit(ev traceEvent) {
@@ -63,6 +89,9 @@ func (t *Tracer) emit(ev traceEvent) {
 		return
 	}
 	ev.T = t.now()
+	if ev.Ev == "b" {
+		ev.TID = t.tid
+	}
 	data, err := json.Marshal(ev)
 	if err != nil {
 		t.err = err

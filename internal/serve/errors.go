@@ -64,15 +64,17 @@ func verifyStatus(err error, src budgetSource) (int, string) {
 	}
 }
 
-// writeError renders the uniform error envelope. The request ID is threaded
-// from the middleware so every error is greppable in the access log.
-func writeError(w http.ResponseWriter, reqID string, status int, code, msg string) {
-	writeErrorDTO(w, reqID, ErrorDTO{Status: status, Code: code, Message: msg})
+// writeError renders the uniform error envelope. Request and trace IDs are
+// pulled from the request context so every error — including the
+// panic-recovery 500 — is greppable in the access log and joinable to its
+// trace.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeErrorDTO(w, r, ErrorDTO{Status: status, Code: code, Message: msg})
 }
 
 // writeFieldError renders a 400 invalid_options error naming the field.
-func writeFieldError(w http.ResponseWriter, reqID string, fe *FieldError) {
-	writeErrorDTO(w, reqID, ErrorDTO{
+func writeFieldError(w http.ResponseWriter, r *http.Request, fe *FieldError) {
+	writeErrorDTO(w, r, ErrorDTO{
 		Status:  http.StatusBadRequest,
 		Code:    CodeInvalidOptions,
 		Message: fe.Error(),
@@ -81,12 +83,13 @@ func writeFieldError(w http.ResponseWriter, reqID string, fe *FieldError) {
 }
 
 // writeErrorDTO writes the envelope with the status taken from the DTO.
-func writeErrorDTO(w http.ResponseWriter, reqID string, dto ErrorDTO) {
+func writeErrorDTO(w http.ResponseWriter, r *http.Request, dto ErrorDTO) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(dto.Status)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{
 		APIVersion: APIVersion,
-		RequestID:  reqID,
+		RequestID:  RequestIDFrom(r.Context()),
+		TraceID:    TraceIDFrom(r.Context()),
 		Error:      dto,
 	})
 }

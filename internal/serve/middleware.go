@@ -12,7 +12,11 @@ import (
 // ctxKey is the private context-key namespace of this package.
 type ctxKey int
 
-const requestIDKey ctxKey = iota
+const (
+	requestIDKey ctxKey = iota
+	traceIDKey
+	captureKey
+)
 
 // RequestIDFrom returns the request ID the middleware assigned (empty
 // outside a server-handled request).
@@ -61,12 +65,15 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 }
 
 // withAccessLog writes one line per request: timestamp (from the logger),
-// request ID, method, path, status, response bytes, wall time. It also
-// feeds the request counters and the latency histogram.
+// request ID, trace ID, method, path, status, response bytes, wall time. It
+// also feeds the request counters and the latency histogram.
 func (s *Server) withAccessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -83,9 +90,9 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 			s.m.resp2xx.Inc()
 		}
 		if s.accessLog != nil {
-			s.accessLog.Printf("%s %s %s %d %dB %s",
-				RequestIDFrom(r.Context()), r.Method, r.URL.Path, sw.status, sw.bytes,
-				d.Round(time.Microsecond))
+			s.accessLog.Printf("%s %s %s %s %d %dB %s",
+				RequestIDFrom(r.Context()), TraceIDFrom(r.Context()), r.Method, r.URL.Path,
+				sw.status, sw.bytes, d.Round(time.Microsecond))
 		}
 	})
 }
@@ -102,7 +109,7 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 					s.accessLog.Printf("%s panic: %v\n%s", RequestIDFrom(r.Context()), v, debug.Stack())
 				}
 				// Best effort: if the handler already wrote, this is a no-op.
-				writeError(w, RequestIDFrom(r.Context()), http.StatusInternalServerError,
+				writeError(w, r, http.StatusInternalServerError,
 					CodeInternal, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -117,9 +124,8 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 // refuse new verification work immediately.
 func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		reqID := RequestIDFrom(r.Context())
 		if s.draining.Load() {
-			writeError(w, reqID, http.StatusServiceUnavailable, CodeDraining,
+			writeError(w, r, http.StatusServiceUnavailable, CodeDraining,
 				"server is draining; retry against another replica")
 			return
 		}
@@ -132,7 +138,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 			case s.sem <- struct{}{}:
 			case <-r.Context().Done():
 				s.m.overCapacity.Inc()
-				writeError(w, reqID, http.StatusServiceUnavailable, CodeOverCapacity,
+				writeError(w, r, http.StatusServiceUnavailable, CodeOverCapacity,
 					"verification capacity exhausted before the request deadline")
 				return
 			}

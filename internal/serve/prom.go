@@ -15,6 +15,9 @@ type PromFamily struct {
 	// Samples maps the full sample name (with label suffix stripped of
 	// whitespace) to its parsed value.
 	Samples map[string]float64
+	// Exemplars maps sample names to the trace_id of their OpenMetrics
+	// exemplar, for samples carrying one ("... # {trace_id=\"x\"} v").
+	Exemplars map[string]string
 }
 
 // ParsePrometheus validates a Prometheus text-format exposition (version
@@ -74,8 +77,12 @@ func ParsePrometheus(text string) (map[string]*PromFamily, error) {
 		if strings.HasPrefix(line, "#") {
 			continue // other comments are legal
 		}
-		// Sample line: name[{labels}] value [timestamp]
+		// Sample line: name[{labels}] value [timestamp] [# {labels} value]
 		sampleName, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		rest, exemplarTrace, err := splitExemplar(rest)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -92,6 +99,12 @@ func ParsePrometheus(text string) (map[string]*PromFamily, error) {
 			return nil, fmt.Errorf("line %d: sample %q without a TYPE/HELP family", lineNo, sampleName)
 		}
 		f.Samples[sampleName] = val
+		if exemplarTrace != "" {
+			if f.Exemplars == nil {
+				f.Exemplars = map[string]string{}
+			}
+			f.Exemplars[sampleName] = exemplarTrace
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -135,6 +148,33 @@ func splitSample(line string) (name, rest string, err error) {
 		return "", "", fmt.Errorf("sample %q has no value", line)
 	}
 	return line[:i], strings.TrimSpace(line[i:]), nil
+}
+
+// splitExemplar cuts an OpenMetrics exemplar ("# {labels} value") off a
+// sample's value part, returning the value part and the exemplar's trace_id
+// label (empty when the sample has no exemplar). A '#' not followed by a
+// braced label set is malformed.
+func splitExemplar(rest string) (value, traceID string, err error) {
+	i := strings.IndexByte(rest, '#')
+	if i < 0 {
+		return rest, "", nil
+	}
+	ex := strings.TrimSpace(rest[i+1:])
+	if !strings.HasPrefix(ex, "{") {
+		return "", "", fmt.Errorf("malformed exemplar %q", rest[i:])
+	}
+	j := strings.IndexByte(ex, '}')
+	if j < 0 {
+		return "", "", fmt.Errorf("unbalanced braces in exemplar %q", rest[i:])
+	}
+	labels := ex[1:j]
+	if v, lrest, found := strings.Cut(labels, `trace_id="`); found {
+		_ = v
+		if id, _, ok := strings.Cut(lrest, `"`); ok {
+			traceID = id
+		}
+	}
+	return strings.TrimSpace(rest[:i]), traceID, nil
 }
 
 // familyOf resolves a sample name to its declared family: labels stripped,

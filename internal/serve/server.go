@@ -54,6 +54,16 @@ type Config struct {
 	Metrics *obs.Registry
 	// AccessLog receives one line per request; nil disables access logging.
 	AccessLog io.Writer
+	// SlowThreshold is the latency above which a request (with its full span
+	// breakdown) is captured into the /debug/slow ring (default 500ms).
+	SlowThreshold time.Duration
+	// SlowRingSize is how many slow requests /debug/slow retains, newest
+	// first (default 32).
+	SlowRingSize int
+	// TraceDir, when set, persists each request's raw JSONL trace as
+	// <trace-id>.trace.jsonl in this directory — the input of
+	// `rabench report`. Empty disables persistence.
+	TraceDir string
 }
 
 // Defaulted fills unset fields with the documented defaults. The soak
@@ -89,6 +99,12 @@ func (c Config) Defaulted() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.SlowRingSize <= 0 {
+		c.SlowRingSize = 32
 	}
 	return c
 }
@@ -135,6 +151,7 @@ type Server struct {
 	sem       chan struct{}
 	m         serverMetrics
 	accessLog logPrinter
+	slow      *obs.Ring[SlowEntry]
 
 	boot       uint32
 	seq        atomic.Int64
@@ -156,6 +173,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		m:     newServerMetrics(cfg.Metrics),
+		slow:  obs.NewRing[SlowEntry](cfg.SlowRingSize),
 		boot:  uint32(time.Now().UnixNano()),
 		start: time.Now(),
 	}
@@ -169,6 +187,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /metrics", s.metricsHandler())
 	s.mux.Handle("GET /metrics.json", s.metricsHandler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("POST /v1/verify", s.limited(s.handleVerify))
 	s.mux.HandleFunc("POST /v1/instance", s.limited(s.handleInstance))
 	s.mux.HandleFunc("POST /v1/deadlocks", s.limited(s.handleDeadlocks))
@@ -182,9 +201,11 @@ func New(cfg Config) *Server {
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Handler returns the full middleware-wrapped handler:
-// recover → request ID → access log + metrics → routes.
+// request ID → trace → access log + metrics → recover → routes.
+// Recovery sits innermost so a panic's 500 envelope carries the request and
+// trace IDs and still lands in the access log and latency histograms.
 func (s *Server) Handler() http.Handler {
-	return s.withRecover(s.withRequestID(s.withAccessLog(s.mux)))
+	return s.withRequestID(s.withTrace(s.withAccessLog(s.withRecover(s.mux))))
 }
 
 // addInflight adjusts and returns the in-flight verification count.
@@ -277,8 +298,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 // handleFallback gives unknown paths (and wrong methods on known paths) a
 // JSON 404/405 instead of the stdlib text default.
 func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
-	reqID := RequestIDFrom(r.Context())
-	writeError(w, reqID, http.StatusNotFound, CodeBadRequest,
+	writeError(w, r, http.StatusNotFound, CodeBadRequest,
 		fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
 }
 
@@ -350,34 +370,33 @@ func decodeRequest(r *http.Request) (system string, ro RequestOptions, envThread
 // prepare runs the shared request pipeline: decode, parse, options, budget.
 // On failure it writes the error response and returns ok=false.
 func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (sys *paramra.System, ro RequestOptions, opts paramra.Options, vctx context.Context, cancel context.CancelFunc, src budgetSource, envThreads int, ok bool) {
-	reqID := RequestIDFrom(r.Context())
 	system, ro, envThreads, err := decodeRequest(r)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, reqID, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBody))
 			return
 		}
-		writeError(w, reqID, http.StatusBadRequest, CodeBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if strings.TrimSpace(system) == "" {
-		writeFieldError(w, reqID, &FieldError{Field: "system", Reason: "is required (a .ra system)"})
+		writeFieldError(w, r, &FieldError{Field: "system", Reason: "is required (a .ra system)"})
 		return
 	}
 	sys, err = paramra.Parse(system)
 	if err != nil {
-		writeError(w, reqID, http.StatusBadRequest, CodeParseError, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeParseError, err.Error())
 		return
 	}
 	opts, err = s.cfg.Options(ro)
 	if err != nil {
 		var fe *FieldError
 		if errors.As(err, &fe) {
-			writeFieldError(w, reqID, fe)
+			writeFieldError(w, r, fe)
 		} else {
-			writeError(w, reqID, http.StatusBadRequest, CodeInvalidOptions, err.Error())
+			writeError(w, r, http.StatusBadRequest, CodeInvalidOptions, err.Error())
 		}
 		return
 	}
@@ -385,9 +404,9 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (sys *paramra.S
 	if err != nil {
 		var fe *FieldError
 		if errors.As(err, &fe) {
-			writeFieldError(w, reqID, fe)
+			writeFieldError(w, r, fe)
 		} else {
-			writeError(w, reqID, http.StatusBadRequest, CodeInvalidOptions, err.Error())
+			writeError(w, r, http.StatusBadRequest, CodeInvalidOptions, err.Error())
 		}
 		return
 	}
@@ -403,7 +422,7 @@ func (s *Server) finishError(w http.ResponseWriter, r *http.Request, err error, 
 	if status == http.StatusRequestTimeout || status == http.StatusGatewayTimeout {
 		s.m.timeouts.Inc()
 	}
-	writeError(w, RequestIDFrom(r.Context()), status, code, err.Error())
+	writeError(w, r, status, code, err.Error())
 }
 
 // countVerdict feeds the verdict counters.
@@ -421,7 +440,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	backend := "fixpoint"
+	if ro.Datalog {
+		backend = "datalog"
+	}
+	vstart := time.Now()
 	res, err := paramra.Verify(vctx, sys, opts)
+	s.observeBackend(backend, time.Since(vstart), TraceIDFrom(r.Context()))
 	if err != nil {
 		s.finishError(w, r, err, src)
 		return
@@ -430,6 +455,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	resp := VerifyResponse{
 		APIVersion: APIVersion,
 		RequestID:  RequestIDFrom(r.Context()),
+		TraceID:    TraceIDFrom(r.Context()),
 		System:     sys.Name,
 		Verdict:    Verdict(res),
 		Result:     FromResult(res),
@@ -457,6 +483,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	resp.Trace = s.traceDTO(r)
 	writeJSON(w, resp)
 }
 
@@ -469,7 +496,9 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	if !s.checkEnvThreads(w, r, envThreads) {
 		return
 	}
+	vstart := time.Now()
 	res, err := paramra.VerifyInstance(vctx, sys, envThreads, opts)
+	s.observeBackend("concrete", time.Since(vstart), TraceIDFrom(r.Context()))
 	if err != nil {
 		s.finishError(w, r, err, src)
 		return
@@ -478,10 +507,12 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, InstanceResponse{
 		APIVersion: APIVersion,
 		RequestID:  RequestIDFrom(r.Context()),
+		TraceID:    TraceIDFrom(r.Context()),
 		System:     sys.Name,
 		EnvThreads: envThreads,
 		Verdict:    InstanceVerdict(res),
 		Result:     FromInstanceResult(res),
+		Trace:      s.traceDTO(r),
 	})
 }
 
@@ -494,7 +525,9 @@ func (s *Server) handleDeadlocks(w http.ResponseWriter, r *http.Request) {
 	if !s.checkEnvThreads(w, r, envThreads) {
 		return
 	}
+	vstart := time.Now()
 	res, err := paramra.FindDeadlocks(vctx, sys, envThreads, opts)
+	s.observeBackend("concrete", time.Since(vstart), TraceIDFrom(r.Context()))
 	if err != nil {
 		s.finishError(w, r, err, src)
 		return
@@ -502,9 +535,11 @@ func (s *Server) handleDeadlocks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, DeadlockResponse{
 		APIVersion: APIVersion,
 		RequestID:  RequestIDFrom(r.Context()),
+		TraceID:    TraceIDFrom(r.Context()),
 		System:     sys.Name,
 		EnvThreads: envThreads,
 		Result:     FromDeadlockResult(res),
+		Trace:      s.traceDTO(r),
 	})
 }
 
@@ -514,7 +549,9 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	vstart := time.Now()
 	inv, err := paramra.Inventory(vctx, sys, opts)
+	s.observeBackend("fixpoint", time.Since(vstart), TraceIDFrom(r.Context()))
 	if err != nil {
 		s.finishError(w, r, err, src)
 		return
@@ -522,24 +559,25 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, InventoryResponse{
 		APIVersion: APIVersion,
 		RequestID:  RequestIDFrom(r.Context()),
+		TraceID:    TraceIDFrom(r.Context()),
 		System:     sys.Name,
 		Inventory:  inv,
+		Trace:      s.traceDTO(r),
 	})
 }
 
 // checkEnvThreads enforces the instance-size bounds of the concrete
 // endpoints.
 func (s *Server) checkEnvThreads(w http.ResponseWriter, r *http.Request, n int) bool {
-	reqID := RequestIDFrom(r.Context())
 	if n < 0 {
-		writeFieldError(w, reqID, &FieldError{
+		writeFieldError(w, r, &FieldError{
 			Field:  "envThreads",
 			Reason: fmt.Sprintf("= %d: must be ≥ 0", n),
 		})
 		return false
 	}
 	if n > s.cfg.MaxEnvThreads {
-		writeFieldError(w, reqID, &FieldError{
+		writeFieldError(w, r, &FieldError{
 			Field:  "envThreads",
 			Reason: fmt.Sprintf("= %d: exceeds the server cap %d", n, s.cfg.MaxEnvThreads),
 		})

@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paramra/internal/obs"
+)
+
+// postTraced sends a JSON verification request with trace headers set and
+// returns the response status, body, and echoed X-Trace-Id header.
+func postTraced(t *testing.T, url, traceID string, wantTree bool, req any) (int, []byte, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, _ := http.NewRequest("POST", url, bytes.NewReader(body))
+	hr.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		hr.Header.Set("X-Trace-Id", traceID)
+	}
+	if wantTree {
+		hr.Header.Set("X-Trace", "1")
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header.Get("X-Trace-Id")
+}
+
+// TestTraceIDRoundTrip pins the end-to-end propagation contract: a client's
+// X-Trace-Id comes back in the response header, the success envelope, and
+// the access log line of that request.
+func TestTraceIDRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	syncW := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{AccessLog: syncW})
+	status, body, echoed := postTraced(t, ts.URL+"/v1/verify", "trace-roundtrip-1", false, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	if echoed != "trace-roundtrip-1" {
+		t.Errorf("X-Trace-Id echoed %q", echoed)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.TraceID != "trace-roundtrip-1" {
+		t.Errorf("envelope traceId = %q", vr.TraceID)
+	}
+	if vr.Trace != nil {
+		t.Error("span tree included without the X-Trace opt-in")
+	}
+	mu.Lock()
+	line := buf.String()
+	mu.Unlock()
+	if !strings.Contains(line, "trace-roundtrip-1") {
+		t.Errorf("access log missing the trace ID: %q", line)
+	}
+}
+
+// TestTraceIDGenerated pins the fallback: requests without X-Trace-Id get a
+// generated, unique ID that still reaches header and envelope.
+func TestTraceIDGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		status, body, echoed := postTraced(t, ts.URL+"/v1/verify", "", false, VerifyRequest{System: sysSafe})
+		if status != http.StatusOK {
+			t.Fatalf("verify: %d %s", status, body)
+		}
+		if echoed == "" || seen[echoed] {
+			t.Fatalf("generated trace ID %q empty or repeated", echoed)
+		}
+		seen[echoed] = true
+		var vr VerifyResponse
+		if err := json.Unmarshal(body, &vr); err != nil {
+			t.Fatal(err)
+		}
+		if vr.TraceID != echoed {
+			t.Errorf("envelope traceId %q != header %q", vr.TraceID, echoed)
+		}
+	}
+}
+
+// TestTraceIDOversizedReplaced pins that an abusive kilobyte-long trace ID
+// is replaced rather than echoed.
+func TestTraceIDOversizedReplaced(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	long := strings.Repeat("t", 1024)
+	status, body, echoed := postTraced(t, ts.URL+"/v1/verify", long, false, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	if echoed == long || echoed == "" {
+		t.Errorf("oversized trace ID echoed back (len %d)", len(echoed))
+	}
+}
+
+// TestTraceEnvelopeSpans pins the opt-in span tree: with "X-Trace: 1" the
+// success envelope carries the request's span tree, rooted at the library's
+// verify span.
+func TestTraceEnvelopeSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := postTraced(t, ts.URL+"/v1/verify", "trace-tree-1", true, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Trace == nil || vr.Trace.Error != "" {
+		t.Fatalf("trace = %+v", vr.Trace)
+	}
+	if len(vr.Trace.Spans) == 0 || vr.Trace.Spans[0].Name != "verify" {
+		t.Fatalf("span tree roots = %+v", vr.Trace.Spans)
+	}
+	names := map[string]bool{}
+	obs.WalkTree(vr.Trace.Spans, func(n *obs.TreeNode) {
+		names[n.Name] = true
+		if n.DurNs < 0 || n.StartNs < 0 {
+			t.Errorf("span %q has negative timing: start=%d dur=%d", n.Name, n.StartNs, n.DurNs)
+		}
+	})
+	// The default config runs the prepass before the fixpoint search.
+	if !names["prepass"] {
+		t.Errorf("span tree missing the prepass phase: %v", names)
+	}
+}
+
+// TestErrorEnvelopeTraceID pins the trace ID on the error path, including
+// the panic-recovery 500.
+func TestErrorEnvelopeTraceID(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.mux.HandleFunc("GET /traceboom", func(http.ResponseWriter, *http.Request) {
+		panic("traced kaboom")
+	})
+
+	// Parse error.
+	status, body, _ := postTraced(t, ts.URL+"/v1/verify", "trace-err-1", false, VerifyRequest{System: "not a system"})
+	er := wantError(t, status, body, http.StatusBadRequest, CodeParseError, "")
+	if er.TraceID != "trace-err-1" {
+		t.Errorf("parse-error traceId = %q", er.TraceID)
+	}
+
+	// Panic-recovery 500.
+	hr, _ := http.NewRequest("GET", ts.URL+"/traceboom", nil)
+	hr.Header.Set("X-Trace-Id", "trace-err-2")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var per ErrorResponse
+	derr := json.NewDecoder(resp.Body).Decode(&per)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || derr != nil {
+		t.Fatalf("panic response: status=%d decode=%v", resp.StatusCode, derr)
+	}
+	if per.TraceID != "trace-err-2" || per.RequestID == "" {
+		t.Errorf("panic envelope ids: traceId=%q requestId=%q", per.TraceID, per.RequestID)
+	}
+}
+
+// TestSlowRingCapture pins /debug/slow: with the threshold at its floor,
+// every verification lands in the ring with its trace ID, status, and a
+// per-phase span breakdown.
+func TestSlowRingCapture(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowThreshold: time.Nanosecond})
+	status, body, _ := postTraced(t, ts.URL+"/v1/verify", "trace-slow-1", false, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SlowResponse
+	derr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || derr != nil {
+		t.Fatalf("/debug/slow: status=%d decode=%v", resp.StatusCode, derr)
+	}
+	if sr.APIVersion != APIVersion || sr.Total < 1 {
+		t.Fatalf("slow envelope: %+v", sr)
+	}
+	var entry *SlowEntry
+	for i := range sr.Requests {
+		if sr.Requests[i].TraceID == "trace-slow-1" {
+			entry = &sr.Requests[i]
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("traced request not captured; ring = %+v", sr.Requests)
+	}
+	if entry.Method != "POST" || entry.Path != "/v1/verify" || entry.Status != 200 || entry.DurNs <= 0 {
+		t.Errorf("slow entry = %+v", entry)
+	}
+	if entry.TraceError != "" || len(entry.Spans) == 0 || entry.Spans[0].Name != "verify" {
+		t.Errorf("slow entry spans = %+v (traceError %q)", entry.Spans, entry.TraceError)
+	}
+}
+
+// TestSlowRingBounded pins the ring's eviction: it retains at most
+// SlowRingSize entries, newest first.
+func TestSlowRingBounded(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowThreshold: time.Nanosecond, SlowRingSize: 2})
+	for i := 0; i < 4; i++ {
+		status, body, _ := postTraced(t, ts.URL+"/v1/verify", fmt.Sprintf("trace-ring-%d", i), false, VerifyRequest{System: sysSafe})
+		if status != http.StatusOK {
+			t.Fatalf("verify %d: %d %s", i, status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SlowResponse
+	derr := json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(sr.Requests) != 2 {
+		t.Fatalf("ring kept %d entries, want 2", len(sr.Requests))
+	}
+	if sr.Requests[0].TraceID != "trace-ring-3" || sr.Requests[1].TraceID != "trace-ring-2" {
+		t.Errorf("ring order = [%s %s], want newest first", sr.Requests[0].TraceID, sr.Requests[1].TraceID)
+	}
+	if sr.Total < 4 {
+		t.Errorf("total = %d, want ≥ 4", sr.Total)
+	}
+}
+
+// TestEndpointHistogramExemplars pins the /metrics side: the per-endpoint
+// and per-backend histograms exist, parse, and carry the trace ID of an
+// observed request as an OpenMetrics exemplar.
+func TestEndpointHistogramExemplars(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := postTraced(t, ts.URL+"/v1/verify", "trace-exemplar-1", false, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fams, err := ParsePrometheus(buf.String())
+	if err != nil {
+		t.Fatalf("/metrics no longer parses: %v", err)
+	}
+	for _, name := range []string{"raserved_endpoint_verify_ns", "raserved_backend_fixpoint_ns"} {
+		f := fams[name]
+		if f == nil || f.Type != "histogram" {
+			t.Fatalf("missing histogram family %s", name)
+		}
+		found := false
+		for _, tid := range f.Exemplars {
+			if tid == "trace-exemplar-1" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s carries no exemplar for the traced request: %+v", name, f.Exemplars)
+		}
+	}
+}
+
+// TestTraceDirPersistsSpans pins TraceDir persistence: the request's raw
+// JSONL trace lands in the directory under its trace ID, validates, and
+// every span carries the request's trace ID.
+func TestTraceDirPersistsSpans(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{TraceDir: dir})
+	status, body, _ := postTraced(t, ts.URL+"/v1/verify", "trace-dir-1", false, VerifyRequest{System: sysSafe})
+	if status != http.StatusOK {
+		t.Fatalf("verify: %d %s", status, body)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "trace-dir-1.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(bytes.NewReader(data)); err != nil {
+		t.Fatalf("persisted trace invalid: %v", err)
+	}
+	spans, err := obs.ParseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("persisted trace has no spans")
+	}
+	for _, sp := range spans {
+		if sp.TraceID != "trace-dir-1" {
+			t.Errorf("span %q trace ID = %q", sp.Name, sp.TraceID)
+		}
+	}
+}
+
+// TestTraceDirSanitizesIDs pins that a hostile trace ID cannot escape the
+// trace directory.
+func TestTraceDirSanitizesIDs(t *testing.T) {
+	if got := sanitizeTraceID("../../etc/passwd"); strings.Contains(got, "/") {
+		t.Errorf("sanitized ID still has separators: %q", got)
+	}
+	if got := sanitizeTraceID("..."); got != "trace" {
+		t.Errorf("dot-only ID sanitized to %q", got)
+	}
+	if got := sanitizeTraceID("ok-ID_1.2"); got != "ok-ID_1.2" {
+		t.Errorf("benign ID mangled to %q", got)
+	}
+}
+
+// TestConcurrentTracedRequests is the HTTP-level multi-root race test: many
+// concurrent traced requests, each opting into the span tree, must each get
+// back exactly their own trace — right ID in header and envelope, a span
+// tree rooted at their own verify span, never an interleaving error.
+func TestConcurrentTracedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowThreshold: time.Nanosecond, SlowRingSize: 64})
+	const n = 50
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("trace-conc-%02d", i)
+			status, body, echoed := postTraced(t, ts.URL+"/v1/verify", id, true, VerifyRequest{System: sysSafe})
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("%s: status %d: %s", id, status, body)
+				return
+			}
+			if echoed != id {
+				errs[i] = fmt.Errorf("%s: header echoed %q", id, echoed)
+				return
+			}
+			var vr VerifyResponse
+			if err := json.Unmarshal(body, &vr); err != nil {
+				errs[i] = fmt.Errorf("%s: %v", id, err)
+				return
+			}
+			if vr.TraceID != id {
+				errs[i] = fmt.Errorf("%s: envelope traceId %q", id, vr.TraceID)
+				return
+			}
+			if vr.Trace == nil || vr.Trace.Error != "" {
+				errs[i] = fmt.Errorf("%s: trace = %+v", id, vr.Trace)
+				return
+			}
+			if len(vr.Trace.Spans) != 1 || vr.Trace.Spans[0].Name != "verify" {
+				errs[i] = fmt.Errorf("%s: foreign or missing roots: %+v", id, vr.Trace.Spans)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestParsePrometheusExemplars pins the parser against exemplar-suffixed
+// bucket lines, malformed exemplars, and plain samples.
+func TestParsePrometheusExemplars(t *testing.T) {
+	text := `# HELP req_ns request latency
+# TYPE req_ns histogram
+req_ns_bucket{le="128"} 3 # {trace_id="t-9"} 120
+req_ns_bucket{le="+Inf"} 3
+req_ns_sum 300
+req_ns_count 3
+`
+	fams, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["req_ns"]
+	if f == nil || f.Samples[`req_ns_bucket{le="128"}`] != 3 {
+		t.Fatalf("bucket sample lost: %+v", f)
+	}
+	if f.Exemplars[`req_ns_bucket{le="128"}`] != "t-9" {
+		t.Errorf("exemplar = %+v", f.Exemplars)
+	}
+	if _, err := ParsePrometheus("# TYPE x counter\nx 1 # broken\n"); err == nil {
+		t.Error("malformed exemplar accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"paramra"
+	"paramra/internal/obs"
 )
 
 // APIVersion is the wire-contract version carried in every response
@@ -238,33 +239,49 @@ type ConfirmDTO struct {
 	Error *ConfirmErrorDTO `json:"error,omitempty"`
 }
 
+// TraceDTO is the opt-in per-response span tree: the spans the request's
+// verification opened, nested parent→child, with start offsets and
+// durations in nanoseconds. Clients request it with the "X-Trace: 1" header;
+// the trace ID itself rides on the envelope. Error replaces Spans when the
+// capture could not be reconstructed.
+type TraceDTO struct {
+	Spans []*obs.TreeNode `json:"spans,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
 // VerifyResponse is the /v1/verify success envelope.
 type VerifyResponse struct {
 	APIVersion string      `json:"apiVersion"`
 	RequestID  string      `json:"requestId,omitempty"`
+	TraceID    string      `json:"traceId,omitempty"`
 	System     string      `json:"system"`
 	Verdict    string      `json:"verdict"`
 	Result     ResultDTO   `json:"result"`
 	Confirm    *ConfirmDTO `json:"confirm,omitempty"`
+	Trace      *TraceDTO   `json:"trace,omitempty"`
 }
 
 // InstanceResponse is the /v1/instance success envelope.
 type InstanceResponse struct {
 	APIVersion string            `json:"apiVersion"`
 	RequestID  string            `json:"requestId,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
 	System     string            `json:"system"`
 	EnvThreads int               `json:"envThreads"`
 	Verdict    string            `json:"verdict"`
 	Result     InstanceResultDTO `json:"result"`
+	Trace      *TraceDTO         `json:"trace,omitempty"`
 }
 
 // DeadlockResponse is the /v1/deadlocks success envelope.
 type DeadlockResponse struct {
 	APIVersion string            `json:"apiVersion"`
 	RequestID  string            `json:"requestId,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
 	System     string            `json:"system"`
 	EnvThreads int               `json:"envThreads"`
 	Result     DeadlockResultDTO `json:"result"`
+	Trace      *TraceDTO         `json:"trace,omitempty"`
 }
 
 // InventoryResponse is the /v1/inventory success envelope. Inventory maps
@@ -273,8 +290,10 @@ type DeadlockResponse struct {
 type InventoryResponse struct {
 	APIVersion string           `json:"apiVersion"`
 	RequestID  string           `json:"requestId,omitempty"`
+	TraceID    string           `json:"traceId,omitempty"`
 	System     string           `json:"system"`
 	Inventory  map[string][]int `json:"inventory"`
+	Trace      *TraceDTO        `json:"trace,omitempty"`
 }
 
 // ErrorDTO is the machine-readable error payload.
@@ -293,6 +312,7 @@ type ErrorDTO struct {
 type ErrorResponse struct {
 	APIVersion string   `json:"apiVersion"`
 	RequestID  string   `json:"requestId,omitempty"`
+	TraceID    string   `json:"traceId,omitempty"`
 	Error      ErrorDTO `json:"error"`
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"paramra"
+	"paramra/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden wire-schema files")
@@ -94,11 +95,63 @@ func goldenCases() map[string]any {
 		"error_response": ErrorResponse{
 			APIVersion: APIVersion,
 			RequestID:  "req-5",
+			TraceID:    "trace-5",
 			Error: ErrorDTO{
 				Status:  400,
 				Code:    CodeInvalidOptions,
 				Message: "maxStates = -1: must be ≥ 0 (0 means unlimited)",
 				Field:   "maxStates",
+			},
+		},
+		"verify_response_traced": VerifyResponse{
+			APIVersion: APIVersion,
+			RequestID:  "req-6",
+			TraceID:    "trace-6",
+			System:     "mp",
+			Verdict:    "SAFE",
+			Result:     ResultDTO{Complete: true, Class: "env(nocas)+dis(acyc)", EnvThreadBound: -1, DecidedBy: "fixpoint"},
+			Trace:      &TraceDTO{Spans: goldenSpans()},
+		},
+		"slow_response": SlowResponse{
+			APIVersion:  APIVersion,
+			RequestID:   "req-7",
+			TraceID:     "trace-7",
+			ThresholdMS: 500,
+			Total:       41,
+			Requests: []SlowEntry{
+				{
+					TraceID:   "trace-6",
+					RequestID: "req-6",
+					Method:    "POST",
+					Path:      "/v1/verify",
+					Status:    200,
+					DurNs:     750_000_000,
+					Spans:     goldenSpans(),
+				},
+				{
+					TraceID:    "trace-3",
+					Method:     "POST",
+					Path:       "/v1/inventory",
+					Status:     500,
+					DurNs:      900_000_000,
+					TraceError: "trace: span 4 never ended",
+				},
+			},
+		},
+	}
+}
+
+// goldenSpans is a hand-built span tree with deterministic offsets, pinning
+// the JSON shape of obs.TreeNode on the wire.
+func goldenSpans() []*obs.TreeNode {
+	return []*obs.TreeNode{
+		{
+			Name: "verify", StartNs: 0, DurNs: 740_000_000,
+			Attrs: map[string]any{"backend": "fixpoint", "complete": true},
+			Children: []*obs.TreeNode{
+				{Name: "prepass", StartNs: 1_000, DurNs: 2_000_000,
+					Attrs: map[string]any{"verdict": "inconclusive"}},
+				{Name: "fixpoint", StartNs: 2_100_000, DurNs: 737_000_000},
 			},
 		},
 	}

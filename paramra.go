@@ -168,6 +168,13 @@ type Options struct {
 	// caller's, then well-formedness, unroll, fixpoint/datalog/concrete
 	// search, engine layers — as JSONL events (see internal/obs and the
 	// -trace-out CLI flag). Span IDs are deterministic at any Parallelism.
+	//
+	// When both Tracer and TraceSpan are nil, the entry points consult the
+	// context: a span installed with obs.WithSpan (or a tracer installed
+	// with obs.WithTracer) scopes the run's spans to the caller — this is
+	// how the HTTP server attaches every engine/datalog/absint span to the
+	// request that caused it without widening any signature. Explicit
+	// Options win over the context.
 	Tracer *obs.Tracer
 	// TraceSpan, when non-nil, nests the entry point's root span under an
 	// existing parent (e.g. a CLI-level span) instead of starting a new
@@ -175,6 +182,8 @@ type Options struct {
 	TraceSpan *obs.Span
 	// Metrics, when non-nil, receives live counters, gauges and histograms
 	// of the run (exposed in Prometheus/expvar form via -metrics-addr).
+	// When nil, a registry installed with obs.WithMetrics on the context is
+	// used instead.
 	Metrics *obs.Registry
 }
 
@@ -246,12 +255,34 @@ func (o Options) normalized() Options {
 }
 
 // beginSpan opens an entry point's root span: a child of TraceSpan when
-// set, else a new root on Tracer. Both nil yields a nil (no-op) span.
-func (o Options) beginSpan(name string) *obs.Span {
+// set, else a new root on Tracer, else a child/root of whatever the context
+// carries (obs.WithSpan / obs.WithTracer). Nothing anywhere yields a nil
+// (no-op) span, so disabled tracing stays a pointer check plus two context
+// lookups per entry point — not per span site; nested spans branch on the
+// parent pointer alone.
+func (o Options) beginSpan(ctx context.Context, name string) *obs.Span {
 	if o.TraceSpan != nil {
 		return o.TraceSpan.Child(name)
 	}
-	return o.Tracer.Start(name, nil)
+	if o.Tracer != nil {
+		return o.Tracer.Start(name, nil)
+	}
+	if s := obs.SpanFrom(ctx); s != nil {
+		return s.Child(name)
+	}
+	if t := obs.TracerFrom(ctx); t != nil {
+		return t.Start(name, nil)
+	}
+	return nil
+}
+
+// metrics resolves the run's registry: explicit Options first, then the
+// context (obs.WithMetrics). Both nil yields a nil (no-op) registry.
+func (o Options) metrics(ctx context.Context) *obs.Registry {
+	if o.Metrics != nil {
+		return o.Metrics
+	}
+	return obs.MetricsFrom(ctx)
 }
 
 // Stats reports verifier work. Each backend populates its own field group
@@ -371,7 +402,7 @@ func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 }
 
 func verify(ctx context.Context, sys *System, opts Options) (Result, error) {
-	span := opts.beginSpan("verify")
+	span := opts.beginSpan(ctx, "verify")
 	defer span.End()
 
 	res := Result{EnvThreadBound: -1}
@@ -454,7 +485,7 @@ func verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 		Workers:        opts.Parallelism,
 		Progress:       fixpointProgress(opts.Progress),
 		Trace:          span,
-		Metrics:        opts.Metrics,
+		Metrics:        opts.metrics(ctx),
 	})
 	if err != nil {
 		return res, err
@@ -550,7 +581,7 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, s
 
 	var hInst, hRound *obs.Histogram
 	var cInst, cRounds, cAtoms *obs.Counter
-	if m := opts.Metrics; m != nil {
+	if m := opts.metrics(ctx); m != nil {
 		hInst = m.Histogram("paramra_datalog_instance_ns",
 			"wall time per Datalog query instance (ns)")
 		hRound = m.Histogram("paramra_datalog_round_ns",
@@ -703,7 +734,7 @@ func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, op
 	if sys.Env == nil {
 		hi = 0
 	}
-	span := opts.beginSpan("confirm-violation")
+	span := opts.beginSpan(ctx, "confirm-violation")
 	defer span.End()
 	if span != nil {
 		span.SetAttr("env_thread_bound", hi)
@@ -719,7 +750,7 @@ func ConfirmViolation(ctx context.Context, sys *System, res Result, maxN int, op
 			Workers:   opts.Parallelism,
 			Progress:  concreteProgress(opts.Progress),
 			Trace:     span,
-			Metrics:   opts.Metrics,
+			Metrics:   opts.metrics(ctx),
 		})
 		if out.Unsafe {
 			if span != nil {
@@ -762,14 +793,14 @@ func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (De
 	if err != nil {
 		return DeadlockResult{}, err
 	}
-	span := opts.beginSpan("find-deadlocks")
+	span := opts.beginSpan(ctx, "find-deadlocks")
 	defer span.End()
 	rep := inst.FindDeadlocksContext(ctx, ra.Limits{
 		MaxStates: opts.MaxStates,
 		Workers:   opts.Parallelism,
 		Progress:  concreteProgress(opts.Progress),
 		Trace:     span,
-		Metrics:   opts.Metrics,
+		Metrics:   opts.metrics(ctx),
 	})
 	if err := ctx.Err(); err != nil {
 		return DeadlockResult{}, err
@@ -785,14 +816,14 @@ func FindDeadlocks(ctx context.Context, sys *System, nEnv int, opts Options) (De
 // carries. Keys are variable names; asserts are inert during the analysis.
 func Inventory(ctx context.Context, sys *System, opts Options) (map[string][]int, error) {
 	opts = opts.normalized()
-	span := opts.beginSpan("inventory")
+	span := opts.beginSpan(ctx, "inventory")
 	defer span.End()
 	v, err := simplified.New(sys, simplified.Options{
 		MaxMacroStates: opts.MaxMacroStates,
 		Workers:        opts.Parallelism,
 		Progress:       fixpointProgress(opts.Progress),
 		Trace:          span,
-		Metrics:        opts.Metrics,
+		Metrics:        opts.metrics(ctx),
 	})
 	if err != nil {
 		return nil, err
@@ -846,7 +877,7 @@ func verifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (I
 	if err != nil {
 		return InstanceResult{}, err
 	}
-	span := opts.beginSpan("verify-instance")
+	span := opts.beginSpan(ctx, "verify-instance")
 	defer span.End()
 	if span != nil {
 		span.SetAttr("env_threads", nEnv)
@@ -856,7 +887,7 @@ func verifyInstance(ctx context.Context, sys *System, nEnv int, opts Options) (I
 		Workers:   opts.Parallelism,
 		Progress:  concreteProgress(opts.Progress),
 		Trace:     span,
-		Metrics:   opts.Metrics,
+		Metrics:   opts.metrics(ctx),
 	})
 	res := InstanceResult{
 		Unsafe:   out.Unsafe,

@@ -4,11 +4,14 @@
 # Usage: scripts/soak-smoke.sh [duration] [concurrency]
 #
 # Builds both binaries from the working tree (raserved under -race so the
-# soak doubles as a race hunt), starts the server on an ephemeral port,
-# runs the soak harness with metrics validation, then shuts the server down
-# with SIGTERM and requires exit code 0 plus the "drained cleanly" line.
-# Exit code 0 means every assertion held. CI's `serve` job runs exactly
-# this script.
+# soak doubles as a race hunt), starts the server on an ephemeral port with
+# a 1ms slow threshold and a trace directory, runs the soak harness with
+# metrics + trace-propagation + /debug/slow validation, then shuts the
+# server down with SIGTERM and requires exit code 0 plus the "drained
+# cleanly" line. Finally the persisted per-request traces are merged with
+# `rabench report` into per-phase percentiles, proving the whole tracing
+# pipeline end to end. Exit code 0 means every assertion held. CI's `serve`
+# job runs exactly this script.
 set -eu
 
 DURATION="${1:-30s}"
@@ -16,11 +19,17 @@ CONCURRENCY="${2:-8}"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
-echo "soak-smoke: building raserved (-race) and soak"
+echo "soak-smoke: building raserved (-race), soak, and rabench"
 go build -race -o "$WORKDIR/raserved" ./cmd/raserved
 go build -o "$WORKDIR/soak" ./cmd/soak
+go build -o "$WORKDIR/rabench" ./cmd/rabench
 
-"$WORKDIR/raserved" -addr 127.0.0.1:0 -quiet >"$WORKDIR/raserved.log" 2>&1 &
+mkdir "$WORKDIR/traces"
+# No -quiet: the access log is part of what this smoke asserts (every line
+# carries the request's trace ID).
+"$WORKDIR/raserved" -addr 127.0.0.1:0 \
+  -slow-threshold 1ms -trace-dir "$WORKDIR/traces" \
+  >"$WORKDIR/raserved.log" 2>&1 &
 SERVER_PID=$!
 
 # The first stdout line announces the bound address.
@@ -36,7 +45,7 @@ echo "soak-smoke: server on $ADDR (pid $SERVER_PID)"
 
 SOAK_STATUS=0
 "$WORKDIR/soak" -addr "http://$ADDR" -corpus testdata/systems \
-  -duration "$DURATION" -concurrency "$CONCURRENCY" -check-metrics || SOAK_STATUS=$?
+  -duration "$DURATION" -concurrency "$CONCURRENCY" -check-metrics -expect-slow || SOAK_STATUS=$?
 
 echo "soak-smoke: sending SIGTERM"
 kill -TERM "$SERVER_PID"
@@ -54,6 +63,20 @@ if [ "$DRAIN_STATUS" -ne 0 ]; then
 fi
 if ! grep -q "drained cleanly" "$WORKDIR/raserved.log"; then
   echo "soak-smoke: FAIL (no clean-drain line)" >&2
+  exit 1
+fi
+# The access log must carry the soak's trace IDs (field 2 of every line).
+if ! grep -q "soak-" "$WORKDIR/raserved.log"; then
+  echo "soak-smoke: FAIL (no soak trace ID in the access log)" >&2
+  exit 1
+fi
+echo "soak-smoke: merging persisted request traces"
+if ! "$WORKDIR/rabench" report "$WORKDIR/traces" >"$WORKDIR/report.json"; then
+  echo "soak-smoke: FAIL (rabench report over the trace dir)" >&2
+  exit 1
+fi
+if ! grep -q '"p99Ns"' "$WORKDIR/report.json"; then
+  echo "soak-smoke: FAIL (merged report carries no percentiles)" >&2
   exit 1
 fi
 echo "soak-smoke: PASS"
