@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]
+//	rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|mincache|threads|ablations|robust|scaling|gap|budget|slice|parallel|cache|all]
 //	rabench report trace.jsonl... [tracedir...] [metrics.json]
 //	rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]
 //
@@ -45,7 +45,7 @@ var (
 	runSpan *obs.Span
 )
 
-const usage = "usage: rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|cache|threads|ablations|robust|scaling|gap|budget|slice|parallel|all]\n" +
+const usage = "usage: rabench [-j N] [-timeout D] [table|table1|corpus|fig3|fig4|fig5|mincache|threads|ablations|robust|scaling|gap|budget|slice|parallel|cache|all]\n" +
 	"       rabench report trace.jsonl... [tracedir...] [metrics.json]\n" +
 	"       rabench fuzz [-seeds N] [-profile P] [-seed-base B] [-repro-dir D] [-seed-timeout T] [-selftest]\n"
 
@@ -102,7 +102,8 @@ func run() int {
 		"fig3":      fig3,
 		"fig4":      fig4,
 		"fig5":      fig5,
-		"cache":     cache,
+		"mincache":  mincache,
+		"cache":     vcache,
 		"threads":   threads,
 		"ablations": ablations,
 		"robust":    robust,
@@ -120,7 +121,7 @@ func run() int {
 		return err
 	}
 	if what == "all" {
-		for _, name := range []string{"table", "table1", "corpus", "fig3", "fig4", "fig5", "cache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel"} {
+		for _, name := range []string{"table", "table1", "corpus", "fig3", "fig4", "fig5", "mincache", "threads", "ablations", "robust", "scaling", "gap", "budget", "slice", "parallel", "cache"} {
 			if err := timed(name, run[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "rabench %s: %v\n", name, err)
 				return 1
@@ -215,6 +216,7 @@ func fuzz(args []string, metrics *obs.Registry) error {
 		check.NoConcrete = true
 		check.NoDeadlocks = true
 		check.NoPrepass = true
+		check.NoCache = true
 	}
 
 	res, err := fuzzgen.Campaign(runCtx, fuzzgen.CampaignOptions{
@@ -367,12 +369,24 @@ func fig5() error {
 	return nil
 }
 
-func cache() error {
+// mincache is E8, the Lemma 4.4 minimal-Datalog-cache experiment (formerly
+// the `cache` subcommand; renamed when the verdict cache took that name).
+func mincache() error {
 	rows, err := bench.CacheExperiment()
 	if err != nil {
 		return err
 	}
 	fmt.Print(bench.CacheTable(rows).String())
+	return nil
+}
+
+// vcache is E20: the content-addressed verdict cache on the corpus.
+func vcache() error {
+	rows, err := bench.VerdictCacheExperiment(runCtx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.VerdictCacheTable(rows).String())
 	return nil
 }
 

@@ -62,6 +62,8 @@ func run() int {
 		slowThreshold = flag.Duration("slow-threshold", 0, "latency above which a request is captured into /debug/slow (0 = 500ms default)")
 		slowRing      = flag.Int("slow-ring", 0, "how many slow requests /debug/slow retains (0 = 32 default)")
 		traceDir      = flag.String("trace-dir", "", "persist each request's JSONL trace into this directory (input of `rabench report`)")
+		cacheSize     = flag.Int("cache-size", 4096, "in-memory verdict-cache entries, keyed on the canonical system form (0 disables caching)")
+		cacheDir      = flag.String("cache-dir", "", "persist cached verdicts (checksummed JSON, survives restarts) in this directory; requires -cache-size > 0")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -83,9 +85,21 @@ func run() int {
 		SlowThreshold: *slowThreshold,
 		SlowRingSize:  *slowRing,
 		TraceDir:      *traceDir,
+		CacheSize:     *cacheSize,
+		CacheDir:      *cacheDir,
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "raserved:", err)
+			return 2
+		}
+	}
+	if *cacheDir != "" {
+		if *cacheSize <= 0 {
+			fmt.Fprintln(os.Stderr, "raserved: -cache-dir requires -cache-size > 0")
+			return 2
+		}
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "raserved:", err)
 			return 2
 		}

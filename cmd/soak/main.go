@@ -5,7 +5,9 @@
 //
 //   - zero unexpected non-2xx responses (intentional error probes — bad
 //     syntax, bad knobs, tiny budgets, oversized bodies — are asserted to
-//     produce their exact documented status and code, and counted apart);
+//     produce their exact documented status and code, and counted apart;
+//     504 server_budget_exceeded on the uncached heavyweight endpoints is
+//     counted as saturation, not failure — see saturation504);
 //   - every verdict byte-identical to a local library run with the same
 //     options (the deterministic kernel of the response, which is also what
 //     raverify prints — the verdict strings share one implementation);
@@ -18,7 +20,17 @@
 //   - every request carries a unique X-Trace-Id and the server echoes it
 //     into the response header and envelope; /debug/slow parses, and with
 //     -expect-slow (a server started with a floor slow threshold) contains
-//     soak-traced entries with per-phase span breakdowns.
+//     soak-traced entries with per-phase span breakdowns;
+//   - with -expect-cache (a server running its default verdict cache), the
+//     storm interleaves renamed-duplicate traffic whose verdicts must be
+//     byte-identical to the originals', /metrics must show
+//     paramra_cache_hits_total > 0, and an "X-Trace: 1" request must carry
+//     a cache-lookup span in its trace tree.
+//
+// The local expectations are computed through a local verdict cache when
+// -server-cache is on (the default, matching a default-configured raserved):
+// cache misses verify the canonical form of the system, so witnesses and
+// classes are spelled in canonical names on both sides of the comparison.
 //
 // Usage:
 //
@@ -48,13 +60,17 @@ import (
 	"time"
 
 	"paramra"
+	"paramra/internal/cache"
+	"paramra/internal/lang"
+	"paramra/internal/obs"
 	"paramra/internal/serve"
 )
 
 // entry is one corpus system with its locally precomputed expectations.
 type entry struct {
-	name string
-	src  string
+	name   string
+	src    string
+	renSrc string // seeded renamed clone (set when the server caches)
 
 	core    []byte // deterministic verify kernel (fixpoint/prepass defaults)
 	unsafe  bool
@@ -73,6 +89,21 @@ type counters struct {
 	mismatch  atomic.Int64
 	badStatus atomic.Int64
 	transport atomic.Int64
+	saturated atomic.Int64
+}
+
+// saturation504 reports whether a response is the server's documented
+// overload answer — 504 with code server_budget_exceeded — on one of the
+// uncached heavyweight endpoints. With the verdict cache answering verify
+// traffic in microseconds, the storm drives those endpoints much harder
+// than an uncached server ever saw; exhausting the server-imposed budget
+// under that load is correct behavior, counted apart, not a failure.
+func saturation504(status int, data []byte) bool {
+	if status != http.StatusGatewayTimeout {
+		return false
+	}
+	var er serve.ErrorResponse
+	return json.Unmarshal(data, &er) == nil && er.Error.Code == serve.CodeServerBudget
 }
 
 var fail int32 // sticky failure flag
@@ -102,12 +133,18 @@ func run() int {
 		probes       = flag.Bool("probes", true, "interleave intentional-error probes (400/408/413) and assert their exact statuses")
 		leakSlack    = flag.Int("leak-slack", 16, "allowed goroutine-count growth on the server across the run")
 		expectSlow   = flag.Bool("expect-slow", false, "assert /debug/slow captured soak requests (use against a server with a floor -slow-threshold)")
+		serverCache  = flag.Bool("server-cache", true, "the server runs its default verdict cache; compute local expectations through a local cache so canonical-form verdicts match")
+		expectCache  = flag.Bool("expect-cache", false, "interleave renamed-duplicate traffic and assert cache hits in /metrics plus cache-lookup trace spans (requires -server-cache)")
 		wait         = flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 	)
 	flag.Parse()
 	if *addr == "" || flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: soak -addr http://HOST:PORT [flags]")
 		flag.PrintDefaults()
+		return 2
+	}
+	if *expectCache && !*serverCache {
+		fmt.Fprintln(os.Stderr, "soak: -expect-cache requires -server-cache")
 		return 2
 	}
 	base := strings.TrimRight(*addr, "/")
@@ -118,7 +155,7 @@ func run() int {
 		return 2
 	}
 
-	entries, err := loadCorpus(*corpusDir, *budgetMS)
+	entries, err := loadCorpus(*corpusDir, *budgetMS, *serverCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)
 		return 2
@@ -133,7 +170,7 @@ func run() int {
 	var latMu sync.Mutex
 	var latencies []time.Duration
 	for _, e := range entries {
-		doVerify(client, base, e, *budgetMS, true, &c, nil, nil)
+		doVerify(client, base, e, e.src, *budgetMS, true, &c, nil, nil)
 	}
 	g0, err := goroutines(client, base)
 	if err != nil {
@@ -156,9 +193,16 @@ func run() int {
 					c.probes.Add(1)
 					runProbe(client, base, entries, rng)
 				case roll < 70:
-					doVerify(client, base, e, *budgetMS, true, &c, &latMu, &latencies)
+					// With -expect-cache, half of this bucket resubmits the
+					// seeded renamed clone: same canonical form, so the
+					// server must answer with the original's exact verdict.
+					src := e.src
+					if *expectCache && roll%2 == 0 {
+						src = e.renSrc
+					}
+					doVerify(client, base, e, src, *budgetMS, true, &c, &latMu, &latencies)
 				case roll < 80:
-					doVerify(client, base, e, *budgetMS, false, &c, &latMu, &latencies)
+					doVerify(client, base, e, e.src, *budgetMS, false, &c, &latMu, &latencies)
 				case roll < 85 && e.light:
 					doDatalog(client, base, e, *budgetMS, &c)
 				case roll < 90 && e.light:
@@ -168,7 +212,7 @@ func run() int {
 				case e.light:
 					doInventory(client, base, e, *budgetMS, &c)
 				default:
-					doVerify(client, base, e, *budgetMS, true, &c, &latMu, &latencies)
+					doVerify(client, base, e, e.src, *budgetMS, true, &c, &latMu, &latencies)
 				}
 			}
 		}(int64(w) + 1)
@@ -194,6 +238,14 @@ func run() int {
 	}
 	if err := validateSlow(client, base, *expectSlow); err != nil {
 		failf("slow-ring validation: %v", err)
+	}
+	if *expectCache {
+		if err := validateCacheMetrics(client, base); err != nil {
+			failf("cache-metrics validation: %v", err)
+		}
+		if err := validateCacheTrace(client, base, entries[0], *budgetMS); err != nil {
+			failf("cache-trace validation: %v", err)
+		}
 	}
 
 	report(&c, latencies, g0, g1)
@@ -225,8 +277,12 @@ func waitHealthy(client *http.Client, base string, d time.Duration) error {
 
 // loadCorpus reads the .ra files and computes the local expectations with
 // the exact options a default-configured server applies, so the comparison
-// is apples to apples.
-func loadCorpus(dir string, budgetMS int64) ([]*entry, error) {
+// is apples to apples. With useCache the expectations run through a local
+// verdict cache — mirroring the server's default — which makes every miss
+// verify the canonical system, so witnesses and classes match a caching
+// server byte for byte; a seeded renamed clone of each source is kept for
+// the -expect-cache traffic.
+func loadCorpus(dir string, budgetMS int64, useCache bool) ([]*entry, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.ra"))
 	if err != nil || len(paths) == 0 {
 		return nil, fmt.Errorf("no .ra corpus under %s", dir)
@@ -234,6 +290,10 @@ func loadCorpus(dir string, budgetMS int64) ([]*entry, error) {
 	sort.Strings(paths)
 	cfg := serve.Config{}.Defaulted()
 	ctx := context.Background()
+	var localCache *paramra.Cache
+	if useCache {
+		localCache = paramra.NewCache(paramra.CacheOptions{})
+	}
 	var entries []*entry
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
@@ -245,10 +305,14 @@ func loadCorpus(dir string, budgetMS int64) ([]*entry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p, err)
 		}
+		if useCache {
+			e.renSrc = lang.Print(cache.Rename(sys, 7))
+		}
 		opts, err := cfg.Options(serve.RequestOptions{BudgetMS: budgetMS})
 		if err != nil {
 			return nil, err
 		}
+		opts.Cache = localCache
 		t0 := time.Now()
 		res, err := paramra.Verify(ctx, sys, opts)
 		if err != nil {
@@ -334,8 +398,10 @@ func post(client *http.Client, url, contentType string, body []byte, traceID str
 }
 
 // doVerify replays one verify request — as the JSON envelope or the raw .ra
-// body — and compares the deterministic kernel byte-for-byte.
-func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON bool, c *counters, latMu *sync.Mutex, lat *[]time.Duration) {
+// body — and compares the deterministic kernel byte-for-byte. src is the
+// source actually sent (e.src, or e.renSrc for renamed-duplicate traffic —
+// the expectation bytes are the same either way, which is the point).
+func doVerify(client *http.Client, base string, e *entry, src string, budgetMS int64, asJSON bool, c *counters, latMu *sync.Mutex, lat *[]time.Duration) {
 	var (
 		status int
 		data   []byte
@@ -345,7 +411,7 @@ func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON
 	t0 := time.Now()
 	if asJSON {
 		body, _ := json.Marshal(serve.VerifyRequest{
-			System:  e.src,
+			System:  src,
 			Options: serve.RequestOptions{BudgetMS: budgetMS},
 		})
 		status, data, ok = post(client, base+"/v1/verify", "application/json", body, tid, c)
@@ -354,7 +420,7 @@ func doVerify(client *http.Client, base string, e *entry, budgetMS int64, asJSON
 		if budgetMS > 0 {
 			url += fmt.Sprintf("?budgetMs=%d", budgetMS)
 		}
-		status, data, ok = post(client, url, "text/plain", []byte(e.src), tid, c)
+		status, data, ok = post(client, url, "text/plain", []byte(src), tid, c)
 	}
 	if !ok {
 		return
@@ -398,6 +464,10 @@ func doDatalog(client *http.Client, base string, e *entry, budgetMS int64, c *co
 		return
 	}
 	if status != http.StatusOK {
+		if saturation504(status, data) {
+			c.saturated.Add(1)
+			return
+		}
 		c.badStatus.Add(1)
 		failf("datalog %s: status %d: %s", e.name, status, truncate(data))
 		return
@@ -430,6 +500,10 @@ func doInstance(client *http.Client, base string, e *entry, budgetMS int64, c *c
 		return
 	}
 	if status != http.StatusOK {
+		if saturation504(status, data) {
+			c.saturated.Add(1)
+			return
+		}
 		c.badStatus.Add(1)
 		failf("instance %s: status %d: %s", e.name, status, truncate(data))
 		return
@@ -454,6 +528,10 @@ func doDeadlocks(client *http.Client, base string, e *entry, budgetMS int64, c *
 		return
 	}
 	if status != http.StatusOK {
+		if saturation504(status, data) {
+			c.saturated.Add(1)
+			return
+		}
 		c.badStatus.Add(1)
 		failf("deadlocks %s: status %d: %s", e.name, status, truncate(data))
 		return
@@ -483,6 +561,10 @@ func doInventory(client *http.Client, base string, e *entry, budgetMS int64, c *
 		return
 	}
 	if status != http.StatusOK {
+		if saturation504(status, data) {
+			c.saturated.Add(1)
+			return
+		}
 		c.badStatus.Add(1)
 		failf("inventory %s: status %d: %s", e.name, status, truncate(data))
 		return
@@ -629,6 +711,82 @@ func validateMetrics(client *http.Client, base string) error {
 	return nil
 }
 
+// validateCacheMetrics asserts the server's verdict cache saw hits: the
+// storm replays every system many times (and renamed clones besides), so a
+// caching server must report paramra_cache_hits_total > 0.
+func validateCacheMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fams, err := serve.ParsePrometheus(string(text))
+	if err != nil {
+		return err
+	}
+	fam := fams["paramra_cache_hits_total"]
+	if fam == nil {
+		return fmt.Errorf("paramra_cache_hits_total missing from /metrics — is the server's cache enabled?")
+	}
+	if n := fam.Samples["paramra_cache_hits_total"]; n <= 0 {
+		return fmt.Errorf("paramra_cache_hits_total = %v after a duplicate-heavy storm", n)
+	}
+	return nil
+}
+
+// validateCacheTrace sends one traced verify (the corpus was replayed all
+// storm long, so this is a guaranteed warm hit) and requires a cache-lookup
+// span in the returned tree.
+func validateCacheTrace(client *http.Client, base string, e *entry, budgetMS int64) error {
+	body, _ := json.Marshal(serve.VerifyRequest{
+		System:  e.src,
+		Options: serve.RequestOptions{BudgetMS: budgetMS},
+	})
+	req, err := http.NewRequest("POST", base+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace", "1")
+	req.Header.Set("X-Trace-Id", nextTraceID())
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced verify: status %d: %s", resp.StatusCode, truncate(data))
+	}
+	var vr serve.VerifyResponse
+	if err := json.Unmarshal(data, &vr); err != nil {
+		return fmt.Errorf("traced verify: bad response JSON: %v", err)
+	}
+	if vr.Trace == nil || len(vr.Trace.Spans) == 0 {
+		return fmt.Errorf("traced verify returned no span tree (trace: %+v)", vr.Trace)
+	}
+	var walk func(nodes []*obs.TreeNode) bool
+	walk = func(nodes []*obs.TreeNode) bool {
+		for _, n := range nodes {
+			if n.Name == "cache-lookup" || walk(n.Children) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(vr.Trace.Spans) {
+		return fmt.Errorf("no cache-lookup span in the trace tree: %s", truncate(data))
+	}
+	return nil
+}
+
 // validateSlow fetches /debug/slow and checks its shape; with expectEntries
 // (a server running with a floor slow threshold) it additionally requires
 // soak-traced entries whose span breakdowns are present.
@@ -672,8 +830,8 @@ func report(c *counters, lats []time.Duration, g0, g1 int) {
 		i := int(p * float64(len(lats)-1))
 		return lats[i]
 	}
-	fmt.Printf("soak: %d requests (%d probes), %d verdict mismatches, %d unexpected statuses, %d transport errors\n",
-		c.requests.Load(), c.probes.Load(), c.mismatch.Load(), c.badStatus.Load(), c.transport.Load())
+	fmt.Printf("soak: %d requests (%d probes), %d verdict mismatches, %d unexpected statuses, %d transport errors, %d saturation 504s\n",
+		c.requests.Load(), c.probes.Load(), c.mismatch.Load(), c.badStatus.Load(), c.transport.Load(), c.saturated.Load())
 	if len(lats) > 0 {
 		fmt.Printf("soak: verify latency p50=%s p90=%s p99=%s max=%s (n=%d)\n",
 			pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"testing"
+
+	"paramra/internal/lang"
+)
+
+// Each test system below exercises a different symmetry: multiple threads
+// of the same shape, shared registers across threads, loops, CAS, choice.
+var testSystems = map[string]string{
+	"mp": `system mp { vars flag data; domain 2; env producer; dis consumer }
+thread producer { store data 1; store flag 1 }
+thread consumer {
+  regs a b
+  a = load flag; assume a == 1
+  b = load data
+  if b == 0 { assert false } else { skip }
+}`,
+	"twins": `system twins { vars x y z; domain 3; env writerx; dis writery; dis reader }
+thread writerx { loop { store x 1 } }
+thread writery { loop { store y 1 } }
+thread reader {
+  regs a b
+  a = load x
+  b = load y
+  assume a == 1 && b == 1
+  assert false
+}`,
+	"cas-loop": `system caslock { vars lock owner; domain 2; env idle; dis worker; dis other }
+thread idle { skip }
+thread worker {
+  regs got
+  cas lock 0 1
+  store owner 1
+  got = load owner
+  choice { assume got == 0; assert false } or { skip }
+}
+thread other { cas lock 0 1 }`,
+}
+
+func parse(t *testing.T, src string) *lang.System {
+	t.Helper()
+	sys, err := lang.ParseSystem(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sys
+}
+
+// TestCanonicalRenameInvariance: every seeded renaming (fresh names for
+// vars/regs/threads, permuted var table, permuted register tables, permuted
+// dis order) must canonicalize to the identical hash, and the renamed
+// system must stay valid and survive a print→parse round trip.
+func TestCanonicalRenameInvariance(t *testing.T) {
+	for name, src := range testSystems {
+		sys := parse(t, src)
+		want := Canonicalize(sys).Hash
+		for seed := int64(1); seed <= 20; seed++ {
+			ren := Rename(sys, seed)
+			if err := ren.Validate(); err != nil {
+				t.Fatalf("%s seed %d: renamed system invalid: %v", name, seed, err)
+			}
+			if got := Canonicalize(ren).Hash; got != want {
+				t.Errorf("%s seed %d: hash changed under renaming: %s vs %s", name, seed, got, want)
+			}
+			reparsed, err := lang.ParseSystem(lang.Print(ren))
+			if err != nil {
+				t.Fatalf("%s seed %d: renamed system does not reparse: %v\n%s", name, seed, err, lang.Print(ren))
+			}
+			if got := Canonicalize(reparsed).Hash; got != want {
+				t.Errorf("%s seed %d: hash changed across print/parse: %s vs %s", name, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing the canonical form is a fixpoint
+// (same hash, valid system).
+func TestCanonicalIdempotent(t *testing.T) {
+	for name, src := range testSystems {
+		c := Canonicalize(parse(t, src))
+		if err := c.Sys.Validate(); err != nil {
+			t.Fatalf("%s: canonical system invalid: %v", name, err)
+		}
+		if again := Canonicalize(c.Sys); again.Hash != c.Hash {
+			t.Errorf("%s: canonicalization not idempotent: %s vs %s", name, again.Hash, c.Hash)
+		}
+	}
+}
+
+// TestCanonicalPreservesName: the system name identifies the request, not
+// the structure — it survives reconstruction but never enters the hash.
+func TestCanonicalPreservesName(t *testing.T) {
+	sys := parse(t, testSystems["mp"])
+	c1 := Canonicalize(sys)
+	if c1.Sys.Name != "mp" {
+		t.Errorf("canonical system dropped the name: %q", c1.Sys.Name)
+	}
+	sys.Name = "completely-different"
+	if c2 := Canonicalize(sys); c2.Hash != c1.Hash {
+		t.Error("system name leaked into the canonical hash")
+	}
+}
+
+// TestCanonicalVarMap: the goal-variable translation must point at the slot
+// actually used by the canonical system (a store of v maps to a store of
+// VarMap[v]).
+func TestCanonicalVarMap(t *testing.T) {
+	sys := parse(t, testSystems["mp"])
+	c := Canonicalize(sys)
+	for _, orig := range sys.Vars {
+		cname, ok := c.VarMap[orig]
+		if !ok {
+			t.Fatalf("VarMap missing %q", orig)
+		}
+		found := false
+		for _, v := range c.Sys.Vars {
+			if v == cname {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("VarMap[%q] = %q not in canonical var table %v", orig, cname, c.Sys.Vars)
+		}
+	}
+}
+
+// TestCanonicalNegatives: a single-token semantic change must change the
+// hash — the cache must never conflate these.
+func TestCanonicalNegatives(t *testing.T) {
+	base := testSystems["mp"]
+	mutants := map[string]func(*lang.System){
+		"init-value":   func(s *lang.System) { s.Init = 1 },
+		"domain":       func(s *lang.System) { s.Dom = 3 },
+		"store-value":  nil, // handled textually below
+		"drop-thread":  func(s *lang.System) { s.Dis = nil },
+		"env-demotion": func(s *lang.System) { s.Dis = append(s.Dis, s.Env); s.Env = nil },
+	}
+	want := Canonicalize(parse(t, base)).Hash
+	for name, mutate := range mutants {
+		sys := parse(t, base)
+		if mutate != nil {
+			mutate(sys)
+		} else {
+			// store data 1 → store data 0: one constant token.
+			sys = parse(t, `system mp { vars flag data; domain 2; env producer; dis consumer }
+thread producer { store data 0; store flag 1 }
+thread consumer {
+  regs a b
+  a = load flag; assume a == 1
+  b = load data
+  if b == 0 { assert false } else { skip }
+}`)
+		}
+		if got := Canonicalize(sys).Hash; got == want {
+			t.Errorf("%s: semantic mutation did not change the canonical hash", name)
+		}
+	}
+	// Two structurally different variables swapped in ONE occurrence only:
+	// consumer loads flag where it loaded data.
+	swapped := parse(t, `system mp { vars flag data; domain 2; env producer; dis consumer }
+thread producer { store data 1; store flag 1 }
+thread consumer {
+  regs a b
+  a = load flag; assume a == 1
+  b = load flag
+  if b == 0 { assert false } else { skip }
+}`)
+	if got := Canonicalize(swapped).Hash; got == want {
+		t.Error("variable swap in one occurrence did not change the canonical hash")
+	}
+}
+
+// TestCanonicalDistinguishesAsymmetricTies: two dis threads whose bodies
+// are structurally identical but touch different variables (one of which
+// the env also touches) must order consistently regardless of input order —
+// the WL refinement is what breaks the tie.
+func TestCanonicalDistinguishesAsymmetricTies(t *testing.T) {
+	a := parse(t, `system tie { vars x y; domain 2; env checker; dis wx; dis wy }
+thread checker { regs a; a = load x; assume a == 1; assert false }
+thread wx { store x 1 }
+thread wy { store y 1 }`)
+	b := parse(t, `system tie { vars x y; domain 2; env checker; dis wy; dis wx }
+thread checker { regs a; a = load x; assume a == 1; assert false }
+thread wx { store x 1 }
+thread wy { store y 1 }`)
+	ha, hb := Canonicalize(a).Hash, Canonicalize(b).Hash
+	if ha != hb {
+		t.Errorf("dis permutation of asymmetric tied threads changed the hash: %s vs %s", ha, hb)
+	}
+}
+
+// TestRenameAvoidsKeywords: generated identifiers never collide with the
+// parser's contextual keywords (that would break print→parse).
+func TestRenameAvoidsKeywords(t *testing.T) {
+	sys := parse(t, testSystems["twins"])
+	for seed := int64(0); seed < 200; seed++ {
+		ren := Rename(sys, seed)
+		check := func(n string) {
+			if parserKeywords[n] {
+				t.Fatalf("seed %d: generated keyword identifier %q", seed, n)
+			}
+		}
+		for _, v := range ren.Vars {
+			check(v)
+		}
+		for _, p := range ren.Threads() {
+			check(p.Name)
+			for _, r := range p.Regs {
+				check(r)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package cache_test
+
+// Shared-cache concurrency and Verify-pipeline tests: N goroutines pushing
+// renamed variants of one system through a single cache must trigger exactly
+// one underlying verification (single-flight), leak no goroutines, and all
+// observe the same verdict. The pipeline tests pin the CacheHit contract
+// (zero Stats, no Graph on hits), the goal-variable fingerprint, the
+// unknown-goal bypass, and the dis-run skeleton memo.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"paramra"
+	"paramra/internal/bench"
+	"paramra/internal/cache"
+	"paramra/internal/lang"
+)
+
+// completeEntry returns the first corpus entry whose cold verify under
+// metaOptions completes without error — the precondition for its verdict to
+// be storable, which every test here relies on.
+func completeEntry(t *testing.T) (*lang.System, paramra.Result) {
+	t.Helper()
+	for _, e := range bench.Corpus() {
+		sys := e.System()
+		res, err := paramra.Verify(context.Background(), sys, metaOptions(nil))
+		if err == nil && res.Complete {
+			return sys, res
+		}
+	}
+	t.Fatal("no corpus entry completes under the test options")
+	return nil, paramra.Result{}
+}
+
+// TestSharedCacheConcurrentVerify: 16 goroutines verify 16 differently
+// renamed variants of one system through one shared cache. Single-flight
+// guarantees exactly one miss; every other caller is a hit or a shared
+// waiter; all agree on the verdict. Run under -race this also exercises the
+// cache's locking end to end through the paramra entry point.
+func TestSharedCacheConcurrentVerify(t *testing.T) {
+	sys, _ := completeEntry(t)
+	const n = 16
+	before := runtime.NumGoroutine()
+
+	c := paramra.NewCache(paramra.CacheOptions{})
+	opts := metaOptions(c)
+	results := make([]paramra.Result, n)
+	errs := make([]error, n)
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			variant := sys
+			if i > 0 {
+				variant = cache.Rename(sys, int64(i))
+			}
+			start.Wait()
+			results[i], errs[i] = paramra.Verify(context.Background(), variant, opts)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	hits := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].CacheHit {
+			hits++
+		}
+		if results[i].Unsafe != results[0].Unsafe || results[i].Complete != results[0].Complete ||
+			results[i].Class.String() != results[0].Class.String() ||
+			results[i].EnvThreadBound != results[0].EnvThreadBound {
+			t.Errorf("goroutine %d disagrees: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+	if hits != n-1 {
+		t.Errorf("CacheHit count = %d, want %d (exactly one computing leader)", hits, n-1)
+	}
+
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (single-flight)", s.Misses)
+	}
+	if s.Hits+s.Shared != n-1 {
+		t.Errorf("Hits+Shared = %d+%d, want %d", s.Hits, s.Shared, n-1)
+	}
+	if s.Stores != 1 {
+		t.Errorf("Stores = %d, want 1", s.Stores)
+	}
+
+	// No goroutine leaks: everything Verify spawned must wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+2 {
+		t.Errorf("goroutine leak: %d before, %d after", before, got)
+	}
+}
+
+// TestVerifyCacheHitContract: a hit is marked CacheHit, carries zero engine
+// stats and no graph, and agrees with the miss on every verdict field.
+func TestVerifyCacheHitContract(t *testing.T) {
+	sys, _ := completeEntry(t)
+	c := paramra.NewCache(paramra.CacheOptions{})
+	opts := metaOptions(c)
+	ctx := context.Background()
+
+	cold, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold verify reported CacheHit")
+	}
+	warm, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("identical resubmission missed the cache")
+	}
+	if warm.Stats != (paramra.Stats{}) {
+		t.Errorf("hit carries engine stats: %+v", warm.Stats)
+	}
+	if warm.Graph != nil {
+		t.Error("hit carries a dependency graph")
+	}
+	if warm.Unsafe != cold.Unsafe || warm.Complete != cold.Complete ||
+		warm.Class.String() != cold.Class.String() ||
+		warm.EnvThreadBound != cold.EnvThreadBound ||
+		warm.DecidedBy != cold.DecidedBy {
+		t.Errorf("hit disagrees with miss:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+}
+
+// TestVerifyGoalInFingerprint: the goal variable and value are part of the
+// cache key — same goal hits, a different goal value misses.
+func TestVerifyGoalInFingerprint(t *testing.T) {
+	sys, _ := completeEntry(t)
+	goalVar := sys.Vars[0]
+	c := paramra.NewCache(paramra.CacheOptions{})
+	ctx := context.Background()
+
+	opts := metaOptions(c)
+	opts.Goal = &paramra.Goal{Var: goalVar, Val: 1}
+	cold, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Complete {
+		t.Skipf("goal verify incomplete; nothing cacheable")
+	}
+	warm, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("same goal missed the cache")
+	}
+
+	opts.Goal = &paramra.Goal{Var: goalVar, Val: 0}
+	other, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit {
+		t.Error("different goal value hit the cache")
+	}
+}
+
+// TestVerifyUnknownGoalBypassesCache: an unknown goal variable takes the
+// uncached path — the usual error surfaces and the cache records nothing.
+func TestVerifyUnknownGoalBypassesCache(t *testing.T) {
+	sys, _ := completeEntry(t)
+	c := paramra.NewCache(paramra.CacheOptions{})
+	opts := metaOptions(c)
+	opts.Goal = &paramra.Goal{Var: "no_such_var", Val: 1}
+
+	_, err := paramra.Verify(context.Background(), sys, opts)
+	if err == nil {
+		t.Fatal("unknown goal variable did not error")
+	}
+	s := c.Stats()
+	if s.Misses != 0 || s.Hits != 0 || s.Entries != 0 {
+		t.Errorf("unknown-goal verify touched the cache: %+v", s)
+	}
+}
+
+// TestSkeletonMemo: two Datalog verifies that differ only in an option
+// outside the memo key (MaxMacroStates) share the dis-run skeleton
+// enumeration — the second is a verdict-cache miss but a memo hit.
+func TestSkeletonMemo(t *testing.T) {
+	sys, _ := completeEntry(t)
+	c := paramra.NewCache(paramra.CacheOptions{})
+	opts := paramra.Options{
+		Datalog:     true,
+		UnrollDis:   2,
+		Parallelism: 1,
+		Cache:       c,
+	}
+	ctx := context.Background()
+
+	opts.MaxMacroStates = 100_000
+	first, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.MaxMacroStates = 200_000
+	second, err := paramra.Verify(ctx, sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHit {
+		t.Fatal("changed MaxMacroStates still hit the verdict cache — fingerprint is missing it")
+	}
+	s := c.Stats()
+	if s.MemoHits < 1 {
+		t.Errorf("MemoHits = %d, want ≥ 1 (skeleton enumeration not shared)", s.MemoHits)
+	}
+	if first.Unsafe != second.Unsafe || first.Complete != second.Complete {
+		t.Errorf("memo-sharing runs disagree:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// diskStore is the persistent read-through layer: one JSON file per key,
+// written atomically (temp file + rename) and wrapped with a checksum so a
+// torn write, truncation, or bit flip is detected instead of served.
+type diskStore struct {
+	dir string
+	ok  bool
+}
+
+// diskEntry is the on-disk envelope. Checksum is the hex SHA-256 of the
+// raw verdict JSON exactly as stored.
+type diskEntry struct {
+	Checksum string          `json:"checksum"`
+	Verdict  json.RawMessage `json:"verdict"`
+}
+
+func newDiskStore(dir string) *diskStore {
+	d := &diskStore{dir: dir}
+	d.ok = os.MkdirAll(dir, 0o755) == nil
+	return d
+}
+
+// fileName maps a cache key to a file name. Keys from paramra are already
+// hex digests; anything else is hashed so no key can escape the directory.
+func (d *diskStore) fileName(key string) string {
+	for _, r := range key {
+		ok := r == '-' || r == '_' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			sum := sha256.Sum256([]byte(key))
+			key = hex.EncodeToString(sum[:])
+			break
+		}
+	}
+	return filepath.Join(d.dir, key+".json")
+}
+
+// get reads key. The third result reports a corrupt entry: present but
+// failing decode or checksum. Corrupt files are removed best-effort so they
+// are only counted once.
+func (d *diskStore) get(key string) (Verdict, bool, bool) {
+	if !d.ok {
+		return Verdict{}, false, false
+	}
+	path := d.fileName(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Verdict{}, false, false
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(raw, &ent); err != nil {
+		os.Remove(path)
+		return Verdict{}, false, true
+	}
+	sum := sha256.Sum256(ent.Verdict)
+	if hex.EncodeToString(sum[:]) != ent.Checksum {
+		os.Remove(path)
+		return Verdict{}, false, true
+	}
+	var v Verdict
+	if err := json.Unmarshal(ent.Verdict, &v); err != nil {
+		os.Remove(path)
+		return Verdict{}, false, true
+	}
+	return v, true, false
+}
+
+// put writes key best-effort: a full disk or read-only directory degrades
+// the cache to memory-only rather than failing the verification.
+func (d *diskStore) put(key string, v Verdict) {
+	if !d.ok {
+		return
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(diskEntry{Checksum: hex.EncodeToString(sum[:]), Verdict: payload})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, ".cache-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.fileName(key)); err != nil {
+		os.Remove(name)
+	}
+}

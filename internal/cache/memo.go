@@ -1,0 +1,62 @@
+package cache
+
+import "container/list"
+
+// memoTable is a small LRU for sub-problem results (dis-run skeleton
+// enumerations, Datalog strata) shared across instances of the same program
+// family. Values are opaque to the cache; callers own their immutability —
+// a memoized value may be read concurrently by many verifications.
+type memoTable struct {
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type memoEntry struct {
+	key string
+	v   any
+}
+
+func newMemoTable(max int) *memoTable {
+	return &memoTable{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// MemoGet returns the memoized sub-problem result for key, if present.
+func (c *Cache) MemoGet(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.memo.items[key]; ok {
+		c.memo.ll.MoveToFront(el)
+		v := el.Value.(*memoEntry).v
+		c.mu.Unlock()
+		c.memoHits.Add(1)
+		return v, true
+	}
+	c.mu.Unlock()
+	c.memoMisses.Add(1)
+	return nil, false
+}
+
+// MemoPut memoizes a sub-problem result under key. The value must not be
+// mutated after the call.
+func (c *Cache) MemoPut(key string, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.memo
+	if el, ok := m.items[key]; ok {
+		el.Value.(*memoEntry).v = v
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memoEntry{key: key, v: v})
+	for m.ll.Len() > m.max {
+		back := m.ll.Back()
+		m.ll.Remove(back)
+		delete(m.items, back.Value.(*memoEntry).key)
+	}
+}

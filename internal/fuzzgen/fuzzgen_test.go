@@ -319,3 +319,53 @@ func mustProfile(t *testing.T, name string) Profile {
 	}
 	return p
 }
+
+func TestCheckRunsCacheBackend(t *testing.T) {
+	// The cache backend joins every report unless disabled: cold verdict in
+	// the lattice, warm and renamed runs internally consistent.
+	src := `system prodcons { vars x y; domain 4; env producer; dis consumer }
+thread producer { regs r; r = load y; assume r == 1; store x 2 }
+thread consumer { regs s; store y 1; s = load x; assume s == 2; assert false }`
+	sys, err := lang.ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(context.Background(), sys, fastCheck())
+	if !rep.Agree() {
+		t.Fatalf("honest backends disagreed: %v", rep.Disagreements)
+	}
+	cc := rep.Verdict(BackendCache)
+	if !cc.Ran {
+		t.Fatal("cache backend missing from the report")
+	}
+	if !cc.definitiveUnsafe() {
+		t.Fatalf("cache backend should decide prodcons UNSAFE, got %s", cc)
+	}
+
+	// A cache whose cold run lies is caught by the cross-backend lattice.
+	opts := fastCheck()
+	opts.InjectFault = func(backend string, _ *lang.System, unsafe bool) bool {
+		if backend == BackendCache {
+			return !unsafe
+		}
+		return unsafe
+	}
+	rep = Check(context.Background(), sys, opts)
+	found := false
+	for _, d := range rep.Disagreements {
+		if strings.Contains(d.Kind, "/"+BackendCache) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lying cache backend not caught: %v", rep.Disagreements)
+	}
+
+	// NoCache removes the backend entirely.
+	opts = fastCheck()
+	opts.NoCache = true
+	rep = Check(context.Background(), sys, opts)
+	if rep.Verdict(BackendCache).Ran {
+		t.Fatal("NoCache did not skip the cache backend")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"paramra"
+	"paramra/internal/cache"
 	"paramra/internal/lang"
 )
 
@@ -18,6 +19,7 @@ const (
 	BackendConcrete = "concrete"
 	BackendConfirm  = "confirm"
 	BackendPrepass  = "prepass"
+	BackendCache    = "cache"
 )
 
 // CheckOptions bounds the differential oracle. The zero value selects the
@@ -39,12 +41,13 @@ type CheckOptions struct {
 	// Parallelism2 is the second worker count of the determinism check
 	// (default 2; < 0 disables the check).
 	Parallelism2 int
-	// NoDatalog / NoConcrete / NoDeadlocks / NoPrepass skip the
+	// NoDatalog / NoConcrete / NoDeadlocks / NoPrepass / NoCache skip the
 	// corresponding backends (for narrow campaigns).
 	NoDatalog   bool
 	NoConcrete  bool
 	NoDeadlocks bool
 	NoPrepass   bool
+	NoCache     bool
 	// InjectFault, when non-nil, post-processes each backend's boolean
 	// verdict. It exists so the shrinker's acceptance tests and the
 	// `rabench fuzz -selftest` smoke can prove the harness detects and
@@ -320,6 +323,16 @@ func Check(ctx context.Context, sys *lang.System, opts CheckOptions) *Report {
 		rep.Verdicts = append(rep.Verdicts, pre)
 	}
 
+	// Backend 8: the content-addressed verdict cache. Three runs through a
+	// fresh cache — cold, warm (identical resubmission), and a renamed
+	// clone — must agree with each other, and the cold run must agree with
+	// the fixpoint reference like any other backend.
+	if !opts.NoCache {
+		cc := checkCache(ctx, disagree, work, opts, base)
+		rep.Verdicts = append(rep.Verdicts, cc)
+		comparePair(rep, disagree, fix, cc)
+	}
+
 	// FindDeadlocks determinism: the sink-state counts of a fixed instance
 	// are properties of the reachable state set and must not depend on the
 	// worker count.
@@ -352,8 +365,9 @@ func comparePair(rep *Report, disagree func(kind, format string, args ...any), a
 		// The slicer may remove the very statements that put a system
 		// outside a class (e.g. slice away a dis loop), turning an error
 		// into a verdict; only identical error classes are required when
-		// both backends see the same system.
-		if b.Backend == BackendSlice && b.ErrClass == "" {
+		// both backends see the same system. The cache path slices before
+		// canonicalizing, so it inherits the same exemption.
+		if (b.Backend == BackendSlice || b.Backend == BackendCache) && b.ErrClass == "" {
 			return
 		}
 		disagree("error-shape:"+a.Backend+"/"+b.Backend, "%s vs %s", a, b)
@@ -425,6 +439,55 @@ func checkConcrete(ctx context.Context, rep *Report, disagree func(kind, format 
 		}
 	}
 	return conc
+}
+
+// checkCache drives work through a fresh verdict cache three times — cold
+// (populating), warm (identical resubmission), and a seeded renamed clone —
+// and demands lattice-equal verdicts from all three plus a cache hit on the
+// warm runs whenever the cold verdict was storable (complete, error-free).
+// The returned Verdict records the cold run for the cross-backend
+// comparisons; the warm/renamed checks are internal consistency and surface
+// as "cache-consistency" disagreements.
+func checkCache(ctx context.Context, disagree func(kind, format string, args ...any), work *lang.System, opts CheckOptions, base paramra.Options) Verdict {
+	copts := base
+	copts.Cache = paramra.NewCache(paramra.CacheOptions{MaxEntries: 64})
+
+	cold, coldErr := paramra.Verify(ctx, work, copts)
+	cc := Verdict{
+		Backend: BackendCache, Ran: true,
+		Unsafe:   fault(opts, BackendCache, work, cold.Unsafe),
+		Complete: cold.Complete,
+		ErrClass: classifyErr(coldErr),
+	}
+	if cc.ErrClass == "cancelled" {
+		return cc
+	}
+	storable := coldErr == nil && cold.Complete
+
+	check := func(label string, sys *lang.System) {
+		res, err := paramra.Verify(ctx, sys, copts)
+		cls := classifyErr(err)
+		if cls == "cancelled" {
+			return
+		}
+		if cls != cc.ErrClass {
+			disagree("cache-consistency", "%s run error %q vs cold error %q", label, cls, cc.ErrClass)
+			return
+		}
+		if cls != "" {
+			return
+		}
+		if res.Unsafe != cold.Unsafe || res.Complete != cold.Complete {
+			disagree("cache-consistency", "%s run (unsafe=%v complete=%v) vs cold (unsafe=%v complete=%v)",
+				label, res.Unsafe, res.Complete, cold.Unsafe, cold.Complete)
+		}
+		if storable && !res.CacheHit {
+			disagree("cache-consistency", "%s run missed the cache despite a storable cold verdict", label)
+		}
+	}
+	check("warm", work)
+	check("renamed", cache.Rename(work, 1))
+	return cc
 }
 
 func fault(opts CheckOptions, backend string, sys *lang.System, unsafe bool) bool {

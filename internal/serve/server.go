@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"paramra"
+	"paramra/internal/cache"
 	"paramra/internal/obs"
 )
 
@@ -64,6 +65,15 @@ type Config struct {
 	// <trace-id>.trace.jsonl in this directory — the input of
 	// `rabench report`. Empty disables persistence.
 	TraceDir string
+	// CacheSize, when positive, enables the process-wide content-addressed
+	// verdict cache for /v1/verify with this many in-memory entries.
+	// Deliberately NOT defaulted on by Defaulted(): embedding callers and
+	// tests opt in; cmd/raserved opts in via its -cache-size flag default.
+	CacheSize int
+	// CacheDir, when set together with CacheSize, adds the persistent
+	// checksummed on-disk cache layer (survives restarts; corrupt entries
+	// are detected and treated as misses).
+	CacheDir string
 }
 
 // Defaulted fills unset fields with the documented defaults. The soak
@@ -152,6 +162,7 @@ type Server struct {
 	m         serverMetrics
 	accessLog logPrinter
 	slow      *obs.Ring[SlowEntry]
+	cache     *cache.Cache
 
 	boot       uint32
 	seq        atomic.Int64
@@ -179,6 +190,13 @@ func New(cfg Config) *Server {
 	}
 	if l := newAccessLogger(cfg); l != nil {
 		s.accessLog = l
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = cache.New(cache.Options{
+			MaxEntries: cfg.CacheSize,
+			Dir:        cfg.CacheDir,
+			Metrics:    cfg.Metrics,
+		})
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -274,25 +292,53 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // Status is the /statusz payload.
 type Status struct {
-	APIVersion string `json:"apiVersion"`
-	Goroutines int    `json:"goroutines"`
-	Inflight   int64  `json:"inflight"`
-	Served     int64  `json:"served"`
-	Draining   bool   `json:"draining"`
-	UptimeMS   int64  `json:"uptimeMs"`
+	APIVersion string          `json:"apiVersion"`
+	Goroutines int             `json:"goroutines"`
+	Inflight   int64           `json:"inflight"`
+	Served     int64           `json:"served"`
+	Draining   bool            `json:"draining"`
+	UptimeMS   int64           `json:"uptimeMs"`
+	Cache      *CacheStatusDTO `json:"cache,omitempty"`
+}
+
+// CacheStatusDTO is the verdict-cache section of /statusz (present only
+// when Config.CacheSize enabled the cache).
+type CacheStatusDTO struct {
+	Entries     int   `json:"entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Shared      int64 `json:"shared"`
+	Stores      int64 `json:"stores"`
+	Evictions   int64 `json:"evictions"`
+	DiskHits    int64 `json:"diskHits,omitempty"`
+	DiskCorrupt int64 `json:"diskCorrupt,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	g := runtime.NumGoroutine()
 	s.m.goroutines.Set(int64(g))
-	writeJSON(w, Status{
+	st := Status{
 		APIVersion: APIVersion,
 		Goroutines: g,
 		Inflight:   s.inflight.Load(),
 		Served:     s.served.Load(),
 		Draining:   s.draining.Load(),
 		UptimeMS:   time.Since(s.start).Milliseconds(),
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &CacheStatusDTO{
+			Entries:     cs.Entries,
+			Hits:        cs.Hits,
+			Misses:      cs.Misses,
+			Shared:      cs.Shared,
+			Stores:      cs.Stores,
+			Evictions:   cs.Evictions,
+			DiskHits:    cs.DiskHits,
+			DiskCorrupt: cs.DiskCorrupt,
+		}
+	}
+	writeJSON(w, st)
 }
 
 // handleFallback gives unknown paths (and wrong methods on known paths) a
@@ -411,6 +457,7 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (sys *paramra.S
 		return
 	}
 	opts.Metrics = s.cfg.Metrics
+	opts.Cache = s.cache // nil when caching is disabled; only Verify uses it
 	vctx, cancel = context.WithTimeout(r.Context(), budget)
 	return sys, ro, opts, vctx, cancel, src, envThreads, true
 }

@@ -101,6 +101,7 @@ type ResultDTO struct {
 	Witness        []string `json:"witness,omitempty"`
 	DecidedBy      string   `json:"decidedBy,omitempty"`
 	PrepassReason  string   `json:"prepassReason,omitempty"`
+	CacheHit       bool     `json:"cacheHit,omitempty"`
 }
 
 // FromResult converts a library result to the wire form.
@@ -115,6 +116,7 @@ func FromResult(r paramra.Result) ResultDTO {
 		Witness:        r.Witness,
 		DecidedBy:      r.DecidedBy,
 		PrepassReason:  r.PrepassReason,
+		CacheHit:       r.CacheHit,
 	}
 	if r.Graph != nil {
 		d.Graph = r.Graph.String()

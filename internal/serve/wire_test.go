@@ -51,6 +51,7 @@ func goldenCases() map[string]any {
 				Witness:        []string{"msg(x=2)", "msg(y=1)"},
 				DecidedBy:      "fixpoint",
 				PrepassReason:  "goal value escapes the abstraction",
+				CacheHit:       true,
 			},
 			Confirm: &ConfirmDTO{EnvThreads: 2, Witness: "e1\ne2\n"},
 		},
@@ -234,8 +235,9 @@ func TestWireCoversLibrary(t *testing.T) {
 	}{
 		{
 			name: "Result", lib: paramra.Result{},
-			want: []string{"Class", "Complete", "DecidedBy", "EnvThreadBound",
-				"Graph", "PrepassReason", "Stats", "Underapprox", "Unsafe", "Witness"},
+			want: []string{"CacheHit", "Class", "Complete", "DecidedBy",
+				"EnvThreadBound", "Graph", "PrepassReason", "Stats",
+				"Underapprox", "Unsafe", "Witness"},
 		},
 		{
 			name: "Stats", lib: paramra.Stats{},

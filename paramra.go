@@ -185,6 +185,20 @@ type Options struct {
 	// When nil, a registry installed with obs.WithMetrics on the context is
 	// used instead.
 	Metrics *obs.Registry
+	// Cache, when non-nil, enables the content-addressed verdict cache for
+	// Verify: the system is sliced (Slice), canonicalized modulo renaming
+	// of threads/registers/variables and dis order, and the verdict is
+	// looked up under the SHA-256 of the canonical form plus the
+	// verdict-affecting options. On a miss the canonical system is
+	// verified (so witnesses and classes are in canonical names and
+	// hits/misses render identically) and complete, error-free results are
+	// stored. Concurrent misses of one key share a single computation.
+	// Hits return Result.CacheHit = true with zero Stats and a nil Graph.
+	Cache *Cache
+	// memoKey carries the canonical system hash into the backends so
+	// sub-problem results (dis-run skeleton enumerations) can be memoized
+	// across option variants of the same family. Set only by verifyCached.
+	memoKey string
 }
 
 // numericOptions lists the range-limited numeric knobs exactly once, so the
@@ -385,6 +399,11 @@ type Result struct {
 	// Options.Prepass was set (populated on inconclusive outcomes too, so
 	// callers can see why the fast path did not fire).
 	PrepassReason string
+	// CacheHit is true when the verdict was served from Options.Cache
+	// (including a result shared with a concurrent identical request)
+	// rather than computed by this call. Cached results carry zero Stats
+	// and no Graph.
+	CacheHit bool
 }
 
 // Verify decides parameterized safety for the system. The context carries
@@ -392,7 +411,7 @@ type Result struct {
 // Result (Complete = false) is returned together with the context error.
 func Verify(ctx context.Context, sys *System, opts Options) (Result, error) {
 	opts = opts.normalized()
-	res, err := verify(ctx, sys, opts)
+	res, err := verifyCached(ctx, sys, opts)
 	// The terminal Progress emission is exactly the returned Stats, for
 	// every backend and on every path (including errors).
 	if opts.Progress != nil {
@@ -540,27 +559,59 @@ func verifyDatalog(ctx context.Context, sys *System, opts Options, res Result, s
 	dspan := span.Child("datalog")
 	defer dspan.End()
 
-	// With the prepass on, the abstract value sets double as grounding
-	// hints: registers are enumerated only over the values they can hold at
-	// each env PC, shrinking the instances without changing derivability.
-	// The facts must describe the exact system being encoded (post-slice,
-	// post-unroll), so they are recomputed here rather than reused from the
-	// verdict prepass on the original system.
-	var hints encode.Hints
-	if opts.Prepass || opts.DatalogHints {
-		if ef := absint.Analyze(sys).EnvFacts(); ef != nil {
-			hints = ef
+	hintsOn := opts.Prepass || opts.DatalogHints
+	// The ground query instances depend only on the (canonical) system,
+	// the skeleton cap, the unroll depth, and whether hints are on — so
+	// within a cache-enabled pipeline they are memoized across option
+	// variants of the same program family. The memoized slice is shared
+	// read-only: QueryCtx never mutates a Problem.
+	var memoKey string
+	if opts.Cache != nil && opts.memoKey != "" {
+		memoKey = fmt.Sprintf("skel|%s|%d|%d|%t", opts.memoKey, opts.UnrollDis, maxSk, hintsOn)
+	}
+	var (
+		ps       []*encode.Problem
+		complete bool
+		memoHit  bool
+	)
+	enc := dspan.Child("skeleton-enumeration")
+	if memoKey != "" {
+		if m, ok := opts.Cache.MemoGet(memoKey); ok {
+			sm := m.(skeletonMemo)
+			ps, complete, memoHit = sm.ps, sm.complete, true
 		}
 	}
-	enc := dspan.Child("skeleton-enumeration")
-	ps, complete, err := encode.AllCtxHints(ctx, sys, maxSk, hints)
+	if !memoHit {
+		// With the prepass on, the abstract value sets double as grounding
+		// hints: registers are enumerated only over the values they can
+		// hold at each env PC, shrinking the instances without changing
+		// derivability. The facts must describe the exact system being
+		// encoded (post-slice, post-unroll), so they are recomputed here
+		// rather than reused from the verdict prepass on the original
+		// system.
+		var hints encode.Hints
+		if hintsOn {
+			if ef := absint.Analyze(sys).EnvFacts(); ef != nil {
+				hints = ef
+			}
+		}
+		var err error
+		ps, complete, err = encode.AllCtxHints(ctx, sys, maxSk, hints)
+		if err != nil {
+			if enc != nil {
+				enc.End()
+			}
+			return seal(res), err
+		}
+		if memoKey != "" {
+			opts.Cache.MemoPut(memoKey, skeletonMemo{ps: ps, complete: complete})
+		}
+	}
 	if enc != nil {
 		enc.SetAttr("skeletons", len(ps))
 		enc.SetAttr("complete", complete)
+		enc.SetAttr("memo", memoHit)
 		enc.End()
-	}
-	if err != nil {
-		return seal(res), err
 	}
 	res.Stats.Skeletons = len(ps)
 	for _, p := range ps {

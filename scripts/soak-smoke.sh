@@ -45,7 +45,8 @@ echo "soak-smoke: server on $ADDR (pid $SERVER_PID)"
 
 SOAK_STATUS=0
 "$WORKDIR/soak" -addr "http://$ADDR" -corpus testdata/systems \
-  -duration "$DURATION" -concurrency "$CONCURRENCY" -check-metrics -expect-slow || SOAK_STATUS=$?
+  -duration "$DURATION" -concurrency "$CONCURRENCY" -check-metrics -expect-slow \
+  -expect-cache || SOAK_STATUS=$?
 
 echo "soak-smoke: sending SIGTERM"
 kill -TERM "$SERVER_PID"
