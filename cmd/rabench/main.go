@@ -35,6 +35,7 @@ var (
 	compareTo = flag.String("compare", "", "parallel experiment: compare against this baseline JSON and exit 1 on regression")
 	tolerance = flag.Float64("tolerance", 2.0, "parallel -compare: allowed calibrated slowdown factor per entry")
 	injectFlg = flag.String("inject-slowdown", "", "parallel -compare selftest: NAME=FACTOR[,NAME=FACTOR...] multiplies measured wall times")
+	reqProcs  = flag.Bool("require-procs-match", false, "parallel -compare: fail (exit 1) when the baseline's recorded GOMAXPROCS differs from this run's")
 	obsf      *obs.Flags
 )
 
@@ -290,6 +291,12 @@ func parallel() error {
 			return err
 		}
 		fmt.Print(bench.CompareTable(rep).String())
+		if rep.ProcsWarning != "" {
+			fmt.Fprintln(os.Stderr, "rabench parallel: WARNING:", rep.ProcsWarning)
+			if *reqProcs {
+				return fmt.Errorf("baseline/run GOMAXPROCS mismatch (%s)", rep.ProcsWarning)
+			}
+		}
 		if len(rep.Regressions) > 0 {
 			for _, r := range rep.Regressions {
 				fmt.Fprintln(os.Stderr, "regression:", r)

@@ -64,6 +64,7 @@ func run() int {
 		traceDir      = flag.String("trace-dir", "", "persist each request's JSONL trace into this directory (input of `rabench report`)")
 		cacheSize     = flag.Int("cache-size", 4096, "in-memory verdict-cache entries, keyed on the canonical system form (0 disables caching)")
 		cacheDir      = flag.String("cache-dir", "", "persist cached verdicts (checksummed JSON, survives restarts) in this directory; requires -cache-size > 0")
+		cacheDiskMax  = flag.Int64("cache-disk-max-bytes", 0, "total size cap of the -cache-dir layer; LRU entries are evicted past it (0 = 256 MiB default, negative = unbounded)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -74,19 +75,20 @@ func run() int {
 
 	reg := obs.NewRegistry()
 	cfg := serve.Config{
-		MaxBody:       *maxBody,
-		MaxInflight:   *maxInflight,
-		DefaultBudget: *defaultBudget,
-		MaxBudget:     *maxBudget,
-		MaxStatesCap:  *maxStates,
-		MaxEnvThreads: *maxEnv,
-		Parallelism:   *workers,
-		Metrics:       reg,
-		SlowThreshold: *slowThreshold,
-		SlowRingSize:  *slowRing,
-		TraceDir:      *traceDir,
-		CacheSize:     *cacheSize,
-		CacheDir:      *cacheDir,
+		MaxBody:           *maxBody,
+		MaxInflight:       *maxInflight,
+		DefaultBudget:     *defaultBudget,
+		MaxBudget:         *maxBudget,
+		MaxStatesCap:      *maxStates,
+		MaxEnvThreads:     *maxEnv,
+		Parallelism:       *workers,
+		Metrics:           reg,
+		SlowThreshold:     *slowThreshold,
+		SlowRingSize:      *slowRing,
+		TraceDir:          *traceDir,
+		CacheSize:         *cacheSize,
+		CacheDir:          *cacheDir,
+		CacheDiskMaxBytes: *cacheDiskMax,
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,6 +46,9 @@ type CompareReport struct {
 	Rows         []CompareRow `json:"rows"`
 	// Regressions holds one human-readable line per failing row.
 	Regressions []string `json:"regressions,omitempty"`
+	// ProcsWarning is non-empty when the baseline's recorded GOMAXPROCS
+	// differs from the comparison run's (see CheckProcs).
+	ProcsWarning string `json:"procsWarning,omitempty"`
 }
 
 // compareMinWall is the gating floor: entries whose baseline wall is below
@@ -54,18 +58,46 @@ const compareMinWall = 10 * time.Millisecond
 
 // LoadParallelBaseline reads a BENCH_parallel.json file.
 func LoadParallelBaseline(path string) ([]ParallelRow, error) {
+	b, err := LoadParallelBaselineFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return b.Rows, nil
+}
+
+// LoadParallelBaselineFile reads a BENCH_parallel.json file including its
+// recording-machine metadata.
+func LoadParallelBaselineFile(path string) (*ParallelBaseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var b parallelBaseline
+	var b ParallelBaseline
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	if len(b.Rows) == 0 {
 		return nil, fmt.Errorf("bench: %s: empty baseline", path)
 	}
-	return b.Rows, nil
+	return &b, nil
+}
+
+// CheckProcs compares a baseline's recorded GOMAXPROCS against the current
+// run's and returns a human-readable warning when they disagree (empty means
+// comparable). A baseline recorded at a different parallelism measures a
+// different engine configuration — most egregiously GOMAXPROCS=1, where
+// worker counts above 1 add pure overhead — so ratios against it are not a
+// regression signal. Callers either print the warning loudly or, with
+// -require-procs-match, turn it into a hard error.
+func CheckProcs(b *ParallelBaseline, runProcs int) string {
+	switch {
+	case b.GoMaxProcs == 0:
+		return fmt.Sprintf("baseline records no gomaxprocs (pre-metadata file); current run has GOMAXPROCS=%d — re-record the baseline", runProcs)
+	case b.GoMaxProcs != runProcs:
+		return fmt.Sprintf("baseline was recorded at GOMAXPROCS=%d but this run has GOMAXPROCS=%d — wall-time ratios are not comparable; re-record the baseline on a matching machine", b.GoMaxProcs, runProcs)
+	default:
+		return ""
+	}
 }
 
 // CompareParallel re-runs the parallel experiment at the given worker
@@ -73,10 +105,11 @@ func LoadParallelBaseline(path string) ([]ParallelRow, error) {
 // the baseline. inject multiplies the measured wall of matching benchmark
 // names — the selftest hook proving the gate trips on a real slowdown.
 func CompareParallel(ctx context.Context, baselinePath string, workerCounts []int, tolerance float64, inject map[string]float64) (*CompareReport, error) {
-	base, err := LoadParallelBaseline(baselinePath)
+	base, err := LoadParallelBaselineFile(baselinePath)
 	if err != nil {
 		return nil, err
 	}
+	warn := CheckProcs(base, runtime.GOMAXPROCS(0))
 	rows, err := ParallelExperiment(ctx, workerCounts)
 	if err != nil {
 		return nil, err
@@ -86,11 +119,12 @@ func CompareParallel(ctx context.Context, baselinePath string, workerCounts []in
 			rows[i].Wall = time.Duration(float64(rows[i].Wall) * f)
 		}
 	}
-	rep, err := compareRows(base, rows, tolerance)
+	rep, err := compareRows(base.Rows, rows, tolerance)
 	if err != nil {
 		return nil, err
 	}
 	rep.BaselinePath = baselinePath
+	rep.ProcsWarning = warn
 	return rep, nil
 }
 
@@ -175,6 +209,9 @@ func CompareTable(rep *CompareReport) *Table {
 			"norm-ratio is the wall ratio divided by the run's median ratio (machine-speed calibration)",
 			fmt.Sprintf("entries with baselines under %s are too noisy to gate and only reported", compareMinWall),
 		},
+	}
+	if rep.ProcsWarning != "" {
+		t.Notes = append(t.Notes, "WARNING: "+rep.ProcsWarning)
 	}
 	for _, r := range rep.Rows {
 		t.AddRow(r.Name, r.Workers,

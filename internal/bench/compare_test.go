@@ -121,7 +121,7 @@ func TestCompareUnmatchedBaseline(t *testing.T) {
 // TestLoadParallelBaseline round-trips the checked-in JSON shape.
 func TestLoadParallelBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "b.json")
-	b := parallelBaseline{GoMaxProcs: 1, NumCPU: 1, Rows: []ParallelRow{
+	b := ParallelBaseline{GoMaxProcs: 1, NumCPU: 1, Rows: []ParallelRow{
 		{Name: "a", Workers: 1, MacroStates: 7, Wall: 123456},
 	}}
 	data, err := json.Marshal(b)
@@ -143,6 +143,23 @@ func TestLoadParallelBaseline(t *testing.T) {
 	}
 	if _, err := LoadParallelBaseline(path); err == nil {
 		t.Error("want error on empty baseline")
+	}
+}
+
+// TestCheckProcs: a baseline recorded at a different GOMAXPROCS (or one
+// predating the metadata) must produce a warning; a matching one must not.
+func TestCheckProcs(t *testing.T) {
+	match := &ParallelBaseline{GoMaxProcs: 8}
+	if w := CheckProcs(match, 8); w != "" {
+		t.Errorf("matching procs warned: %q", w)
+	}
+	mismatch := &ParallelBaseline{GoMaxProcs: 1}
+	if w := CheckProcs(mismatch, 8); !strings.Contains(w, "GOMAXPROCS=1") || !strings.Contains(w, "GOMAXPROCS=8") {
+		t.Errorf("mismatch warning %q must name both values", w)
+	}
+	legacy := &ParallelBaseline{}
+	if w := CheckProcs(legacy, 8); !strings.Contains(w, "no gomaxprocs") {
+		t.Errorf("legacy warning = %q, want a no-metadata message", w)
 	}
 }
 

@@ -98,8 +98,12 @@ func ParallelTable(rows []ParallelRow) *Table {
 	return t
 }
 
-// parallelBaseline is the JSON shape of BENCH_parallel.json.
-type parallelBaseline struct {
+// ParallelBaseline is the JSON shape of BENCH_parallel.json: the measured
+// rows plus the recording machine's parallelism metadata. The metadata is
+// not decorative — wall times recorded at GOMAXPROCS=1 are meaningless as a
+// baseline for a multi-core comparison run (the engine cannot overlap
+// expansions), so the comparator checks it (see CheckProcs).
+type ParallelBaseline struct {
 	GoMaxProcs int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"numCPU"`
 	Rows       []ParallelRow `json:"rows"`
@@ -112,7 +116,7 @@ func WriteParallelBaseline(ctx context.Context, path string, workerCounts []int)
 	if err != nil {
 		return err
 	}
-	b := parallelBaseline{
+	b := ParallelBaseline{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Rows:       rows,

@@ -62,22 +62,28 @@ type Options struct {
 	// and in-memory misses read through it. Corrupt or truncated files are
 	// detected, counted, removed, and treated as misses.
 	Dir string
+	// DiskMaxBytes caps the total size of the persistent layer. When a
+	// store pushes the total over the cap, the least-recently-used entries
+	// (file mtime, bumped on read-through) are removed until it fits. 0
+	// selects the 256 MiB default; a negative value removes the bound.
+	DiskMaxBytes int64
 	// Metrics, when non-nil, registers paramra_cache_* counters.
 	Metrics *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of cache activity.
 type Stats struct {
-	Hits        int64
-	Misses      int64
-	Shared      int64
-	Stores      int64
-	Evictions   int64
-	DiskHits    int64
-	DiskCorrupt int64
-	MemoHits    int64
-	MemoMisses  int64
-	Entries     int
+	Hits          int64
+	Misses        int64
+	Shared        int64
+	Stores        int64
+	Evictions     int64
+	DiskHits      int64
+	DiskCorrupt   int64
+	DiskEvictions int64
+	MemoHits      int64
+	MemoMisses    int64
+	Entries       int
 }
 
 // Cache is a content-addressed verdict cache: an LRU in-memory store with
@@ -94,11 +100,11 @@ type Cache struct {
 	memo    *memoTable
 
 	hits, misses, shared, stores, evictions atomic.Int64
-	diskHits, diskCorrupt                   atomic.Int64
+	diskHits, diskCorrupt, diskEvictions    atomic.Int64
 	memoHits, memoMisses                    atomic.Int64
 
 	mHits, mMisses, mShared, mStores, mEvict *obs.Counter
-	mDiskHits, mDiskCorrupt                  *obs.Counter
+	mDiskHits, mDiskCorrupt, mDiskEvict      *obs.Counter
 	mEntries                                 *obs.Gauge
 }
 
@@ -132,7 +138,7 @@ func New(o Options) *Cache {
 		memo:    newMemoTable(o.MemoEntries),
 	}
 	if o.Dir != "" {
-		c.disk = newDiskStore(o.Dir)
+		c.disk = newDiskStore(o.Dir, o.DiskMaxBytes)
 	}
 	if m := o.Metrics; m != nil {
 		c.mHits = m.Counter("paramra_cache_hits_total", "verdict-cache hits (memory or disk)")
@@ -142,6 +148,7 @@ func New(o Options) *Cache {
 		c.mEvict = m.Counter("paramra_cache_evictions_total", "verdicts evicted from the in-memory LRU")
 		c.mDiskHits = m.Counter("paramra_cache_disk_hits_total", "verdict-cache hits read through from the persistent layer")
 		c.mDiskCorrupt = m.Counter("paramra_cache_disk_corrupt_total", "persistent-cache entries rejected by checksum or decode failure")
+		c.mDiskEvict = m.Counter("paramra_cache_disk_evictions_total", "persistent-cache entries removed by the size bound")
 		c.mEntries = m.Gauge("paramra_cache_entries", "verdicts currently resident in the in-memory LRU")
 	}
 	return c
@@ -266,7 +273,12 @@ func (c *Cache) Put(key string, v Verdict) {
 	inc(c.mStores)
 	c.putMemory(key, v)
 	if c.disk != nil {
-		c.disk.put(key, v)
+		if n := c.disk.put(key, v); n > 0 {
+			c.diskEvictions.Add(int64(n))
+			if c.mDiskEvict != nil {
+				c.mDiskEvict.Add(int64(n))
+			}
+		}
 	}
 }
 
@@ -304,16 +316,17 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Shared:      c.shared.Load(),
-		Stores:      c.stores.Load(),
-		Evictions:   c.evictions.Load(),
-		DiskHits:    c.diskHits.Load(),
-		DiskCorrupt: c.diskCorrupt.Load(),
-		MemoHits:    c.memoHits.Load(),
-		MemoMisses:  c.memoMisses.Load(),
-		Entries:     c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Shared:        c.shared.Load(),
+		Stores:        c.stores.Load(),
+		Evictions:     c.evictions.Load(),
+		DiskHits:      c.diskHits.Load(),
+		DiskCorrupt:   c.diskCorrupt.Load(),
+		DiskEvictions: c.diskEvictions.Load(),
+		MemoHits:      c.memoHits.Load(),
+		MemoMisses:    c.memoMisses.Load(),
+		Entries:       c.Len(),
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func testVerdict(bound int64) Verdict {
@@ -304,6 +305,83 @@ func TestDiskCorruptionDetected(t *testing.T) {
 				t.Errorf("recomputed verdict not re-stored cleanly: %+v ok=%v", v, ok)
 			}
 		})
+	}
+}
+
+// TestDiskSizeBoundedEviction: the persistent layer must not grow without
+// bound — a write past DiskMaxBytes evicts the least-recently-used entries
+// (mtime order, bumped by read-through), and a restarted cache re-learns the
+// directory's size in its startup scan, enforcing even a lowered cap.
+func TestDiskSizeBoundedEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Measure one entry's on-disk size so the cap can be set in entries.
+	probe := New(Options{Dir: dir})
+	probe.Put("probe", testVerdict(1))
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("glob: %v %v", files, err)
+	}
+	info, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	cap3 := 3*size + size/2 // three entries fit, a fourth does not
+	c := New(Options{Dir: dir, DiskMaxBytes: cap3})
+	old := time.Now().Add(-time.Hour)
+	for i, k := range []string{"k0", "k1", "k2"} {
+		c.Put(k, testVerdict(1))
+		mt := old.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, k+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A read-through on k0 (fresh cache, so memory is empty) bumps its
+	// recency, making k1 the oldest entry and thus the eviction victim.
+	c2 := New(Options{Dir: dir, DiskMaxBytes: cap3})
+	if _, ok := c2.Get("k0"); !ok {
+		t.Fatal("k0 not readable through disk")
+	}
+	c2.Put("k3", testVerdict(1))
+	if _, err := os.Stat(filepath.Join(dir, "k1.json")); !os.IsNotExist(err) {
+		t.Errorf("k1 (least recently used) not evicted: stat err = %v", err)
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, err := os.Stat(filepath.Join(dir, k+".json")); err != nil {
+			t.Errorf("%s evicted, want kept: %v", k, err)
+		}
+	}
+	if s := c2.Stats(); s.DiskEvictions != 1 {
+		t.Errorf("DiskEvictions = %d, want 1 (stats %+v)", s.DiskEvictions, s)
+	}
+
+	// Restart with a lowered cap: the startup scan evicts down to it,
+	// keeping only the most recently written entry.
+	New(Options{Dir: dir, DiskMaxBytes: size + size/2})
+	left, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 || filepath.Base(left[0]) != "k3.json" {
+		t.Errorf("restart with lowered cap left %v, want only k3.json", left)
+	}
+
+	// A negative cap disables the bound entirely.
+	u := New(Options{Dir: dir, DiskMaxBytes: -1})
+	for i := 0; i < 8; i++ {
+		u.Put(fmt.Sprintf("u%d", i), testVerdict(1))
+	}
+	left, err = filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(left) != 9 {
+		t.Errorf("unbounded store evicted: %d files, %v", len(left), err)
+	}
+	if s := u.Stats(); s.DiskEvictions != 0 {
+		t.Errorf("unbounded DiskEvictions = %d", s.DiskEvictions)
 	}
 }
 

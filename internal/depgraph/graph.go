@@ -104,7 +104,7 @@ func FromViolation(sys *lang.System, viol *simplified.Violation) (*Graph, error)
 
 	// Dis memory: init messages (timestamp 0) and dis stores.
 	if viol.Mem != nil {
-		for v := range viol.Mem.ByVar {
+		for v := 0; v < viol.Mem.NumVars(); v++ {
 			viol.Mem.Each(lang.VarID(v), func(m simplified.AMsg) {
 				if m.TS == simplified.Int(0) {
 					addMsg(m, InitMsg, nil)

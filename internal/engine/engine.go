@@ -230,7 +230,8 @@ func (cfg Config) spanName(def string) string {
 
 // Succ is one successor produced by an expansion callback.
 type Succ[S any, V any] struct {
-	// State and Key identify the successor; ignored when Halt is set.
+	// State and Key identify the successor; ignored when Halt or Dedup is
+	// set.
 	State S
 	Key   string
 	// Val is stored in the visited map under Key (e.g. a predecessor edge).
@@ -240,6 +241,13 @@ type Succ[S any, V any] struct {
 	Halt bool
 	// Tag is the caller payload surfaced as Outcome.HaltTag when Halt wins.
 	Tag any
+	// Dedup marks a successor the expansion already proved visited (via
+	// ShardedMap.HasBytes on the shared visited set, which is grow-only, so
+	// the proof cannot be invalidated). The engine counts it as a
+	// transition and a dedup hit without requiring a materialized Key —
+	// the byte-probe fast path that keeps duplicate successors
+	// allocation-free.
+	Dedup bool
 }
 
 // item is one admitted frontier entry.
@@ -251,7 +259,10 @@ type item[S any] struct {
 
 // batchSize is how many frontier items a worker moves between its local
 // stack and the shared queue at a time; spillAt is the local-stack size
-// that triggers a donation back to the shared queue.
+// that triggers a donation back to the shared queue. 32 was confirmed by
+// the paramra_engine_visited_shard_* occupancy histograms and the batch-wait
+// histogram: shards stay balanced while a worker amortizes one queue lock
+// over a cache-line-friendly run of items.
 const (
 	batchSize = 32
 	spillAt   = 2 * batchSize
@@ -259,24 +270,33 @@ const (
 
 // Explore runs a free-order parallel search from root. expand is called
 // exactly once per admitted state (concurrently from several goroutines)
-// and returns its successors; the engine deduplicates them through a
-// sharded visited map that also stores each admitted state's Val for
-// later lookup (witness reconstruction via the returned map).
+// and returns its successors; the engine deduplicates them through the
+// caller-supplied sharded visited map, which also stores each admitted
+// state's Val for later lookup (witness reconstruction). The caller owns
+// visited so its expansion callback can pre-filter duplicate successors
+// with HasBytes before materializing a key (emitting Succ{Dedup: true} to
+// keep the transition and dedup counters exact).
+//
+// buf hands expand a worker-local successor buffer to append into: the
+// engine recycles it between expansions of the same worker, so steady-state
+// expansion allocates no slice. expand may ignore buf and return any slice.
 //
 // The frontier is a shared batched queue with per-worker local stacks:
 // workers take and donate work in batches, so queue contention is paid
-// once per batch rather than once per state. The first halting successor
-// wins; after a halt (or cancellation) the workers drain and exit.
+// once per batch rather than once per state. When idle workers outnumber
+// the queued items the take size shrinks to a fair share, so tiny frontiers
+// are spread instead of hoarded. The first halting successor wins; after a
+// halt (or cancellation) the workers drain and exit.
 func Explore[S any, V any](
 	ctx context.Context,
 	cfg Config,
+	visited *ShardedMap[V],
 	root S, rootKey string, rootVal V,
-	expand func(s S, key string, depth int) []Succ[S, V],
-) (*ShardedMap[V], Outcome) {
+	expand func(s S, key string, depth int, buf []Succ[S, V]) []Succ[S, V],
+) Outcome {
 	workers := cfg.workers()
 	start := time.Now()
 	cnt := &counters{}
-	visited := NewShardedMap[V]()
 	visited.TryPut(rootKey, rootVal)
 	cnt.states.Store(1)
 	cnt.bumpPeak(1)
@@ -346,6 +366,7 @@ func Explore[S any, V any](
 
 	worker := func() {
 		var local []item[S]
+		var sbuf []Succ[S, V] // recycled successor buffer handed to expand
 		for {
 			if stopped.Load() {
 				return
@@ -370,6 +391,17 @@ func Explore[S any, V any](
 				if n > batchSize {
 					n = batchSize
 				}
+				// Adaptive batch floor: when peers are starved and the queue
+				// is short, take only a fair share so a tiny frontier spreads
+				// across workers instead of serializing behind one.
+				if waiting > 0 {
+					if fair := (len(global) + waiting) / (waiting + 1); fair < n {
+						n = fair
+						if n < 1 {
+							n = 1
+						}
+					}
+				}
 				local = append(local, global[len(global)-n:]...)
 				global = global[:len(global)-n]
 				mu.Unlock()
@@ -392,12 +424,16 @@ func Explore[S any, V any](
 				continue
 			}
 
-			succs := expand(it.state, it.key, it.depth)
+			succs := expand(it.state, it.key, it.depth, sbuf[:0])
 			cnt.transitions.Add(int64(len(succs)))
 			for _, sc := range succs {
 				if sc.Halt {
 					recordHalt(it.key, sc.Tag)
 					break
+				}
+				if sc.Dedup {
+					cnt.dedupHits.Add(1)
+					continue
 				}
 				if !visited.TryPut(sc.Key, sc.Val) {
 					cnt.dedupHits.Add(1)
@@ -411,6 +447,10 @@ func Explore[S any, V any](
 				cnt.bumpPeak(n)
 				local = append(local, item[S]{state: sc.State, key: sc.Key, depth: it.depth + 1})
 			}
+			// Recycle the successor buffer: drop payload references so the
+			// engine does not pin dead states, then keep the capacity.
+			clear(succs)
+			sbuf = succs[:0]
 
 			// Donate work to idle peers, or spill an oversized local stack.
 			if len(local) > 0 {
@@ -477,5 +517,5 @@ func Explore[S any, V any](
 		span.SetAttr("shards_nonempty", used)
 		span.End()
 	}
-	return visited, out
+	return out
 }

@@ -11,9 +11,9 @@ import (
 // gridExpand builds a synthetic search space: states are (x, y) grid points
 // reachable by incrementing either coordinate up to n. The space has
 // (n+1)^2 states and heavy cross-path dedup, exercising the sharded set.
-func gridExpand(n int) func(s [2]int, key string, depth int) []Succ[[2]int, struct{}] {
-	return func(s [2]int, key string, depth int) []Succ[[2]int, struct{}] {
-		var out []Succ[[2]int, struct{}]
+func gridExpand(n int) func(s [2]int, key string, depth int, buf []Succ[[2]int, struct{}]) []Succ[[2]int, struct{}] {
+	return func(s [2]int, key string, depth int, buf []Succ[[2]int, struct{}]) []Succ[[2]int, struct{}] {
+		out := buf
 		for d := 0; d < 2; d++ {
 			ns := s
 			ns[d]++
@@ -28,7 +28,7 @@ func gridExpand(n int) func(s [2]int, key string, depth int) []Succ[[2]int, stru
 func TestExploreGridCounts(t *testing.T) {
 	const n = 40
 	for _, workers := range []int{1, 2, 8} {
-		_, out := Explore(context.Background(), Config{Workers: workers},
+		out := Explore(context.Background(), Config{Workers: workers}, NewShardedMap[struct{}](),
 			[2]int{0, 0}, "0,0", struct{}{}, gridExpand(n))
 		if !out.Complete || out.Halted {
 			t.Fatalf("workers=%d: outcome %+v", workers, out)
@@ -47,14 +47,14 @@ func TestExploreGridCounts(t *testing.T) {
 
 func TestExploreHaltFirstWins(t *testing.T) {
 	// A line of states with a halting edge at the end.
-	expand := func(s int, key string, depth int) []Succ[int, struct{}] {
+	expand := func(s int, key string, depth int, buf []Succ[int, struct{}]) []Succ[int, struct{}] {
 		if s == 10 {
-			return []Succ[int, struct{}]{{Halt: true, Tag: "boom"}}
+			return append(buf, Succ[int, struct{}]{Halt: true, Tag: "boom"})
 		}
-		return []Succ[int, struct{}]{{State: s + 1, Key: fmt.Sprintf("%d", s+1)}}
+		return append(buf, Succ[int, struct{}]{State: s + 1, Key: fmt.Sprintf("%d", s+1)})
 	}
 	for _, workers := range []int{1, 4} {
-		_, out := Explore(context.Background(), Config{Workers: workers}, 0, "0", struct{}{}, expand)
+		out := Explore(context.Background(), Config{Workers: workers}, NewShardedMap[struct{}](), 0, "0", struct{}{}, expand)
 		if !out.Halted || out.Complete {
 			t.Fatalf("workers=%d: expected halt, got %+v", workers, out)
 		}
@@ -65,7 +65,7 @@ func TestExploreHaltFirstWins(t *testing.T) {
 }
 
 func TestExploreStateCapExact(t *testing.T) {
-	_, out := Explore(context.Background(), Config{Workers: 4, MaxStates: 100},
+	out := Explore(context.Background(), Config{Workers: 4, MaxStates: 100}, NewShardedMap[struct{}](),
 		[2]int{0, 0}, "0,0", struct{}{}, gridExpand(1000))
 	if out.Complete || !out.Capped {
 		t.Fatalf("capped run reported complete: %+v", out)
@@ -78,27 +78,27 @@ func TestExploreStateCapExact(t *testing.T) {
 func TestExploreContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var expanded atomic.Int64
-	expand := func(s int, key string, depth int) []Succ[int, struct{}] {
+	expand := func(s int, key string, depth int, buf []Succ[int, struct{}]) []Succ[int, struct{}] {
 		if expanded.Add(1) == 50 {
 			cancel()
 		}
 		time.Sleep(time.Microsecond)
-		return []Succ[int, struct{}]{
-			{State: 2 * s, Key: fmt.Sprintf("%d", 2*s)},
-			{State: 2*s + 1, Key: fmt.Sprintf("%d", 2*s+1)},
-		}
+		return append(buf,
+			Succ[int, struct{}]{State: 2 * s, Key: fmt.Sprintf("%d", 2*s)},
+			Succ[int, struct{}]{State: 2*s + 1, Key: fmt.Sprintf("%d", 2*s+1)},
+		)
 	}
-	_, out := Explore(ctx, Config{Workers: 4}, 1, "1", struct{}{}, expand)
+	out := Explore(ctx, Config{Workers: 4}, NewShardedMap[struct{}](), 1, "1", struct{}{}, expand)
 	if out.Err == nil || out.Complete {
 		t.Fatalf("cancelled run reported complete: %+v", out)
 	}
 }
 
 func TestExploreMaxDepth(t *testing.T) {
-	expand := func(s int, key string, depth int) []Succ[int, struct{}] {
-		return []Succ[int, struct{}]{{State: s + 1, Key: fmt.Sprintf("%d", s+1)}}
+	expand := func(s int, key string, depth int, buf []Succ[int, struct{}]) []Succ[int, struct{}] {
+		return append(buf, Succ[int, struct{}]{State: s + 1, Key: fmt.Sprintf("%d", s+1)})
 	}
-	_, out := Explore(context.Background(), Config{Workers: 2, MaxDepth: 5}, 0, "0", struct{}{}, expand)
+	out := Explore(context.Background(), Config{Workers: 2, MaxDepth: 5}, NewShardedMap[struct{}](), 0, "0", struct{}{}, expand)
 	if out.Complete || !out.Capped {
 		t.Fatalf("depth-capped run reported complete: %+v", out)
 	}
@@ -111,13 +111,14 @@ func TestExplorePredChainWitness(t *testing.T) {
 	// Values store the predecessor key; the chain must be walkable back to
 	// the root after the run.
 	type pred struct{ prev string }
-	expand := func(s int, key string, depth int) []Succ[int, pred] {
+	expand := func(s int, key string, depth int, buf []Succ[int, pred]) []Succ[int, pred] {
 		if s == 6 {
-			return []Succ[int, pred]{{Halt: true, Tag: s}}
+			return append(buf, Succ[int, pred]{Halt: true, Tag: s})
 		}
-		return []Succ[int, pred]{{State: s + 2, Key: fmt.Sprintf("%d", s+2), Val: pred{prev: key}}}
+		return append(buf, Succ[int, pred]{State: s + 2, Key: fmt.Sprintf("%d", s+2), Val: pred{prev: key}})
 	}
-	visited, out := Explore(context.Background(), Config{Workers: 3}, 0, "0", pred{}, expand)
+	visited := NewShardedMap[pred]()
+	out := Explore(context.Background(), Config{Workers: 3}, visited, 0, "0", pred{}, expand)
 	if !out.Halted {
 		t.Fatal("no halt")
 	}
@@ -139,7 +140,7 @@ func TestLayeredDeterministicAcrossWorkers(t *testing.T) {
 	// trace; the trace must be identical for every worker count.
 	run := func(workers int) ([]string, Outcome) {
 		var trace []string
-		expand := func(s [2]int) [][2]int {
+		expand := func(s [2]int, seen func([]byte) bool) [][2]int {
 			var out [][2]int
 			for d := 0; d < 2; d++ {
 				ns := s
@@ -183,7 +184,7 @@ func TestLayeredDeterministicAcrossWorkers(t *testing.T) {
 func TestLayeredHaltFirstInOrder(t *testing.T) {
 	// Two items of the same layer can halt; the lower index must win for
 	// every worker count.
-	expand := func(s int) int { return s }
+	expand := func(s int, seen func([]byte) bool) int { return s }
 	commit := func(i int, s int, e int, adm *Admitter[int]) any {
 		if depthOf(s) == 3 {
 			return fmt.Sprintf("halt-%d", i)

@@ -1,5 +1,7 @@
 package engine
 
+import "sync"
+
 // KeyEnc builds compact, injective state-identity keys. The explorers
 // memoize on string keys; the naive decimal "%d,%d,..." rendering is both
 // large (multi-byte digits plus separators) and slow (fmt reflection on
@@ -23,13 +25,27 @@ func NewKeyEnc() *KeyEnc { return &KeyEnc{buf: make([]byte, 0, 64)} }
 // Reset empties the buffer, keeping its capacity for reuse.
 func (k *KeyEnc) Reset() { k.buf = k.buf[:0] }
 
-// Uint64 appends v as a self-delimiting LEB128 varint.
+// Uint64 appends v as a self-delimiting LEB128 varint. The single-byte
+// case — program counters, registers, and timestamps are almost always
+// < 64 — stays inlinable; larger magnitudes take the outlined slow path.
 func (k *KeyEnc) Uint64(v uint64) {
+	if v < 0x80 {
+		k.buf = append(k.buf, byte(v))
+		return
+	}
+	k.uint64Slow(v)
+}
+
+func (k *KeyEnc) uint64Slow(v uint64) {
+	var tmp [10]byte
+	n := 0
 	for v >= 0x80 {
-		k.buf = append(k.buf, byte(v)|0x80)
+		tmp[n] = byte(v) | 0x80
+		n++
 		v >>= 7
 	}
-	k.buf = append(k.buf, byte(v))
+	tmp[n] = byte(v)
+	k.buf = append(k.buf, tmp[:n+1]...)
 }
 
 // Int appends v zigzag-encoded, so small negative values stay short.
@@ -44,8 +60,36 @@ func (k *KeyEnc) Len(n int) { k.Int(n) }
 // Mark appends a raw tag byte separating heterogeneous key sections.
 func (k *KeyEnc) Mark(tag byte) { k.buf = append(k.buf, tag) }
 
+// Raw appends pre-encoded key bytes verbatim (e.g. a section built in a
+// scratch encoder and sorted). Injectivity is the caller's responsibility:
+// the bytes must themselves come from KeyEnc emissions at a position where
+// both sides agree on the section structure.
+func (k *KeyEnc) Raw(b []byte) { k.buf = append(k.buf, b...) }
+
 // String materializes the key. The encoder remains usable (and Resettable).
 func (k *KeyEnc) String() string { return string(k.buf) }
 
 // Bytes exposes the raw buffer; valid until the next mutating call.
 func (k *KeyEnc) Bytes() []byte { return k.buf }
+
+// keyEncPool recycles encoders across hot-path key constructions. The
+// explorers build one key per examined successor; without pooling every key
+// costs a fresh encoder allocation on top of the unavoidable map-intern
+// string.
+var keyEncPool = sync.Pool{New: func() any { return NewKeyEnc() }}
+
+// GetKeyEnc returns a reset encoder from the pool. Release it with
+// PutKeyEnc once the key bytes have been consumed (the buffer is reused, so
+// callers must not retain Bytes() past the Put).
+func GetKeyEnc() *KeyEnc {
+	e := keyEncPool.Get().(*KeyEnc)
+	e.Reset()
+	return e
+}
+
+// PutKeyEnc returns an encoder to the pool.
+func PutKeyEnc(e *KeyEnc) {
+	if e != nil {
+		keyEncPool.Put(e)
+	}
+}

@@ -27,12 +27,36 @@ func (a *Admitter[S]) Add(key string, s S) bool {
 		a.cnt.dedupHits.Add(1)
 		return false
 	}
+	return a.admit(s)
+}
+
+// AddBytes is Add with a byte-slice key: the duplicate check is
+// allocation-free and the key is interned only when the state is actually
+// new. Hot commit loops where most successors are duplicates pay nothing.
+func (a *Admitter[S]) AddBytes(key []byte, s S) bool {
+	if !a.visited.TryPutBytes(key, struct{}{}) {
+		a.cnt.dedupHits.Add(1)
+		return false
+	}
+	return a.admit(s)
+}
+
+func (a *Admitter[S]) admit(s S) bool {
 	if !a.cnt.admit(a.max) {
 		a.capped = true
 		return false
 	}
 	a.next = append(a.next, s)
 	return true
+}
+
+// AddDedup records n duplicate successors that the expansion phase already
+// filtered out via the seen probe, keeping the engine's dedup-hit counter
+// exact (trace and stats consumers pin these totals).
+func (a *Admitter[S]) AddDedup(n int64) {
+	if n > 0 {
+		a.cnt.dedupHits.Add(n)
+	}
 }
 
 // States returns the number of states admitted so far (including the root).
@@ -42,6 +66,14 @@ func (a *Admitter[S]) States() int { return int(a.cnt.states.Load()) }
 // callback knows how many successor edges an expansion examined).
 func (a *Admitter[S]) AddTransitions(n int64) { a.cnt.transitions.Add(n) }
 
+// serialBelow is the frontier size under which a layer is expanded by a
+// single goroutine regardless of the configured worker count. Tiny layers
+// (program prologues, near-fixpoint tails) cost more in goroutine fan-out
+// and cache ping-pong than the expansion itself; falling through to serial
+// keeps workers>1 from regressing small instances while leaving the
+// committed results untouched (commit order never depends on worker count).
+const serialBelow = 32
+
 // Layered runs a deterministic batched-BFS search. Each layer is expanded
 // in parallel (expand must not mutate state shared between items), then
 // commit is invoked sequentially, in frontier order, with each expansion
@@ -50,13 +82,20 @@ func (a *Admitter[S]) AddTransitions(n int64) { a.cnt.transitions.Add(n) }
 // first in commit order wins — making verdicts, witnesses and stats
 // reproducible across worker counts).
 //
+// expand receives a seen probe into the visited set. During a layer's
+// parallel expansion no commits run, so the visited set is frozen and a true
+// answer is stable: expansions may drop such successors early (reporting
+// them via Admitter.AddDedup from commit) instead of materializing keys and
+// states that the commit phase would discard anyway. A false answer may be
+// superseded by a sibling's commit, so commit must still dedup via Add.
+//
 // The root must already be "committed" by the caller (its key is admitted
 // here, but no commit call is made for it).
 func Layered[S any, E any](
 	ctx context.Context,
 	cfg Config,
 	root S, rootKey string,
-	expand func(s S) E,
+	expand func(s S, seen func([]byte) bool) E,
 	commit func(index int, s S, e E, adm *Admitter[S]) (haltTag any),
 ) Outcome {
 	workers := cfg.workers()
@@ -133,7 +172,12 @@ func Layered[S any, E any](
 			curLayer.SetAttr("size", len(layer))
 		}
 
-		exps := parMap(ctx, workers, layer, expand)
+		w := workers
+		if len(layer) < serialBelow {
+			w = 1
+		}
+		seen := adm.visited.HasBytes
+		exps := parMap(ctx, w, layer, func(s S) E { return expand(s, seen) })
 		if err := ctxErr(ctx); err != nil {
 			return finish(nil, err)
 		}

@@ -11,12 +11,12 @@ import (
 )
 
 // chainExpand builds a linear state space 0 → 1 → … → n.
-func chainExpand(n int) func(int, string, int) []Succ[int, struct{}] {
-	return func(s int, key string, depth int) []Succ[int, struct{}] {
+func chainExpand(n int) func(int, string, int, []Succ[int, struct{}]) []Succ[int, struct{}] {
+	return func(s int, key string, depth int, buf []Succ[int, struct{}]) []Succ[int, struct{}] {
 		if s >= n {
-			return nil
+			return buf
 		}
-		return []Succ[int, struct{}]{{State: s + 1, Key: fmt.Sprint(s + 1)}}
+		return append(buf, Succ[int, struct{}]{State: s + 1, Key: fmt.Sprint(s + 1)})
 	}
 }
 
@@ -30,14 +30,14 @@ func TestFinalProgressEqualsOutcomeStats(t *testing.T) {
 		Progress:      func(s Stats) { last = s },
 		ProgressEvery: time.Millisecond,
 	}
-	_, out := Explore(context.Background(), cfg, 0, "0", struct{}{}, chainExpand(200))
+	out := Explore(context.Background(), cfg, NewShardedMap[struct{}](), 0, "0", struct{}{}, chainExpand(200))
 	if last != out.Stats {
 		t.Errorf("Explore: final progress %+v != outcome stats %+v", last, out.Stats)
 	}
 
 	last = Stats{}
 	lout := Layered(context.Background(), cfg, 0, "0",
-		func(s int) []Succ[int, struct{}] { return chainExpand(200)(s, "", 0) },
+		func(s int, seen func([]byte) bool) []Succ[int, struct{}] { return chainExpand(200)(s, "", 0, nil) },
 		func(i int, s int, succs []Succ[int, struct{}], adm *Admitter[int]) any {
 			adm.AddTransitions(int64(len(succs)))
 			for _, sc := range succs {
@@ -60,10 +60,10 @@ func TestEngineTraceAndMetrics(t *testing.T) {
 		reg := obs.NewRegistry()
 		cfg := Config{Workers: 2, Trace: root, Metrics: reg}
 		if driver == "explore" {
-			Explore(context.Background(), cfg, 0, "0", struct{}{}, chainExpand(50))
+			Explore(context.Background(), cfg, NewShardedMap[struct{}](), 0, "0", struct{}{}, chainExpand(50))
 		} else {
 			Layered(context.Background(), cfg, 0, "0",
-				func(s int) []Succ[int, struct{}] { return chainExpand(50)(s, "", 0) },
+				func(s int, seen func([]byte) bool) []Succ[int, struct{}] { return chainExpand(50)(s, "", 0, nil) },
 				func(i int, s int, succs []Succ[int, struct{}], adm *Admitter[int]) any {
 					for _, sc := range succs {
 						adm.Add(sc.Key, sc.State)

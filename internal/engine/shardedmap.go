@@ -28,10 +28,23 @@ import (
 // workers while staying cache-friendly.
 const shardCount = 64
 
-// fnv1a hashes a key for shard selection (FNV-1a, 32-bit).
-func fnv1a(s string) uint32 {
+// fnv1a hashes a key for shard selection (FNV-1a, 32-bit, over the key's
+// length and its last hashWindow bytes). Shard choice only affects stripe
+// balance, never semantics, so hashing a bounded window keeps the per-probe
+// cost flat in the key length; the suffix is the high-entropy end of state
+// keys (env fingerprints, view sections). The generic constraint lets string
+// and []byte keys hash identically, so the byte-key fast paths land in the
+// same shard as their interned string twins.
+func fnv1a[T ~string | ~[]byte](s T) uint32 {
+	const hashWindow = 24
 	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
+	h ^= uint32(len(s))
+	h *= 16777619
+	i := 0
+	if len(s) > hashWindow {
+		i = len(s) - hashWindow
+	}
+	for ; i < len(s); i++ {
 		h ^= uint32(s[i])
 		h *= 16777619
 	}
@@ -84,6 +97,43 @@ func (sm *ShardedMap[V]) Get(key string) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v, ok := s.m[key]
+	return v, ok
+}
+
+// HasBytes reports whether key is present, without converting it to a
+// string (the map lookup by string(key) compiles to an allocation-free
+// probe). Because the map is grow-only, a true answer is stable; a false
+// answer may race with a concurrent insert and callers must re-check via
+// TryPut/TryPutBytes before admitting.
+func (sm *ShardedMap[V]) HasBytes(key []byte) bool {
+	s := &sm.shards[fnv1a(key)&(shardCount-1)]
+	s.mu.Lock()
+	_, ok := s.m[string(key)]
+	s.mu.Unlock()
+	return ok
+}
+
+// TryPutBytes is TryPut for a byte-slice key: the duplicate check is
+// allocation-free, and the key is interned into a string only when it is
+// actually inserted. The hot dedup path (most successors are already
+// visited) therefore costs no allocation at all.
+func (sm *ShardedMap[V]) TryPutBytes(key []byte, val V) bool {
+	s := &sm.shards[fnv1a(key)&(shardCount-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[string(key)]; ok {
+		return false
+	}
+	s.m[string(key)] = val
+	return true
+}
+
+// GetBytes returns the value stored under key without a string conversion.
+func (sm *ShardedMap[V]) GetBytes(key []byte) (V, bool) {
+	s := &sm.shards[fnv1a(key)&(shardCount-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[string(key)]
 	return v, ok
 }
 

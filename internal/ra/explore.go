@@ -66,6 +66,7 @@ type Result struct {
 func (inst *Instance) Explore(lim Limits) Result {
 	type node struct {
 		state *State
+		key   string
 		depth int
 	}
 	init := inst.InitState()
@@ -79,7 +80,7 @@ func (inst *Instance) Explore(lim Limits) Result {
 	}
 	pred := map[string]backEdge{}
 
-	queue := []node{{state: init, depth: 0}}
+	queue := []node{{state: init, key: initKey, depth: 0}}
 	res := Result{States: 1}
 	limited := false
 
@@ -109,7 +110,7 @@ func (inst *Instance) Explore(lim Limits) Result {
 			limited = true
 			continue
 		}
-		key := inst.stateKey(n.state, lim)
+		key := n.key
 		for _, succ := range inst.Successors(n.state) {
 			res.Transitions++
 			if succ.Event.Assert {
@@ -128,7 +129,7 @@ func (inst *Instance) Explore(lim Limits) Result {
 			visited[sk] = true
 			pred[sk] = backEdge{prevKey: key, ev: succ.Event}
 			res.States++
-			queue = append(queue, node{state: succ.State, depth: n.depth + 1})
+			queue = append(queue, node{state: succ.State, key: sk, depth: n.depth + 1})
 		}
 	}
 	res.Complete = !limited

@@ -3,6 +3,7 @@ package ra
 import (
 	"fmt"
 
+	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
 
@@ -81,6 +82,16 @@ func (inst *Instance) stateKey(s *State, lim Limits) string {
 		return s.SymKey(inst.NumEnv())
 	}
 	return s.Key()
+}
+
+// appendStateKey is stateKey into a caller-owned encoder, for byte-probe
+// paths that avoid interning keys of already-visited successors.
+func (inst *Instance) appendStateKey(enc *engine.KeyEnc, s *State, lim Limits) {
+	if lim.Symmetry {
+		s.appendSymKey(enc, inst.NumEnv())
+		return
+	}
+	s.appendKey(enc)
 }
 
 // InitState returns the initial configuration: per variable a single initial

@@ -24,25 +24,37 @@ type backEdge struct {
 func (inst *Instance) ExploreContext(ctx context.Context, lim Limits) Result {
 	init := inst.InitState()
 	initKey := inst.stateKey(init, lim)
+	visited := engine.NewShardedMap[backEdge]()
 
-	expand := func(s *State, key string, depth int) []engine.Succ[*State, backEdge] {
+	expand := func(s *State, key string, depth int, buf []engine.Succ[*State, backEdge]) []engine.Succ[*State, backEdge] {
 		succs := inst.Successors(s)
-		out := make([]engine.Succ[*State, backEdge], 0, len(succs))
+		out := buf
+		enc := engine.GetKeyEnc()
 		for _, succ := range succs {
 			if succ.Event.Assert {
 				out = append(out, engine.Succ[*State, backEdge]{Halt: true, Tag: succ.Event})
 				break
 			}
+			// Byte-probe the visited set before interning: duplicate
+			// successors (the common case) cost no allocation, and the
+			// grow-only set makes the positive answer stable.
+			enc.Reset()
+			inst.appendStateKey(enc, succ.State, lim)
+			if visited.HasBytes(enc.Bytes()) {
+				out = append(out, engine.Succ[*State, backEdge]{Dedup: true})
+				continue
+			}
 			out = append(out, engine.Succ[*State, backEdge]{
 				State: succ.State,
-				Key:   inst.stateKey(succ.State, lim),
+				Key:   enc.String(),
 				Val:   backEdge{prevKey: key, ev: succ.Event},
 			})
 		}
+		engine.PutKeyEnc(enc)
 		return out
 	}
 
-	visited, out := engine.Explore(ctx, engine.Config{
+	out := engine.Explore(ctx, engine.Config{
 		Workers:   lim.Workers,
 		MaxStates: lim.MaxStates,
 		MaxDepth:  lim.MaxDepth,
@@ -50,7 +62,7 @@ func (inst *Instance) ExploreContext(ctx context.Context, lim Limits) Result {
 		Trace:     lim.Trace,
 		SpanName:  "concrete-explore",
 		Metrics:   lim.Metrics,
-	}, init, initKey, backEdge{}, expand)
+	}, visited, init, initKey, backEdge{}, expand)
 
 	res := Result{
 		Unsafe:      out.Halted,
@@ -102,7 +114,9 @@ func (inst *Instance) FindDeadlocksContext(ctx context.Context, lim Limits) Dead
 		return len(inst.Threads[ti].CFG.Out[s.Threads[ti].PC]) == 0
 	}
 
-	expand := func(s *State, key string, depth int) []engine.Succ[*State, struct{}] {
+	visited := engine.NewShardedMap[struct{}]()
+
+	expand := func(s *State, key string, depth int, buf []engine.Succ[*State, struct{}]) []engine.Succ[*State, struct{}] {
 		succs := inst.Successors(s)
 		if len(succs) == 0 {
 			var stuck []string
@@ -123,24 +137,32 @@ func (inst *Instance) FindDeadlocksContext(ctx context.Context, lim Limits) Dead
 				rep.Terminal++
 			}
 			mu.Unlock()
-			return nil
+			return buf
 		}
-		out := make([]engine.Succ[*State, struct{}], 0, len(succs))
+		out := buf
+		enc := engine.GetKeyEnc()
 		for _, succ := range succs {
 			// Assert transitions terminate their branch without counting as
 			// deadlocks (safety is Explore's job).
 			if succ.Event.Assert {
 				continue
 			}
+			enc.Reset()
+			succ.State.appendKey(enc)
+			if visited.HasBytes(enc.Bytes()) {
+				out = append(out, engine.Succ[*State, struct{}]{Dedup: true})
+				continue
+			}
 			out = append(out, engine.Succ[*State, struct{}]{
 				State: succ.State,
-				Key:   succ.State.Key(),
+				Key:   enc.String(),
 			})
 		}
+		engine.PutKeyEnc(enc)
 		return out
 	}
 
-	_, out := engine.Explore(ctx, engine.Config{
+	out := engine.Explore(ctx, engine.Config{
 		Workers:   lim.Workers,
 		MaxStates: lim.MaxStates,
 		MaxDepth:  lim.MaxDepth,
@@ -148,7 +170,7 @@ func (inst *Instance) FindDeadlocksContext(ctx context.Context, lim Limits) Dead
 		Trace:     lim.Trace,
 		SpanName:  "deadlock-scan",
 		Metrics:   lim.Metrics,
-	}, init, init.Key(), struct{}{}, expand)
+	}, visited, init, init.Key(), struct{}{}, expand)
 
 	rep.Complete = out.Complete
 	return rep

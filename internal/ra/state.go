@@ -63,12 +63,21 @@ func (s *State) Clone() *State {
 // states are semantically identical iff their keys are equal. The encoding
 // is the compact injective varint scheme of engine.KeyEnc.
 func (s *State) Key() string {
-	enc := engine.NewKeyEnc()
+	enc := engine.GetKeyEnc()
+	s.appendKey(enc)
+	k := enc.String()
+	engine.PutKeyEnc(enc)
+	return k
+}
+
+// appendKey encodes the canonical state key into enc without materializing a
+// string; the hot exploration paths probe the visited set with enc.Bytes()
+// and intern only on first sight.
+func (s *State) appendKey(enc *engine.KeyEnc) {
 	s.encodeMemKey(enc)
 	for i := range s.Threads {
 		s.encodeThreadKey(enc, i)
 	}
-	return enc.String()
 }
 
 // SymKey returns the state key with the first nEnv thread sections (the
@@ -76,27 +85,31 @@ func (s *State) Key() string {
 // of env replicas share a SymKey. Sound because replicas run the same
 // program and messages carry no thread identity.
 func (s *State) SymKey(nEnv int) string {
-	enc := engine.NewKeyEnc()
+	enc := engine.GetKeyEnc()
+	s.appendSymKey(enc, nEnv)
+	k := enc.String()
+	engine.PutKeyEnc(enc)
+	return k
+}
+
+// appendSymKey is appendKey under env-replica symmetry canonicalization.
+func (s *State) appendSymKey(enc *engine.KeyEnc, nEnv int) {
 	s.encodeMemKey(enc)
 	envKeys := make([]string, 0, nEnv)
-	tenc := engine.NewKeyEnc()
+	tenc := engine.GetKeyEnc()
 	for i := 0; i < nEnv && i < len(s.Threads); i++ {
 		tenc.Reset()
 		s.encodeThreadKey(tenc, i)
 		envKeys = append(envKeys, tenc.String())
 	}
+	engine.PutKeyEnc(tenc)
 	sort.Strings(envKeys)
-	var b strings.Builder
-	b.Write(enc.Bytes())
 	for _, k := range envKeys {
-		b.WriteString(k)
+		enc.Raw([]byte(k))
 	}
-	enc2 := engine.NewKeyEnc()
 	for i := nEnv; i < len(s.Threads); i++ {
-		s.encodeThreadKey(enc2, i)
+		s.encodeThreadKey(enc, i)
 	}
-	b.Write(enc2.Bytes())
-	return b.String()
 }
 
 func (s *State) encodeMemKey(enc *engine.KeyEnc) {

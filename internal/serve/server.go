@@ -74,6 +74,10 @@ type Config struct {
 	// checksummed on-disk cache layer (survives restarts; corrupt entries
 	// are detected and treated as misses).
 	CacheDir string
+	// CacheDiskMaxBytes caps the on-disk cache layer's total size; the
+	// least-recently-used entries are evicted past it. 0 selects the
+	// cache package's 256 MiB default; negative removes the bound.
+	CacheDiskMaxBytes int64
 }
 
 // Defaulted fills unset fields with the documented defaults. The soak
@@ -193,9 +197,10 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New(cache.Options{
-			MaxEntries: cfg.CacheSize,
-			Dir:        cfg.CacheDir,
-			Metrics:    cfg.Metrics,
+			MaxEntries:   cfg.CacheSize,
+			Dir:          cfg.CacheDir,
+			DiskMaxBytes: cfg.CacheDiskMaxBytes,
+			Metrics:      cfg.Metrics,
 		})
 	}
 	s.mux = http.NewServeMux()

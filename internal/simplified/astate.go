@@ -1,8 +1,6 @@
 package simplified
 
 import (
-	"hash/fnv"
-
 	"paramra/internal/engine"
 	"paramra/internal/lang"
 )
@@ -39,9 +37,11 @@ type AThread struct {
 // Key returns the identity of the configuration (pc, registers, view) as a
 // compact injective encoding (see engine.KeyEnc).
 func (c AThread) Key() string {
-	enc := engine.NewKeyEnc()
+	enc := engine.GetKeyEnc()
 	c.encodeKey(enc)
-	return enc.String()
+	k := enc.String()
+	engine.PutKeyEnc(enc)
+	return k
 }
 
 // encodeKey appends the configuration's identity to enc. Register and view
@@ -66,15 +66,26 @@ func (c AThread) cloneRegs() []lang.Val {
 }
 
 // MsgEntry is an env message together with the read log of the env
-// derivation that first produced it (genthread's reads, Definition 1).
+// derivation that first produced it (genthread's reads, Definition 1), and
+// the message's cached canonical key (Msg.Key(), computed once on insert).
 type MsgEntry struct {
 	Msg AMsg
 	Log *ReadLog
+	Key string
 }
 
 // EnvSet is the monotone env part of a configuration: every env thread
 // configuration ever reached and every env message ever generated. The
 // Infinite Supply Lemma makes these sets grow-only.
+//
+// Clone is copy-on-write: a clone borrows the parent's maps and slices and
+// deep-copies them only on its first insertion (thaw). Most successor
+// states never learn a new env fact — their clones cost one struct copy
+// instead of rebuilding two maps, which the allocation profile showed was
+// the second-largest allocation site of the fixpoint. The parent must be
+// frozen once clones exist, which the explorers guarantee: a state's env is
+// only mutated during its own saturation, before the state is admitted and
+// shared.
 type EnvSet struct {
 	Configs map[string]AThread
 	Msgs    map[string]MsgEntry
@@ -88,6 +99,9 @@ type EnvSet struct {
 	// fp is an order-insensitive fingerprint (xor of per-key FNV hashes),
 	// maintained incrementally; used in macro-state memoization keys.
 	fp uint64
+	// shared marks a copy-on-write clone still borrowing its parent's
+	// storage; the first mutation thaws it.
+	shared bool
 }
 
 // NewEnvSet returns an empty env set over numVars shared variables.
@@ -99,56 +113,104 @@ func NewEnvSet(numVars int) *EnvSet {
 	}
 }
 
-// Clone copies the set (entries themselves are immutable).
+// Clone copies the set (entries themselves are immutable). The copy shares
+// the parent's storage until its first insertion.
 func (e *EnvSet) Clone() *EnvSet {
-	out := &EnvSet{
-		Configs:     make(map[string]AThread, len(e.Configs)),
-		Msgs:        make(map[string]MsgEntry, len(e.Msgs)),
-		ConfigOrder: append([]string(nil), e.ConfigOrder...),
-		MsgsByVar:   make([][]MsgEntry, len(e.MsgsByVar)),
-		fp:          e.fp,
-	}
-	for k, v := range e.Configs {
-		out.Configs[k] = v
-	}
-	for k, v := range e.Msgs {
-		out.Msgs[k] = v
-	}
-	for i, s := range e.MsgsByVar {
-		out.MsgsByVar[i] = append([]MsgEntry(nil), s...)
-	}
-	return out
+	c := *e
+	c.shared = true
+	return &c
 }
 
-func hashKey(k string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(k))
-	return h.Sum64()
+// thaw makes a shared clone privately mutable: maps are rebuilt, and the
+// borrowed slices are capacity-clamped so a later append reallocates
+// instead of scribbling into a sibling's backing array.
+func (e *EnvSet) thaw() {
+	if !e.shared {
+		return
+	}
+	cfgs := make(map[string]AThread, len(e.Configs)+1)
+	for k, v := range e.Configs {
+		cfgs[k] = v
+	}
+	e.Configs = cfgs
+	msgs := make(map[string]MsgEntry, len(e.Msgs)+1)
+	for k, v := range e.Msgs {
+		msgs[k] = v
+	}
+	e.Msgs = msgs
+	e.ConfigOrder = e.ConfigOrder[:len(e.ConfigOrder):len(e.ConfigOrder)]
+	byVar := make([][]MsgEntry, len(e.MsgsByVar))
+	for i, s := range e.MsgsByVar {
+		byVar[i] = s[:len(s):len(s)]
+	}
+	e.MsgsByVar = byVar
+	e.shared = false
+}
+
+// hashKeyTagged is FNV-1a-64 over tag ++ k, inlined so fingerprint updates
+// cost no hasher allocation. The values are bit-identical to the historical
+// hash/fnv implementation over the concatenated string ("c"+k / "m"+k), so
+// env fingerprints — and with them macro-state keys — are unchanged.
+func hashKeyTagged(tag byte, k string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(tag)
+	h *= prime64
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return h
 }
 
 // AddConfig inserts a configuration; returns true if it was new.
 func (e *EnvSet) AddConfig(c AThread) bool {
-	k := c.Key()
-	if _, ok := e.Configs[k]; ok {
-		return false
+	_, added := e.addConfig(c)
+	return added
+}
+
+// addConfig is AddConfig returning the interned config key as well, so
+// saturation worklists can push it without re-encoding the configuration.
+// The duplicate probe is allocation-free; the key is interned on insert.
+func (e *EnvSet) addConfig(c AThread) (string, bool) {
+	enc := engine.GetKeyEnc()
+	defer engine.PutKeyEnc(enc)
+	return e.addConfigEnc(c, enc)
+}
+
+// addConfigEnc is addConfig with a caller-supplied scratch encoder, so the
+// saturation inner loop probes without touching the encoder pool.
+func (e *EnvSet) addConfigEnc(c AThread, enc *engine.KeyEnc) (string, bool) {
+	enc.Reset()
+	c.encodeKey(enc)
+	if _, ok := e.Configs[string(enc.Bytes())]; ok {
+		return "", false
 	}
+	k := enc.String()
+	e.thaw()
 	e.Configs[k] = c
 	e.ConfigOrder = append(e.ConfigOrder, k)
-	e.fp ^= hashKey("c" + k)
-	return true
+	e.fp ^= hashKeyTagged('c', k)
+	return k, true
 }
 
 // AddMsg inserts an env message; returns true if it was new. The first
 // derivation wins (genthread is the first thread adding the message).
 func (e *EnvSet) AddMsg(m AMsg, log *ReadLog) bool {
-	k := m.Key()
-	if _, ok := e.Msgs[k]; ok {
+	var buf [48]byte
+	b := m.appendKey(buf[:0])
+	if _, ok := e.Msgs[string(b)]; ok {
 		return false
 	}
-	entry := MsgEntry{Msg: m, Log: log}
+	k := string(b)
+	e.thaw()
+	entry := MsgEntry{Msg: m, Log: log, Key: k}
 	e.Msgs[k] = entry
 	e.MsgsByVar[m.Var] = append(e.MsgsByVar[m.Var], entry)
-	e.fp ^= hashKey("m" + k)
+	e.fp ^= hashKeyTagged('m', k)
 	return true
 }
 
@@ -156,30 +218,80 @@ func (e *EnvSet) AddMsg(m AMsg, log *ReadLog) bool {
 func (e *EnvSet) Fingerprint() uint64 { return e.fp }
 
 // state is a macro-configuration of the verifier: the non-monotone dis part
-// plus the monotone env part.
+// plus the monotone env part. The memory and env set are embedded by value:
+// cloning a state is then one struct copy plus the dis slice, instead of four
+// separate heap objects (state, dis, DisMem, EnvSet) per successor.
 type state struct {
 	dis []AThread
-	mem *DisMem
-	env *EnvSet
+	mem DisMem
+	env EnvSet
+	// disInline backs dis for the common small thread counts, so clone is a
+	// single allocation (the state itself). dis aliases disInline only within
+	// the same state value; states are never copied wholesale (always cloned
+	// via clone, which rebinds the slice).
+	disInline [2]AThread
 }
 
 func (s *state) clone() *state {
-	dis := make([]AThread, len(s.dis))
-	copy(dis, s.dis)
-	return &state{dis: dis, mem: s.mem.Clone(), env: s.env.Clone()}
+	ns := &state{mem: s.mem, env: s.env}
+	if len(s.dis) <= len(ns.disInline) {
+		ns.dis = ns.disInline[:len(s.dis)]
+	} else {
+		ns.dis = make([]AThread, len(s.dis))
+	}
+	copy(ns.dis, s.dis)
+	// The embedded copies borrow the parent's storage until first mutation
+	// (see DisMem.thaw / EnvSet.thaw); the explorers freeze a state once its
+	// successors exist, so the parent is never mutated afterwards.
+	ns.mem.shared = true
+	ns.env.shared = true
+	return ns
 }
+
+// memChanged reports whether this clone's dis memory differs from its
+// parent's (a Put thawed the copy-on-write borrow). Env saturation is a pure
+// function of (mem, env): every derivation reads only the dis memory and the
+// env set itself, never the dis threads' configurations. A successor whose
+// memory is untouched therefore already sits at its parent's saturation
+// fixpoint — re-saturating it derives nothing and detects no violation the
+// parent's saturation would not have detected — so the explorers skip
+// saturation wholesale for such successors (incremental saturation).
+func (s *state) memChanged() bool { return !s.mem.shared }
 
 // key identifies the macro-state for memoization: dis thread configurations,
 // dis memory, and the env fingerprint, in one compact injective encoding.
 func (s *state) key() string {
-	enc := engine.NewKeyEnc()
+	enc := engine.GetKeyEnc()
+	s.appendKey(enc)
+	k := enc.String()
+	engine.PutKeyEnc(enc)
+	return k
+}
+
+// appendKey encodes the macro-state key into enc; hot paths probe the
+// visited set with enc.Bytes() and intern only on first sight.
+func (s *state) appendKey(enc *engine.KeyEnc) {
+	s.appendKeyDis(enc)
+	s.appendKeyMemEnv(enc)
+}
+
+// appendKeyDis encodes the dis-thread section of the key, including the
+// '#' separator that precedes the memory section.
+func (s *state) appendKeyDis(enc *engine.KeyEnc) {
 	enc.Len(len(s.dis))
 	for _, d := range s.dis {
 		d.encodeKey(enc)
 	}
 	enc.Mark('#')
+}
+
+// appendKeyMemEnv encodes the memory + env-fingerprint suffix of the key.
+// For a successor whose dis memory is untouched (memChanged false, so
+// saturation was skipped and the env is untouched too) this suffix is
+// byte-identical to the parent's — the expansion loops encode it once per
+// parent and splice it into each such successor's key with KeyEnc.Raw.
+func (s *state) appendKeyMemEnv(enc *engine.KeyEnc) {
 	s.mem.encodeKey(enc)
 	enc.Mark('~')
 	enc.Uint64(s.env.Fingerprint())
-	return enc.String()
 }

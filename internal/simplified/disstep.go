@@ -8,15 +8,19 @@ import (
 // dis thread. Env saturation of the successors is the caller's job.
 func (ex *exec) disSuccessors(st *state) ([]*state, *Violation) {
 	v := ex.v
-	var out []*state
-	emit := func(i int, th AThread, update func(*state)) {
-		ns := st.clone()
+	// The result slice is exec scratch: callers consume it before the next
+	// expansion on this exec. The successor states themselves escape; only
+	// the slice header is recycled.
+	out := ex.outBuf[:0]
+	// emit clones, applies the thread step, and appends. It returns the
+	// clone so store/CAS paths can insert their message directly — an
+	// `update` closure here would allocate once per emitted successor.
+	emit := func(i int, th AThread) *state {
+		ns := ex.cloneState(st)
 		ns.dis[i] = th
-		if update != nil {
-			update(ns)
-		}
 		ex.stats.DisTransitions++
 		out = append(out, ns)
+		return ns
 	}
 
 	for i := range st.dis {
@@ -25,31 +29,34 @@ func (ex *exec) disSuccessors(st *state) ([]*state, *Violation) {
 		for _, e := range g.Out[cfg.PC] {
 			switch e.Op.Kind {
 			case lang.OpNop:
-				emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log}, nil)
+				emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log})
 
 			case lang.OpAssume:
 				if e.Op.E.Eval(cfg.Regs) != 0 {
-					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log}, nil)
+					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: cfg.View, Log: cfg.Log})
 				}
 
 			case lang.OpAssertFail:
 				// Inert in Message Generation mode (§4.1).
 				if v.opts.Goal == nil {
+					ex.outBuf = out
 					return out, &Violation{ByEnv: false, DisIndex: i, Log: cfg.Log}
 				}
 
 			case lang.OpAssign:
 				regs := cfg.cloneRegs()
 				regs[e.Op.Reg] = v.norm(e.Op.E.Eval(cfg.Regs))
-				emit(i, AThread{PC: e.To, Regs: regs, View: cfg.View, Log: cfg.Log}, nil)
+				emit(i, AThread{PC: e.To, Regs: regs, View: cfg.View, Log: cfg.Log})
 
 			case lang.OpLoad:
-				for _, lt := range v.loadTargets(st, cfg.View, e.Op.Var) {
+				lts := v.loadTargets(st, cfg.View, e.Op.Var, ex.ltBuf[:0])
+				for _, lt := range lts {
 					regs := cfg.cloneRegs()
 					regs[e.Op.Reg] = lt.msg.Val
-					log := &ReadLog{MsgKey: lt.msg.Key(), Prev: cfg.Log}
-					emit(i, AThread{PC: e.To, Regs: regs, View: lt.view, Log: log}, nil)
+					log := &ReadLog{MsgKey: lt.key, Prev: cfg.Log}
+					emit(i, AThread{PC: e.To, Regs: regs, View: lt.view, Log: log})
 				}
+				ex.ltBuf = lts[:0]
 
 			case lang.OpStore:
 				x := e.Op.Var
@@ -61,9 +68,9 @@ func (ex *exec) disSuccessors(st *state) ([]*state, *Violation) {
 					view := cfg.View.Clone()
 					view[x] = Int(t)
 					msg := AMsg{Var: x, TS: Int(t), Val: d, View: view}
+					msg.key = msg.Key()
 					ex.recordDisMsg(msg, i, cfg.Log)
-					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: cfg.Log},
-						func(ns *state) { ns.mem.Put(msg) })
+					emit(i, AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: cfg.Log}).mem.Put(msg)
 				}
 
 			case lang.OpCASOp:
@@ -71,6 +78,7 @@ func (ex *exec) disSuccessors(st *state) ([]*state, *Violation) {
 			}
 		}
 	}
+	ex.outBuf = out
 	return out, nil
 }
 
@@ -93,7 +101,7 @@ func (ex *exec) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state)
 	newVal := v.norm(e.Op.E2.Eval(cfg.Regs))
 
 	emit := func(th AThread, msg AMsg) {
-		ns := st.clone()
+		ns := ex.cloneState(st)
 		ns.dis[i] = th
 		ns.mem.Put(msg)
 		ex.stats.DisTransitions++
@@ -101,21 +109,22 @@ func (ex *exec) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state)
 	}
 
 	// Case 1: CAS on a dis message.
-	st.mem.Each(x, func(m AMsg) {
+	for _, m := range st.mem.VarMsgs(x) {
 		u := m.TS.Floor()
 		if m.TS < cfg.View[x] || m.Val != expect {
-			return
+			continue
 		}
 		if u+1 > v.budget[x] || !st.mem.Free(x, u+1) {
-			return
+			continue
 		}
 		view := cfg.View.Join(m.View)
 		view[x] = Int(u + 1)
 		msg := AMsg{Var: x, TS: Int(u + 1), Val: newVal, View: view}
+		msg.key = msg.Key()
 		log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
 		ex.recordDisMsg(msg, i, log)
 		emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)
-	})
+	}
 
 	// Case 2: CAS on an env message.
 	for _, me := range st.env.MsgsByVar[x] {
@@ -134,6 +143,7 @@ func (ex *exec) disCAS(st *state, i int, cfg AThread, e lang.Edge, out []*state)
 			view := cfg.View.Join(m.View)
 			view[x] = Int(t)
 			msg := AMsg{Var: x, TS: Int(t), Val: newVal, View: view}
+			msg.key = msg.Key()
 			log := &ReadLog{MsgKey: m.Key(), Prev: cfg.Log}
 			ex.recordDisMsg(msg, i, log)
 			emit(AThread{PC: e.To, Regs: cfg.Regs, View: view, Log: log}, msg)

@@ -34,7 +34,7 @@ func (v *Verifier) InventoryContext(ctx context.Context) (map[lang.VarID]map[lan
 		inv[lang.VarID(i)] = map[lang.Val]bool{}
 	}
 	record := func(st *state) {
-		for vi := range st.mem.ByVar {
+		for vi := 0; vi < st.mem.NumVars(); vi++ {
 			st.mem.Each(lang.VarID(vi), func(m AMsg) {
 				inv[m.Var][m.Val] = true
 			})
@@ -45,30 +45,63 @@ func (v *Verifier) InventoryContext(ctx context.Context) (map[lang.VarID]map[lan
 	}
 
 	global := newExec(v, nil)
+	cache := &execCache{}
+	outs := &outCache{}
 	init := v.initState()
 	global.saturate(init)
 	record(init)
 
-	expand := func(st *state) expOut {
-		ex := newExec(v, global.msgLogs)
-		o := expOut{ex: ex}
+	expand := func(st *state, seen func([]byte) bool) *expOut {
+		ex := cache.get(v, global.msgLogs)
+		o := outs.get()
 		succs, _ := ex.disSuccessors(st)
+		enc := &ex.enc
+		suffix := ex.sufBuf[:0] // parent's mem+env key suffix, filled lazily
 		for _, ns := range succs {
-			ex.saturate(ns)
-			o.succs = append(o.succs, ns)
-			o.keys = append(o.keys, ns.key())
+			memChanged := ns.memChanged()
+			if memChanged {
+				ex.saturate(ns)
+			}
+			// Byte-probe the frozen visited set: successors already admitted
+			// in an earlier layer are dropped before their key is interned.
+			enc.Reset()
+			ns.appendKeyDis(enc)
+			if memChanged {
+				ns.appendKeyMemEnv(enc)
+			} else {
+				// Untouched memory and env: reuse the parent's key suffix.
+				if len(suffix) == 0 {
+					ex.enc2.Reset()
+					st.appendKeyMemEnv(&ex.enc2)
+					suffix = append(suffix, ex.enc2.Bytes()...)
+				}
+				enc.Raw(suffix)
+			}
+			if seen(enc.Bytes()) {
+				o.preDedup++
+				ex.freeState(ns)
+				continue
+			}
+			o.pushSucc(ns, enc.Bytes())
 		}
+		ex.sufBuf = suffix[:0]
+		ex.handOff(o, cache)
 		return o
 	}
-	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
+	commit := func(i int, st *state, o *expOut, adm *engine.Admitter[*state]) any {
 		global.recordSizes(st)
-		global.mergeFrom(o.ex)
-		adm.AddTransitions(int64(o.ex.stats.DisTransitions))
+		global.mergeOut(o)
+		adm.AddTransitions(int64(o.stats.DisTransitions))
+		adm.AddDedup(o.preDedup)
+		lo := int32(0)
 		for j, ns := range o.succs {
-			if adm.Add(o.keys[j], ns) {
+			hi := o.keyEnds[j]
+			if adm.AddBytes(o.keyBuf[lo:hi], ns) {
 				record(ns)
 			}
+			lo = hi
 		}
+		outs.put(o)
 		return nil
 	}
 

@@ -1,0 +1,131 @@
+package simplified
+
+import (
+	"paramra/internal/engine"
+)
+
+// LegacyExploreResult is what LegacyExploreForTest measures: the verdict and
+// macro-state count of a reference exploration that takes none of the
+// optimized fast paths, plus whether the optimized key construction agreed
+// with the reference encoding on every single state.
+type LegacyExploreResult struct {
+	Unsafe      bool
+	MacroStates int
+	// SpliceMismatches counts states whose optimized key (dis prefix +
+	// spliced parent mem/env suffix for memory-untouched successors)
+	// differed from the reference full encoding. Must be 0.
+	SpliceMismatches int
+	// SkipUnsound counts memory-untouched successors whose unconditional
+	// re-saturation derived something after all — each one is a counter-
+	// example to the saturation-skip purity argument. Must be 0.
+	SkipUnsound int
+	// HitCap reports the maxStates budget stopped the search; verdict and
+	// counts are then not comparable and the caller should skip the seed.
+	HitCap bool
+}
+
+// legacyKey encodes a macro-state's identity the way the pre-optimization
+// code did: one linear pass through the single appendKey composition,
+// written out longhand here so the test does not depend on the split
+// appendKeyDis/appendKeyMemEnv helpers it is checking.
+func legacyKey(s *state) string {
+	enc := engine.GetKeyEnc()
+	defer engine.PutKeyEnc(enc)
+	enc.Reset()
+	enc.Len(len(s.dis))
+	for _, d := range s.dis {
+		d.encodeKey(enc)
+	}
+	enc.Mark('#')
+	s.mem.encodeKey(enc)
+	enc.Mark('~')
+	enc.Uint64(s.env.Fingerprint())
+	return enc.String()
+}
+
+// LegacyExploreForTest re-runs the macro-state fixpoint the way the code
+// worked before the allocation-free exploration core: every successor is
+// saturated and goal-checked unconditionally, and every key is encoded in
+// full. Along the way it cross-checks the optimized paths state by state:
+//
+//   - the spliced key construction (appendKeyDis + parent suffix reuse for
+//     memory-untouched successors) must reproduce the reference encoding
+//     byte for byte, and
+//   - re-saturating a memory-untouched successor must be a no-op (same env
+//     fingerprint before and after), which is the purity argument the
+//     explorers' saturation skip rests on.
+//
+// Because the visited set here is keyed by the reference encoding while the
+// production engines key by the optimized one, equal macro-state counts on
+// the same system mean the two encodings induce the same visited-set
+// membership.
+func LegacyExploreForTest(v *Verifier, maxStates int) LegacyExploreResult {
+	var r LegacyExploreResult
+	ex := newExec(v, nil)
+	init := v.initState()
+	if viol := ex.saturate(init); viol != nil {
+		r.Unsafe, r.MacroStates = true, 1
+		return r
+	}
+	if viol := ex.checkGoalDis(init); viol != nil {
+		r.Unsafe, r.MacroStates = true, 1
+		return r
+	}
+	seen := map[string]bool{legacyKey(init): true}
+	queue := []*state{init}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		succs, viol := ex.disSuccessors(st)
+		if viol != nil {
+			r.Unsafe, r.MacroStates = true, len(seen)
+			return r
+		}
+		parentSuffix := engine.GetKeyEnc()
+		parentSuffix.Reset()
+		st.appendKeyMemEnv(parentSuffix)
+		for _, ns := range succs {
+			memChanged := ns.memChanged()
+			fpBefore := ns.env.Fingerprint()
+			if viol := ex.saturate(ns); viol != nil {
+				engine.PutKeyEnc(parentSuffix)
+				r.Unsafe, r.MacroStates = true, len(seen)
+				return r
+			}
+			if viol := ex.checkGoalDis(ns); viol != nil {
+				engine.PutKeyEnc(parentSuffix)
+				r.Unsafe, r.MacroStates = true, len(seen)
+				return r
+			}
+			if !memChanged && ns.env.Fingerprint() != fpBefore {
+				r.SkipUnsound++
+			}
+			ref := legacyKey(ns)
+			opt := engine.GetKeyEnc()
+			opt.Reset()
+			ns.appendKeyDis(opt)
+			if memChanged {
+				ns.appendKeyMemEnv(opt)
+			} else {
+				opt.Raw(parentSuffix.Bytes())
+			}
+			if string(opt.Bytes()) != ref {
+				r.SpliceMismatches++
+			}
+			engine.PutKeyEnc(opt)
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			queue = append(queue, ns)
+			if maxStates > 0 && len(seen) > maxStates {
+				engine.PutKeyEnc(parentSuffix)
+				r.MacroStates, r.HitCap = len(seen), true
+				return r
+			}
+		}
+		engine.PutKeyEnc(parentSuffix)
+	}
+	r.MacroStates = len(seen)
+	return r
+}

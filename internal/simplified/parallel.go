@@ -3,6 +3,7 @@ package simplified
 import (
 	"context"
 	"runtime"
+	"sync"
 	"time"
 
 	"paramra/internal/engine"
@@ -10,14 +11,84 @@ import (
 )
 
 // expOut is the result of expanding one macro-state: its successors (with
-// pre-computed memo keys), any violation, and the expansion's private exec
-// (stats + provenance overlay) to be merged in commit order.
+// pre-computed memo key bytes), any violation, and the expansion's stats and
+// provenance overlay (handed off from the exec, see exec.handOff) to be
+// merged in commit order.
+//
+// Successor keys are carried as one concatenated byte arena (keyBuf sliced
+// by keyEnds) rather than interned strings: commit admits via AddBytes, so a
+// key is converted to a string only when its state is genuinely new.
+//
+// The engine buffers a whole layer's outputs until the sequential commit
+// phase, so an expOut holds only what commit genuinely needs; the heavy
+// saturation scratch stays on the exec, which is released as soon as the
+// expansion ends. Outputs are recycled through a run-scoped outCache so the
+// arenas' capacity survives across layers.
 type expOut struct {
 	succs     []*state
-	keys      []string
+	keyBuf    []byte
+	keyEnds   []int32
+	stats     Stats
+	msgLogs   map[string]DisGen
+	msgOrder  []string
 	viol      *Violation
 	violState *state
-	ex        *exec
+	// preDedup counts successors dropped during expansion because the seen
+	// probe proved them already visited (reported via Admitter.AddDedup so
+	// engine dedup totals stay identical to the unfiltered path).
+	preDedup int64
+}
+
+// pushSucc appends a successor and its key bytes to the expansion output.
+func (o *expOut) pushSucc(ns *state, key []byte) {
+	o.succs = append(o.succs, ns)
+	o.keyBuf = append(o.keyBuf, key...)
+	o.keyEnds = append(o.keyEnds, int32(len(o.keyBuf)))
+}
+
+// outCache recycles expansion outputs within one run. Commit returns each
+// output after consuming it, so the cache's steady-state size is the number
+// of outputs the engine holds between an expansion finishing and its commit
+// running — bounded by the largest frontier, but each entry is small (slice
+// headers plus key bytes), unlike a full exec.
+type outCache struct {
+	mu   sync.Mutex
+	free []*expOut
+}
+
+func (c *outCache) get() *expOut {
+	c.mu.Lock()
+	n := len(c.free)
+	if n == 0 {
+		c.mu.Unlock()
+		return &expOut{}
+	}
+	o := c.free[n-1]
+	c.free[n-1] = nil
+	c.free = c.free[:n-1]
+	c.mu.Unlock()
+	return o
+}
+
+func (c *outCache) put(o *expOut) {
+	clear(o.succs)
+	o.succs = o.succs[:0]
+	o.keyBuf = o.keyBuf[:0]
+	o.keyEnds = o.keyEnds[:0]
+	o.stats = Stats{}
+	// Keep the (cleared) overlay map and order slice: handOff swaps them
+	// back onto the next exec, so overlay storage round-trips between the
+	// two caches instead of being reallocated per expansion.
+	if o.msgLogs != nil {
+		clear(o.msgLogs)
+	}
+	clear(o.msgOrder[:cap(o.msgOrder)])
+	o.msgOrder = o.msgOrder[:0]
+	o.viol, o.violState = nil, nil
+	o.preDedup = 0
+	c.mu.Lock()
+	c.free = append(c.free, o)
+	c.mu.Unlock()
 }
 
 // VerifyContext runs the macro-state search on the layered parallel engine.
@@ -79,6 +150,8 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 	}
 
 	global := newExec(v, nil)
+	cache := &execCache{}
+	outs := &outCache{}
 	init := v.initState()
 
 	satSpan := span.Child("init-saturate")
@@ -107,55 +180,100 @@ func (v *Verifier) VerifyContext(ctx context.Context) Result {
 
 	var unsafeRes *Result
 
-	expand := func(st *state) expOut {
+	expand := func(st *state, seen func([]byte) bool) *expOut {
 		// Private exec: reads the frozen global provenance, writes locally.
 		// checkGoalDis never needs a same-layer sibling's record — any dis
 		// message in st's memory was stored either on st's own path (already
 		// merged into the global map when st was admitted in an earlier
-		// layer) or by this very expansion.
-		ex := newExec(v, global.msgLogs)
-		o := expOut{ex: ex}
+		// layer) or by this very expansion. The exec is released at the end
+		// of this function (handOff), so the number of live execs tracks the
+		// in-flight expansions, not the layer size.
+		ex := cache.get(v, global.msgLogs)
+		o := outs.get()
 		succs, viol := ex.disSuccessors(st)
 		if viol != nil {
 			o.viol, o.violState = viol, st
+			ex.handOff(o, cache)
 			return o
 		}
+		enc := &ex.enc
+		suffix := ex.sufBuf[:0] // parent's mem+env key suffix, filled lazily
 		for _, ns := range succs {
-			if viol := saturate(ex, ns); viol != nil {
-				o.viol, o.violState = viol, ns
-				return o
+			memChanged := ns.memChanged()
+			if memChanged {
+				// Successors with untouched dis memory inherit the parent's
+				// env fixpoint, so their saturation is a provable no-op and
+				// is skipped (see state.memChanged).
+				if viol := saturate(ex, ns); viol != nil {
+					o.viol, o.violState = viol, ns
+					break
+				}
 			}
-			if viol := ex.checkGoalDis(ns); viol != nil {
-				o.viol, o.violState = viol, ns
-				return o
+			if memChanged {
+				// The goal check is pure in the dis memory: an unchanged
+				// memory has the parent's (already checked, goal-free) result.
+				if viol := ex.checkGoalDis(ns); viol != nil {
+					o.viol, o.violState = viol, ns
+					break
+				}
 			}
-			o.succs = append(o.succs, ns)
-			o.keys = append(o.keys, ns.key())
+			// Byte-probe the visited set (frozen for the whole layer) after
+			// the goal checks: already-admitted successors are dropped here
+			// without interning a key, and commit reports them via AddDedup.
+			// A seen successor can never be the first violation: it was
+			// admitted (and goal-checked) in an earlier layer.
+			enc.Reset()
+			ns.appendKeyDis(enc)
+			if memChanged {
+				ns.appendKeyMemEnv(enc)
+			} else {
+				// Untouched memory and env: the key suffix equals the
+				// parent's, encoded at most once per expansion.
+				if len(suffix) == 0 {
+					ex.enc2.Reset()
+					st.appendKeyMemEnv(&ex.enc2)
+					suffix = append(suffix, ex.enc2.Bytes()...)
+				}
+				enc.Raw(suffix)
+			}
+			if seen(enc.Bytes()) {
+				o.preDedup++
+				ex.freeState(ns)
+				continue
+			}
+			o.pushSucc(ns, enc.Bytes())
 		}
+		ex.sufBuf = suffix[:0]
+		ex.handOff(o, cache)
 		return o
 	}
 
-	commit := func(i int, st *state, o expOut, adm *engine.Admitter[*state]) any {
+	commit := func(i int, st *state, o *expOut, adm *engine.Admitter[*state]) any {
 		global.recordSizes(st)
-		global.mergeFrom(o.ex)
-		adm.AddTransitions(int64(o.ex.stats.DisTransitions))
+		global.mergeOut(o)
+		adm.AddTransitions(int64(o.stats.DisTransitions))
+		adm.AddDedup(o.preDedup)
 		gCfg.Max(int64(global.stats.EnvConfigs))
 		gMsgs.Max(int64(global.stats.EnvMsgs))
 		// Successors discovered before a violation are admitted first: the
 		// sequential loop admits each saturated successor before examining
 		// the next one, so stats stay bit-identical on UNSAFE runs too.
+		lo := int32(0)
 		for j, ns := range o.succs {
-			adm.Add(o.keys[j], ns)
+			hi := o.keyEnds[j]
+			adm.AddBytes(o.keyBuf[lo:hi], ns)
+			lo = hi
 		}
-		if o.viol != nil {
+		viol, violState := o.viol, o.violState
+		outs.put(o)
+		if viol != nil {
 			// Re-resolve provenance against the merged map so an earlier
 			// commit's first derivation wins, exactly as sequentially.
-			viol := o.viol
 			if viol.GoalMsg != nil && !viol.ByEnv {
 				gen := global.lookupGen(viol.GoalMsg.Key())
 				viol.DisIndex, viol.Log = gen.DisIndex, gen.Log
 			}
-			r := global.unsafeResult(viol, o.violState)
+			r := global.unsafeResult(viol, violState)
 			unsafeRes = &r
 			return &r
 		}

@@ -161,7 +161,7 @@ func (v *Verifier) disSuccessorsTraced(st *state) ([]tracedSucc, *SkeletonStep) 
 					SkeletonStep{Dis: i, Kind: lang.OpAssign, TS: -1, ReadDisTS: -1}, nil)
 
 			case lang.OpLoad:
-				for _, lt := range v.loadTargets(st, cfg.View, e.Op.Var) {
+				for _, lt := range v.loadTargets(st, cfg.View, e.Op.Var, nil) {
 					regs := cfg.cloneRegs()
 					regs[e.Op.Reg] = lt.msg.Val
 					step := SkeletonStep{

@@ -3,6 +3,7 @@ package simplified
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"paramra/internal/engine"
@@ -199,8 +200,8 @@ func (v *Verifier) norm(val lang.Val) lang.Val {
 func (v *Verifier) initState() *state {
 	nv := len(v.sys.Vars)
 	st := &state{
-		mem: NewDisMem(nv, v.sys.Init),
-		env: NewEnvSet(nv),
+		mem: *NewDisMem(nv, v.sys.Init),
+		env: *NewEnvSet(nv),
 	}
 	for _, g := range v.disCFG {
 		st.dis = append(st.dis, AThread{
@@ -230,16 +231,159 @@ type exec struct {
 	stats Stats
 	// msgLogs holds provenance recorded by this exec; msgOrder lists its
 	// keys in recording order (so merges replay first-derivation-wins
-	// deterministically).
+	// deterministically). Allocated lazily: most expansions record nothing.
 	msgLogs  map[string]DisGen
 	msgOrder []string
 	// base is the read-only global provenance map (nil for the sequential
 	// engine, where msgLogs is global).
 	base map[string]DisGen
+	// Reusable scratch for saturation worklists and load-target enumeration,
+	// so per-successor saturations don't re-allocate them.
+	satWork   []string
+	satInWork map[string]bool
+	ltBuf     []loadTarget
+	// outBuf backs disSuccessors' result slice; it is consumed before the
+	// exec is released. Successor states escape into the next layer — only
+	// the slice header is recycled.
+	outBuf []*state
+	// sufBuf caches the parent's mem+env key suffix within one expansion
+	// (see state.appendKeyMemEnv).
+	sufBuf []byte
+	// enc and enc2 are embedded key-encoder scratch: enc serves the
+	// saturation config probes and the successor key of the expansion
+	// loops, enc2 the parent key suffix. Embedding them keeps the hot
+	// paths off the shared encoder pool.
+	enc  engine.KeyEnc
+	enc2 engine.KeyEnc
+	// freeStates recycles the state structs of dedup-dropped successors:
+	// most clones hit the visited set and die immediately, so reusing their
+	// ~300-byte structs removes the dominant allocation of the exploration.
+	// Parked structs are scrubbed of pointers (see freeState) so the list
+	// never extends a dead macro-state's lifetime.
+	freeStates []*state
 }
 
 func newExec(v *Verifier, base map[string]DisGen) *exec {
-	return &exec{v: v, msgLogs: map[string]DisGen{}, base: base}
+	return &exec{v: v, base: base}
+}
+
+// execCache recycles the per-expansion execs of one parallel run so their
+// saturation scratch (worklist, membership map, load-target buffer, state
+// freelist, key encoders) is reused across expansions instead of re-grown
+// from zero in every one. It is a run-scoped mutex-guarded stack rather
+// than a global sync.Pool on purpose: pools are emptied on every GC cycle,
+// and the exploration allocates enough to cycle the GC dozens of times per
+// run — each dump would force every expansion to regrow all of its scratch.
+// The engine keeps a whole layer's execs live until the sequential commit
+// phase, so the stack must hold up to peak-frontier execs; scoping it to
+// the run releases all of them when the search returns. At one lock
+// round-trip per macro-state expansion the mutex is far off the critical
+// path.
+type execCache struct {
+	mu   sync.Mutex
+	free []*exec
+}
+
+func (c *execCache) get(v *Verifier, base map[string]DisGen) *exec {
+	var ex *exec
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		ex = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	}
+	c.mu.Unlock()
+	if ex == nil {
+		ex = new(exec)
+	}
+	ex.v, ex.base = v, base
+	return ex
+}
+
+// put returns an exec to the cache after its expansion has handed off its
+// overlay (see handOff). Only the parallel drivers may call it: the
+// sequential engine's exec outlives the run inside Violation.DisMsgLogs.
+func (c *execCache) put(ex *exec) {
+	ex.stats = Stats{}
+	if ex.msgLogs != nil {
+		clear(ex.msgLogs)
+	}
+	// Zero the pointers parked in the scratch buffers: a cached exec may
+	// sit idle for a while, and a stale pointer would keep a dead
+	// macro-state, an interned key, or a read log alive across GC cycles.
+	clear(ex.msgOrder[:cap(ex.msgOrder)])
+	ex.msgOrder = ex.msgOrder[:0]
+	clear(ex.satWork[:cap(ex.satWork)])
+	ex.satWork = ex.satWork[:0]
+	clear(ex.outBuf)
+	ex.outBuf = ex.outBuf[:0]
+	clear(ex.ltBuf[:cap(ex.ltBuf)])
+	ex.v, ex.base = nil, nil
+	c.mu.Lock()
+	c.free = append(c.free, ex)
+	c.mu.Unlock()
+}
+
+// handOff moves the expansion's result — stats and provenance overlay —
+// onto its output and releases the exec back to the run cache. Releasing at
+// the end of the expansion (not at commit) keeps the number of live execs
+// bounded by the in-flight expansions, not by the layer size: the engine
+// holds a whole layer's outputs until the sequential commit phase, and the
+// heavyweight saturation scratch must not be held hostage with them.
+func (ex *exec) handOff(o *expOut, c *execCache) {
+	o.stats = ex.stats
+	// Swap overlays rather than null them: a recycled output carries a
+	// cleared map/order pair from its last round trip, which becomes the
+	// next expansion's overlay scratch.
+	o.msgLogs, ex.msgLogs = ex.msgLogs, o.msgLogs
+	o.msgOrder, ex.msgOrder = ex.msgOrder, o.msgOrder
+	ex.stats = Stats{}
+	c.put(ex)
+}
+
+// cloneState is state.clone drawing the struct from the exec's freelist
+// when possible. The dis slice reuses the recycled struct's capacity.
+func (ex *exec) cloneState(s *state) *state {
+	n := len(ex.freeStates)
+	if n == 0 {
+		return s.clone()
+	}
+	ns := ex.freeStates[n-1]
+	ex.freeStates[n-1] = nil
+	ex.freeStates = ex.freeStates[:n-1]
+	ns.mem = s.mem
+	ns.env = s.env
+	if len(s.dis) <= len(ns.disInline) {
+		ns.dis = ns.disInline[:len(s.dis)]
+	} else if cap(ns.dis) >= len(s.dis) {
+		ns.dis = ns.dis[:len(s.dis)]
+	} else {
+		ns.dis = make([]AThread, len(s.dis))
+	}
+	copy(ns.dis, s.dis)
+	ns.mem.shared = true
+	ns.env.shared = true
+	return ns
+}
+
+// freeState parks a dedup-dropped successor's struct for reuse. All pointer
+// fields are scrubbed first: a parked struct may idle across GC cycles, and
+// a stale reference would keep the dropped state's thawed memory or env
+// storage alive.
+func (ex *exec) freeState(ns *state) {
+	if len(ex.freeStates) >= 256 {
+		return
+	}
+	ns.mem = DisMem{}
+	ns.env = EnvSet{}
+	heap := ns.dis
+	ns.dis = nil
+	ns.disInline = [2]AThread{}
+	if len(heap) > len(ns.disInline) {
+		clear(heap)
+		ns.dis = heap[:0]
+	}
+	ex.freeStates = append(ex.freeStates, ns)
 }
 
 // lookupGen resolves the provenance of a dis message key.
@@ -266,14 +410,20 @@ func (ex *exec) recordDisMsg(m AMsg, disIndex int, log *ReadLog) {
 	if ex.hasGen(k) {
 		return
 	}
+	if ex.msgLogs == nil {
+		ex.msgLogs = map[string]DisGen{}
+	}
 	ex.msgLogs[k] = DisGen{DisIndex: disIndex, Log: log}
 	ex.msgOrder = append(ex.msgOrder, k)
 }
 
-// mergeFrom folds another exec's provenance overlay and stats into ex, in
+// mergeOut folds an expansion's provenance overlay and stats into ex, in
 // the donor's recording order (first derivation wins).
-func (ex *exec) mergeFrom(o *exec) {
+func (ex *exec) mergeOut(o *expOut) {
 	ex.stats.merge(o.stats)
+	if len(o.msgOrder) > 0 && ex.msgLogs == nil {
+		ex.msgLogs = map[string]DisGen{}
+	}
 	for _, k := range o.msgOrder {
 		if ex.hasGen(k) {
 			continue
@@ -295,8 +445,8 @@ func (ex *exec) recordSizes(st *state) {
 // unsafeResult finalizes an UNSAFE verdict found at state st.
 func (ex *exec) unsafeResult(viol *Violation, st *state) Result {
 	ex.recordSizes(st)
-	viol.Env = st.env
-	viol.Mem = st.mem
+	viol.Env = &st.env
+	viol.Mem = &st.mem
 	viol.DisMsgLogs = ex.msgLogs
 	for _, d := range st.dis {
 		viol.DisLogs = append(viol.DisLogs, d.Log)
@@ -356,14 +506,23 @@ func (v *Verifier) Verify() Result {
 			return v.sealSequential(ex.unsafeResult(viol, st), ex, start)
 		}
 		for _, ns := range succs {
-			if viol := ex.saturate(ns); viol != nil {
-				return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+			// Saturation is skipped when the dis memory is untouched: the
+			// successor inherits its parent's env fixpoint (see memChanged).
+			if ns.memChanged() {
+				if viol := ex.saturate(ns); viol != nil {
+					return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+				}
 			}
-			if viol := ex.checkGoalDis(ns); viol != nil {
-				return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+			if ns.memChanged() {
+				// Pure in the dis memory: an unchanged memory has the
+				// parent's (already checked, goal-free) result.
+				if viol := ex.checkGoalDis(ns); viol != nil {
+					return v.sealSequential(ex.unsafeResult(viol, ns), ex, start)
+				}
 			}
 			k := ns.key()
 			if seen[k] {
+				ex.freeState(ns)
 				continue
 			}
 			if v.opts.MaxMacroStates > 0 && ex.stats.MacroStates >= v.opts.MaxMacroStates {
